@@ -1,0 +1,54 @@
+"""Ablation: HARS vs the standard cpufreq governor family.
+
+Beyond the paper's comparisons.  The paper's baseline is the
+``performance`` governor; real systems default to ``ondemand``.  This
+bench quantifies where HARS's gains come from: ondemand saves power over
+performance by ramping down on idle, but it is target-blind — it keeps
+the application at full speed whenever it is busy — whereas HARS
+exploits the slack between the target and the maximum, which is where
+most of the energy lives.
+
+Expected ordering (perf/watt, 50 % ± 5 % target):
+performance (baseline) < ondemand < HARS-E.
+"""
+
+from conftest import bench_units, run_once
+
+from repro.experiments.runner import RunShape, run_single
+
+
+def _governor_comparison(units):
+    outcomes = {}
+    for version in ("baseline", "ondemand", "hars-e"):
+        metrics = run_single(
+            version, RunShape("bodytrack", n_units=units)
+        ).metrics
+        outcomes[version] = {
+            "pp": metrics.perf_per_watt,
+            "perf": metrics.apps[0].mean_normalized_perf,
+            "watts": metrics.avg_power_w,
+        }
+    return outcomes
+
+
+def test_ablation_governors(benchmark):
+    units = bench_units() or 150
+    outcomes = run_once(benchmark, _governor_comparison, units)
+    print()
+    print("bodytrack, default target — governor family vs HARS:")
+    for version, o in outcomes.items():
+        print(
+            f"  {version:12s} perf={o['perf']:.3f} watts={o['watts']:.2f} "
+            f"perf/watt={o['pp']:.3f}"
+        )
+    # Ondemand is target-blind: on a CPU-bound application it tracks the
+    # performance governor closely (it only trims idle-cluster waste)...
+    assert outcomes["ondemand"]["watts"] <= outcomes["baseline"]["watts"] + 0.05
+    assert (
+        0.9 * outcomes["baseline"]["pp"]
+        <= outcomes["ondemand"]["pp"]
+        <= 2.0 * outcomes["baseline"]["pp"]
+    )
+    # ...while HARS, which knows the target, exploits the slack between
+    # target and maximum — where most of the energy lives.
+    assert outcomes["hars-e"]["pp"] > 1.3 * outcomes["ondemand"]["pp"]

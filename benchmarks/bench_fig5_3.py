@@ -1,0 +1,38 @@
+"""Figure 5.3 — efficiency and overhead vs the explored-space size.
+
+Sweeps the search distance d ∈ {1, 3, 5, 7, 9} (HARS-EI box) at both
+targets.  Paper shape: (a) geomean perf/watt rises with d up to a knee
+(the paper observes it near d = 5) and plateaus; (b) the manager's CPU
+utilization grows with d but stays small (< 6 % at d = 9).
+"""
+
+from conftest import bench_units, run_once
+
+from repro.experiments.fig5_3 import run_fig5_3
+
+
+def test_fig5_3(benchmark):
+    units = bench_units()
+    sweep = run_once(benchmark, run_fig5_3, n_units=units)
+    print()
+    print(sweep.render())
+    for target in sorted(sweep.efficiency):
+        print(f"knee at target {target:.0%}: d = {sweep.knee(target)}")
+
+    for target in (0.5, 0.75):
+        eff = sweep.efficiency[target]
+        cpu = sweep.cpu_percent[target]
+        # (a) d = 1 is never the best; wide search helps.
+        assert max(eff.values()) > eff[1]
+        assert eff[9] > 0.9 * max(eff.values())  # plateau, no collapse
+        # The knee lies past the incremental end of the sweep.
+        assert sweep.knee(target) >= 3
+        # (b) overhead grows with d and stays single-digit percent.
+        assert cpu[9] > cpu[1]
+        assert cpu[9] < 8.0
+    if units is None:
+        # At native scale the high-target knee sits mid-sweep (the paper
+        # sees d = 5 for both; our default-target curve keeps creeping
+        # through d = 9 — see EXPERIMENTS.md).
+        assert sweep.knee(0.75) in (3, 5, 7)
+        assert sweep.knee(0.5) >= 5

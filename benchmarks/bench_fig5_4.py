@@ -1,0 +1,52 @@
+"""Figure 5.4 — multi-application perf/watt.
+
+Six benchmark pairs × four versions (Baseline, CONS-I, MP-HARS-I,
+MP-HARS-E), one bar per case normalized to its baseline, plus the
+geometric mean.
+
+Paper shape: MP-HARS-E well above both the baseline (×3.17 there) and
+CONS-I (×1.46 there) on the geomean; MP-HARS-I between CONS-I and
+MP-HARS-E; case 6 (BO+BL) is the exception where CONS-I competes, driven
+by blackscholes' heartbeat-free startup phase.
+"""
+
+from conftest import bench_units, run_once
+
+from repro.experiments.fig5_4 import run_fig5_4
+
+
+def test_fig5_4(benchmark):
+    units = bench_units()
+    comparison = run_once(benchmark, run_fig5_4, n_units=units)
+    print()
+    print(comparison.render())
+    gm = comparison.geomean
+
+    assert gm["baseline"] == 1.0
+    # Ordering on the geomean.
+    assert gm["cons-i"] > 1.0
+    assert gm["mp-hars-e"] > gm["mp-hars-i"] > gm["cons-i"]
+    if units is None:
+        # Headline factors hold at native scale (shape, not absolute):
+        # MP-HARS-E beats the baseline by at least 2x and CONS-I by at
+        # least 30 %.
+        assert gm["mp-hars-e"] > 2.0
+        assert gm["mp-hars-e"] / gm["cons-i"] > 1.3
+        # The blackscholes anomaly (the paper's case-6 discussion):
+        # blackscholes' heartbeat-free startup lets CONS-I settle early,
+        # while MP-HARS must hand blackscholes whatever cores are left —
+        # so in the blackscholes pairings (cases 2 and 6) CONS-I becomes
+        # unusually competitive, catching or beating the *incremental*
+        # MP-HARS even though it trails it clearly on the geomean.
+        bl_cases = [
+            k
+            for k in comparison.normalized
+            if k.startswith("case2") or k.startswith("case6")
+        ]
+        assert gm["mp-hars-i"] / gm["cons-i"] > 1.05
+        assert any(
+            comparison.normalized[case]["mp-hars-i"]
+            / comparison.normalized[case]["cons-i"]
+            < 1.05
+            for case in bl_cases
+        )

@@ -1,0 +1,35 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports.  By default the runs use
+the native-input heartbeat counts; set ``REPRO_BENCH_UNITS=<n>`` to scale
+every benchmark down to ``n`` heartbeats for a quick pass (e.g. 60).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import pytest
+
+
+def bench_units() -> Optional[int]:
+    """Heartbeats per benchmark, or ``None`` for native-input sizes."""
+    value = os.environ.get("REPRO_BENCH_UNITS")
+    return int(value) if value else None
+
+
+@pytest.fixture(scope="session")
+def units() -> Optional[int]:
+    return bench_units()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Figures are deterministic whole-grid simulations, not microbenchmarks
+    — one round gives the regeneration wall time without re-running a
+    multi-minute grid.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Pipeline scheduling: the chunk vs interleaving trade-off (Figure 3.2).
+
+Ferret is a six-stage pipeline.  When the system state mixes big and
+little cores, the chunk-based scheduler pins consecutive thread IDs to
+one cluster, which can drop an entire heavy stage onto the little
+cluster and throttle the whole pipeline.  The interleaving scheduler
+spreads each stage across both clusters and removes the imbalance
+(Section 3.1.3 of the paper).
+
+This example holds a mixed state fixed (2 big @1.6 GHz + 4 little
+@1.2 GHz) and measures ferret's throughput under both schedulers.
+
+Run with:  python examples/pipeline_scheduling.py
+"""
+
+from repro.core import (
+    HARS_E,
+    HARS_EI,
+    HarsManager,
+    PerformanceEstimator,
+    SystemState,
+    calibrate,
+)
+from repro.heartbeats import PerformanceTarget
+from repro.platform import odroid_xu3
+from repro.sim import SimApp, Simulation
+from repro.workloads import make_benchmark
+
+
+def throughput_with(spec, policy, state):
+    sim = Simulation(spec)
+    model = make_benchmark("ferret", n_units=150)
+    # A wide-open target window keeps the manager pinned at `state`.
+    app = sim.add_app(
+        SimApp("ferret", model, PerformanceTarget(0.01, 10.0, 20.0))
+    )
+    sim.add_controller(
+        HarsManager(
+            "ferret",
+            policy,
+            PerformanceEstimator(),
+            calibrate(spec),
+            initial_state=state,
+        )
+    )
+    sim.run(until_s=600)
+    return app.log.overall_rate(), sim.sensor.average_power_w()
+
+
+def main():
+    spec = odroid_xu3()
+    state = SystemState(c_big=2, c_little=4, f_big_mhz=1600, f_little_mhz=1200)
+    print(f"Fixed system state: {state.describe()}")
+    model = make_benchmark("ferret", n_units=1)
+    print(f"ferret: {len(model.stages)} stages, {model.n_threads} threads "
+          f"({', '.join(f'{s.name}×{s.n_threads}' for s in model.stages)})\n")
+
+    chunk_rate, chunk_watts = throughput_with(spec, HARS_E, state)
+    inter_rate, inter_watts = throughput_with(spec, HARS_EI, state)
+
+    print("scheduler     items/s   watts")
+    print(f"  chunk       {chunk_rate:7.2f}   {chunk_watts:5.2f}")
+    print(f"  interleaved {inter_rate:7.2f}   {inter_watts:5.2f}")
+    print(f"\nInterleaving lifts pipeline throughput by "
+          f"{inter_rate / chunk_rate:.2f}x at the same state — the "
+          "chunk layout had parked a heavy stage on the little cluster.")
+
+
+if __name__ == "__main__":
+    main()

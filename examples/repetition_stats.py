@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Seed-repetition statistics and JSON export.
+
+The figures in the paper are single runs; this example shows the
+harness's statistics layer: repeat a configuration across seeds, report
+perf/watt as mean ± 95 % CI per version, check the HARS-vs-baseline gap
+for statistical significance, and export everything as JSON.
+
+Run with:  python examples/repetition_stats.py
+"""
+
+import json
+
+from repro.experiments import (
+    RunShape,
+    compare_with_spread,
+    significantly_better,
+)
+
+SEEDS = (0, 1, 2, 3)
+SHAPE = RunShape("fluidanimate", n_units=120)
+VERSIONS = ("baseline", "ondemand", "hars-i", "hars-e")
+
+
+def main():
+    print(f"fluidanimate × {len(SEEDS)} seeds, default target\n")
+    spreads = compare_with_spread(VERSIONS, SHAPE, SEEDS)
+    for version, spread in spreads.items():
+        print(f"  {version:9s} perf/watt = {spread.summary()}")
+
+    hars, base = spreads["hars-e"], spreads["baseline"]
+    verdict = (
+        "significant beyond both 95% intervals"
+        if significantly_better(hars, base)
+        else "NOT separable at 95%"
+    )
+    print(f"\nHARS-E vs baseline: {hars.mean / base.mean:.2f}x — {verdict}")
+
+    payload = {
+        "benchmark": SHAPE.benchmark,
+        "seeds": list(SEEDS),
+        "perf_per_watt": {
+            version: {
+                "mean": spread.mean,
+                "std": spread.std,
+                "ci95_half_width": spread.ci95_half_width,
+            }
+            for version, spread in spreads.items()
+        },
+    }
+    with open("repetition_stats.json", "w") as handle:
+        json.dump(payload, handle, indent=2)
+    print("written: repetition_stats.json")
+
+
+if __name__ == "__main__":
+    main()

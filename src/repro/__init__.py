@@ -1,0 +1,19 @@
+"""HARS reproduction: a heterogeneity-aware runtime system for
+self-adaptive multithreaded applications (Yun, DAC'15 / UNIST thesis).
+
+Layout:
+
+* :mod:`repro.platform`   — HMP hardware model (ODROID-XU3 substrate)
+* :mod:`repro.sim`        — discrete-time execution engine
+* :mod:`repro.sched`      — Linux GTS scheduler model
+* :mod:`repro.heartbeats` — Application Heartbeats framework
+* :mod:`repro.workloads`  — synthetic PARSEC-like benchmarks
+* :mod:`repro.core`       — HARS itself (estimators, search, manager)
+* :mod:`repro.mphars`     — MP-HARS multi-application extension
+* :mod:`repro.baselines`  — baseline and static-optimal versions
+* :mod:`repro.experiments`— every table/figure of the evaluation
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

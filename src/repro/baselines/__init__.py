@@ -1,0 +1,21 @@
+"""Comparison versions: the GTS baseline and the static optimal sweep."""
+
+from repro.baselines.baseline import BaselineController
+from repro.baselines.static_optimal import (
+    OracleEvaluation,
+    StaticOptimalController,
+    evaluate_all_states,
+    find_static_optimal,
+    oracle_power,
+    oracle_rate,
+)
+
+__all__ = [
+    "BaselineController",
+    "OracleEvaluation",
+    "StaticOptimalController",
+    "evaluate_all_states",
+    "find_static_optimal",
+    "oracle_power",
+    "oracle_rate",
+]

@@ -1,0 +1,27 @@
+"""The paper's baseline version.
+
+"The baseline version runs at the maximum core count and frequency level
+scheduled by the Linux HMP scheduler" (Section 5.1.1).  As a controller
+it only pins both clusters to their maximum frequency and leaves every
+thread unpinned for the GTS model to place.  Its perf/watt is the
+normalization denominator of Figures 5.1, 5.2 and 5.4.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.controller import Controller
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+
+class BaselineController(Controller):
+    """Max cores, max frequency, pure GTS scheduling."""
+
+    def on_start(self, sim: "Simulation") -> None:
+        sim.dvfs.set_max()
+        for app in sim.apps:
+            app.clear_affinities()
+            app.set_cpuset(None)

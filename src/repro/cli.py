@@ -1,0 +1,197 @@
+"""Command-line interface: ``hars-repro <experiment> [--quick]``.
+
+Regenerates the paper's tables and figures from the terminal::
+
+    hars-repro table3.1
+    hars-repro fig5.1 [--quick]
+    hars-repro fig5.2 [--quick]
+    hars-repro fig5.3 [--quick]
+    hars-repro fig5.4 [--quick]
+    hars-repro fig5.5-7 [--quick]
+    hars-repro all [--quick]
+
+``--quick`` scales the workloads down (~80 heartbeats per benchmark) for
+a fast sanity pass; omit it for the native-input sizes used in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.fig5_1 import run_fig5_1
+from repro.experiments.fig5_2 import gain_compression, run_fig5_2
+from repro.experiments.fig5_3 import run_fig5_3
+from repro.experiments.fig5_4 import run_fig5_4
+from repro.experiments.fig5_5_7 import run_fig5_5_7
+from repro.experiments.serialize import (
+    behaviour_to_dict,
+    comparison_to_dict,
+    dump_json,
+    multi_comparison_to_dict,
+    sweep_to_dict,
+)
+from repro.experiments.table3_1 import build_table, render_table
+
+#: Heartbeat count per benchmark in --quick mode.
+QUICK_UNITS = 80
+
+_EXPERIMENTS = (
+    "table3.1",
+    "fig5.1",
+    "fig5.2",
+    "fig5.3",
+    "fig5.4",
+    "fig5.5-7",
+    "accuracy",
+    "all",
+)
+
+
+def _run_table3_1(_: Optional[int], __: Optional[List[str]]):
+    print("Table 3.1 — thread assignment (C_B = C_L = 4, r = 1.5)")
+    print(render_table(build_table()))
+    return None
+
+
+def _run_fig5_1(n_units: Optional[int], benchmarks: Optional[List[str]]):
+    comparison = run_fig5_1(n_units=n_units, benchmarks=benchmarks)
+    print(comparison.render())
+    return comparison_to_dict(comparison)
+
+
+def _run_fig5_2(n_units: Optional[int], benchmarks: Optional[List[str]]):
+    default = run_fig5_1(n_units=n_units, benchmarks=benchmarks)
+    high = run_fig5_2(n_units=n_units, benchmarks=benchmarks)
+    print(high.render())
+    print("\nGain compression vs default target (values < 1 expected):")
+    for version, ratio in gain_compression(default, high).items():
+        print(f"  {version}: {ratio:.2f}")
+    return comparison_to_dict(high)
+
+
+def _run_fig5_3(n_units: Optional[int], benchmarks: Optional[List[str]]):
+    sweep = run_fig5_3(n_units=n_units, benchmarks=benchmarks)
+    print(sweep.render())
+    for target in sorted(sweep.efficiency):
+        print(f"knee at target {target:.0%}: d = {sweep.knee(target)}")
+    return sweep_to_dict(sweep)
+
+
+def _run_fig5_4(n_units: Optional[int], _: Optional[List[str]]):
+    comparison = run_fig5_4(n_units=n_units)
+    print(comparison.render())
+    return multi_comparison_to_dict(comparison)
+
+
+def _run_fig5_5_7(n_units: Optional[int], _: Optional[List[str]]):
+    runs = run_fig5_5_7(n_units=n_units)
+    for version, run in runs.items():
+        print(run.render())
+        print()
+    return {
+        "kind": "behaviour-runs",
+        "runs": {v: behaviour_to_dict(r) for v, r in runs.items()},
+    }
+
+
+def _run_accuracy(n_units: Optional[int], benchmarks: Optional[List[str]]):
+    """Estimator validation: measured vs predicted over a state sample."""
+    from repro.core.calibration import calibrate
+    from repro.core.perf_estimator import PerformanceEstimator
+    from repro.experiments.accuracy import evaluate_accuracy
+    from repro.platform.spec import odroid_xu3
+    from repro.workloads.parsec import BENCHMARKS, make_benchmark, resolve_name
+
+    spec = odroid_xu3()
+    names = [resolve_name(b) for b in benchmarks] if benchmarks else list(BENCHMARKS)
+    units = n_units or 30
+    payload = {}
+    for name in names:
+        report = evaluate_accuracy(
+            spec,
+            lambda: make_benchmark(name, n_units=units),
+            name,
+            PerformanceEstimator(),
+            calibrate(spec),
+            probe_units=units,
+        )
+        print(report.render())
+        print()
+        payload[name] = {
+            "rate_mape": report.rate_mape,
+            "power_mape": report.power_mape,
+        }
+    return {"kind": "estimator-accuracy", "mape": payload}
+
+
+_RUNNERS = {
+    "table3.1": _run_table3_1,
+    "fig5.1": _run_fig5_1,
+    "fig5.2": _run_fig5_2,
+    "fig5.3": _run_fig5_3,
+    "fig5.4": _run_fig5_4,
+    "accuracy": _run_accuracy,
+    "fig5.5-7": _run_fig5_5_7,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hars-repro",
+        description="Regenerate the HARS paper's tables and figures.",
+    )
+    parser.add_argument("experiment", choices=_EXPERIMENTS)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"scale benchmarks to {QUICK_UNITS} heartbeats",
+    )
+    parser.add_argument(
+        "--units",
+        type=int,
+        default=None,
+        help="explicit heartbeat count per benchmark",
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        help="comma-separated benchmark subset for fig5.1/5.2/5.3 "
+        "(names or codes, e.g. BL,swaptions)",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the experiment's results as JSON",
+    )
+    args = parser.parse_args(argv)
+    n_units = args.units if args.units is not None else (
+        QUICK_UNITS if args.quick else None
+    )
+    benchmarks = args.bench.split(",") if args.bench else None
+    names = (
+        [n for n in _EXPERIMENTS if n != "all"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    payloads = {}
+    for name in names:
+        print(f"=== {name} ===")
+        payload = _RUNNERS[name](n_units, benchmarks)
+        if payload is not None:
+            payloads[name] = payload
+        print()
+    if args.json:
+        dump_json(
+            payloads if len(payloads) != 1 else next(iter(payloads.values())),
+            args.json,
+        )
+        print(f"results written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct invocation
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""HARS — the paper's primary contribution.
+
+Components (Figure 3.1): the performance estimator, the power estimator,
+and the runtime manager with its search function and thread schedulers.
+"""
+
+from repro.core.assignment import ThreadAssignment, assign_threads, cluster_times
+from repro.core.calibration import calibrate, clear_cache, fit_coefficients
+from repro.core.manager import (
+    DEFAULT_ADAPT_EVERY,
+    DEFAULT_STATE_EVAL_COST_S,
+    HarsManager,
+)
+from repro.core.perf_estimator import (
+    DEFAULT_R0,
+    PerformanceEstimate,
+    PerformanceEstimator,
+)
+from repro.core.policy import (
+    HARS_E,
+    HARS_EI,
+    HARS_I,
+    POLICY_BY_NAME,
+    HarsPolicy,
+    SearchSpace,
+    sweep_policy,
+)
+from repro.core.power_estimator import LinearCoefficients, PowerEstimator
+from repro.core.schedulers import (
+    CHUNK,
+    INTERLEAVED,
+    apply_assignment,
+    chunk_split,
+    interleaved_split,
+)
+from repro.core.search import (
+    EvaluatedState,
+    SearchResult,
+    evaluate_state,
+    get_next_sys_state,
+)
+from repro.core.state import SystemState, from_indices, max_state, neighbourhood
+
+__all__ = [
+    "CHUNK",
+    "DEFAULT_ADAPT_EVERY",
+    "DEFAULT_R0",
+    "DEFAULT_STATE_EVAL_COST_S",
+    "EvaluatedState",
+    "HARS_E",
+    "HARS_EI",
+    "HARS_I",
+    "HarsManager",
+    "HarsPolicy",
+    "INTERLEAVED",
+    "LinearCoefficients",
+    "POLICY_BY_NAME",
+    "PerformanceEstimate",
+    "PerformanceEstimator",
+    "PowerEstimator",
+    "SearchResult",
+    "SearchSpace",
+    "SystemState",
+    "ThreadAssignment",
+    "apply_assignment",
+    "assign_threads",
+    "calibrate",
+    "chunk_split",
+    "clear_cache",
+    "cluster_times",
+    "evaluate_state",
+    "fit_coefficients",
+    "from_indices",
+    "get_next_sys_state",
+    "interleaved_split",
+    "max_state",
+    "neighbourhood",
+    "sweep_policy",
+]

@@ -1,0 +1,136 @@
+"""Thread assignment to the big and little clusters (the paper's Table 3.1).
+
+Given ``T`` threads, allocated cores ``(C_B, C_L)`` and the per-core
+performance ratio ``r = S_B / S_L`` at the candidate frequencies, the
+performance estimator splits the threads so the two clusters finish a
+work unit at the same time (minimizing ``t_f = max(t_B, t_L)``):
+
+=========================  ===========================  =========  =====  =====
+condition                  T_B                          T_L        C_B,U  C_L,U
+=========================  ===========================  =========  =====  =====
+0 < T ≤ C_B                T                            0          T      0
+C_B < T ≤ r·C_B            T                            0          C_B    0
+r·C_B < T ≤ r·C_B + C_L    ⌊r·C_B⌋                      T − T_B    C_B    T − T_B
+r·C_B + C_L < T            ⌈r·C_B/(r·C_B + C_L) · T⌉    T − T_B    C_B    C_L
+=========================  ===========================  =========  =====  =====
+
+``C_B,U``/``C_L,U`` are the cores the application *actually uses*, which
+can be fewer than it was allocated.  The table assumes ``r ≥ 1``; the
+``r < 1`` case "can be similarly derived" (the paper) — we derive it by
+swapping the roles of the clusters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, EstimationError
+
+#: Tolerance for the boundary comparisons against r·C_B etc.
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ThreadAssignment:
+    """Result of the Table 3.1 split."""
+
+    t_big: int
+    t_little: int
+    used_big: int
+    used_little: int
+
+    def __post_init__(self) -> None:
+        if min(self.t_big, self.t_little, self.used_big, self.used_little) < 0:
+            raise ConfigurationError("negative assignment component")
+
+
+def assign_threads(
+    n_threads: int, c_big: int, c_little: int, ratio: float
+) -> ThreadAssignment:
+    """Table 3.1, generalized to ``r < 1`` and empty clusters."""
+    if n_threads < 1:
+        raise EstimationError("need at least one thread to assign")
+    if c_big < 0 or c_little < 0 or (c_big == 0 and c_little == 0):
+        raise EstimationError(
+            f"invalid core allocation ({c_big} big, {c_little} little)"
+        )
+    if ratio <= 0:
+        raise EstimationError(f"performance ratio must be positive, got {ratio}")
+    if ratio >= 1.0:
+        return _assign_fast_first(n_threads, c_big, c_little, ratio)
+    # r < 1: the little cluster is the faster one; swap roles.
+    mirrored = _assign_fast_first(n_threads, c_little, c_big, 1.0 / ratio)
+    return ThreadAssignment(
+        t_big=mirrored.t_little,
+        t_little=mirrored.t_big,
+        used_big=mirrored.used_little,
+        used_little=mirrored.used_big,
+    )
+
+
+def _assign_fast_first(
+    n_threads: int, c_fast: int, c_slow: int, ratio: float
+) -> ThreadAssignment:
+    """The table itself, with "fast" playing the big-cluster role."""
+    t = n_threads
+    knee = ratio * c_fast
+    if t <= c_fast:
+        return ThreadAssignment(t_big=t, t_little=0, used_big=t, used_little=0)
+    if t <= knee + _EPS:
+        return ThreadAssignment(
+            t_big=t, t_little=0, used_big=c_fast, used_little=0
+        )
+    if t <= knee + c_slow + _EPS:
+        t_fast = min(t, int(math.floor(knee + _EPS)))
+        t_slow = t - t_fast
+        return ThreadAssignment(
+            t_big=t_fast,
+            t_little=t_slow,
+            used_big=c_fast,
+            used_little=min(t_slow, c_slow),
+        )
+    t_fast = int(math.ceil(knee / (knee + c_slow) * t - _EPS))
+    t_fast = max(0, min(t, t_fast))
+    return ThreadAssignment(
+        t_big=t_fast,
+        t_little=t - t_fast,
+        used_big=min(t_fast, c_fast),
+        used_little=min(t - t_fast, c_slow),
+    )
+
+
+def cluster_times(
+    assignment: ThreadAssignment,
+    unit_work: float,
+    n_threads: int,
+    c_big: int,
+    c_little: int,
+    s_big: float,
+    s_little: float,
+) -> tuple:
+    """Per-cluster unit completion times ``(t_B, t_L, t_f)``.
+
+    Implements the paper's formulas (Section 3.1.1): a cluster running
+    ``T_X`` threads of ``W/T`` work each on ``C_X`` cores of speed ``S_X``
+    finishes in ``W/(T·S_X)`` when every thread has its own core, and in
+    ``T_X·W / (T·C_X·S_X)`` when threads time-share.
+    """
+    if unit_work <= 0 or n_threads < 1:
+        raise EstimationError("unit work and thread count must be positive")
+    share = unit_work / n_threads
+
+    def cluster_time(t_x: int, c_x: int, s_x: float) -> float:
+        if t_x == 0:
+            return 0.0
+        if c_x == 0 or s_x <= 0:
+            raise EstimationError(
+                f"{t_x} threads assigned to a cluster with no capacity"
+            )
+        if t_x <= c_x:
+            return share / s_x
+        return t_x * share / (c_x * s_x)
+
+    t_b = cluster_time(assignment.t_big, c_big, s_big)
+    t_l = cluster_time(assignment.t_little, c_little, s_little)
+    return t_b, t_l, max(t_b, t_l)

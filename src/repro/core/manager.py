@@ -1,0 +1,162 @@
+"""The HARS runtime manager (the paper's Algorithm 1).
+
+The manager is a :class:`~repro.sim.controller.Controller`: it receives
+the application's heartbeats, checks every adaptation period whether the
+windowed rate left the target window, and if so invokes the search
+function and applies the chosen state — cluster frequencies through the
+DVFS controller, thread placement through the chunk/interleaving
+scheduler — exactly the user-level control surface the paper's prototype
+uses on Linux (no kernel modification).
+
+Search overhead is metered: each estimated candidate costs
+``state_eval_cost_s`` of manager CPU time, which Figure 5.3(b) reports as
+CPU utilization.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import HarsPolicy
+from repro.core.power_estimator import PowerEstimator
+from repro.core.schedulers import apply_assignment
+from repro.core.search import get_next_sys_state
+from repro.core.state import SystemState, max_state
+from repro.errors import ConfigurationError
+from repro.heartbeats.record import Heartbeat
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.topology import first_n
+from repro.sim.controller import Controller
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+    from repro.sim.process import SimApp
+
+#: Heartbeats between adaptation checks (``isAdaptPeriod``).
+DEFAULT_ADAPT_EVERY = 5
+
+#: Modelled manager CPU cost per estimated candidate state.  Together
+#: with the poll cost below this is calibrated so the manager's
+#: utilization envelope reproduces Figure 5.3(b): a sub-percent floor
+#: from monitoring, growing severalfold with the explored-space size but
+#: staying in the single digits at d = 9.
+DEFAULT_STATE_EVAL_COST_S = 1e-3
+
+#: Modelled manager CPU cost per received heartbeat: reading the shared
+#: heartbeat segment, windowed-rate bookkeeping, and the main loop's
+#: wakeup — the constant part of Figure 5.3(b)'s utilization.
+DEFAULT_POLL_COST_S = 3e-3
+
+
+class HarsManager(Controller):
+    """Single-application HARS (Algorithms 1 + 2)."""
+
+    def __init__(
+        self,
+        app_name: str,
+        policy: HarsPolicy,
+        perf_estimator: PerformanceEstimator,
+        power_estimator: PowerEstimator,
+        adapt_every: int = DEFAULT_ADAPT_EVERY,
+        state_eval_cost_s: float = DEFAULT_STATE_EVAL_COST_S,
+        poll_cost_s: float = DEFAULT_POLL_COST_S,
+        initial_state: Optional[SystemState] = None,
+    ):
+        if adapt_every < 1:
+            raise ConfigurationError("adapt_every must be >= 1")
+        if state_eval_cost_s < 0:
+            raise ConfigurationError("state_eval_cost_s must be >= 0")
+        if poll_cost_s < 0:
+            raise ConfigurationError("poll_cost_s must be >= 0")
+        self.app_name = app_name
+        self.policy = policy
+        self.perf_estimator = perf_estimator
+        self.power_estimator = power_estimator
+        self.adapt_every = adapt_every
+        self.state_eval_cost_s = state_eval_cost_s
+        self.poll_cost_s = poll_cost_s
+        self.heartbeats_polled = 0
+        self._initial_state = initial_state
+        self._state: Optional[SystemState] = None
+        self._used: Tuple[int, int] = (0, 0)
+        self._assignment = None  # ThreadAssignment actually applied
+        self.states_explored_total = 0
+        self.adaptations = 0
+
+    # -- Controller hooks ------------------------------------------------------
+
+    def on_start(self, sim: "Simulation") -> None:
+        state = self._initial_state or max_state(sim.spec)
+        state.validate(sim.spec)
+        self._apply(sim, state)
+
+    def on_heartbeat(
+        self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat
+    ) -> None:
+        if app.name != self.app_name:
+            return
+        self.heartbeats_polled += 1
+        if heartbeat.index == 0 or heartbeat.index % self.adapt_every != 0:
+            return
+        rate = app.monitor.current_rate()
+        if rate is None or self._state is None:
+            return
+        target = app.target
+        if not target.out_of_window(rate):
+            return
+        space = self.policy.space_for(target.classify(rate))
+        result = get_next_sys_state(
+            spec=sim.spec,
+            current=self._state,
+            observed_rate=rate,
+            n_threads=app.n_threads,
+            target=target,
+            space=space,
+            perf_estimator=self.perf_estimator,
+            power_estimator=self.power_estimator,
+        )
+        self.states_explored_total += result.states_explored
+        if result.state != self._state:
+            self.adaptations += 1
+            self._apply(sim, result.state)
+
+    def current_allocation(self, app_name: str) -> Optional[Tuple[int, int]]:
+        if app_name != self.app_name:
+            return None
+        return self._used
+
+    def cpu_overhead_seconds(self) -> float:
+        return (
+            self.states_explored_total * self.state_eval_cost_s
+            + self.heartbeats_polled * self.poll_cost_s
+        )
+
+    # -- state application -------------------------------------------------------
+
+    @property
+    def state(self) -> Optional[SystemState]:
+        """The system state currently applied."""
+        return self._state
+
+    def _apply(self, sim: "Simulation", state: SystemState) -> None:
+        """``setSysStateAndScheduleThreads``: DVFS + thread pinning."""
+        app = sim.app(self.app_name)
+        sim.dvfs.set_frequency(BIG, state.f_big_mhz)
+        sim.dvfs.set_frequency(LITTLE, state.f_little_mhz)
+        estimate = self.perf_estimator.estimate(state, app.n_threads)
+        assignment = estimate.assignment
+        big_ids = first_n(sim.spec, BIG, assignment.used_big)
+        little_ids = first_n(sim.spec, LITTLE, assignment.used_little)
+        apply_assignment(
+            app, assignment, big_ids, little_ids, self.policy.scheduler
+        )
+        self._state = state
+        self._used = (assignment.used_big, assignment.used_little)
+        self._assignment = assignment
+
+    def cpu_utilization_percent(self, elapsed_s: float) -> float:
+        """Manager overhead as a percentage of one core (Fig 5.3b)."""
+        if elapsed_s <= 0:
+            raise ConfigurationError("elapsed time must be positive")
+        return 100.0 * self.cpu_overhead_seconds() / elapsed_s

@@ -1,0 +1,98 @@
+"""HARS power estimator (Section 3.1.2).
+
+Per cluster, per frequency level, a fitted linear model::
+
+    P_B = α_B,fB · C_B,U · U_B,U + β_B,fB
+    P_L = α_L,fL · C_L,U · U_L,U + β_L,fL
+
+The coefficients come from linear regression over microbenchmark
+profiling data (:mod:`repro.core.calibration`).  ``C_X,U`` are the cores
+the application actually uses and ``U_X,U`` the estimated utilizations
+from the performance estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.core.perf_estimator import PerformanceEstimate
+from repro.core.state import SystemState
+from repro.errors import EstimationError
+from repro.platform.cluster import BIG, LITTLE
+
+
+@dataclass(frozen=True)
+class LinearCoefficients:
+    """``(α, β)`` for one (cluster, frequency) pair, with fit quality."""
+
+    alpha: float
+    beta: float
+    r_squared: float = 1.0
+
+    def predict(self, cores_used: int, utilization: float) -> float:
+        """``α · C_used · U + β`` watts."""
+        if cores_used < 0:
+            raise EstimationError("negative used-core count")
+        if not 0.0 <= utilization <= 1.0:
+            raise EstimationError(f"utilization {utilization} not in [0,1]")
+        return self.alpha * cores_used * utilization + self.beta
+
+
+class PowerEstimator:
+    """Frequency-indexed linear power model for both clusters."""
+
+    def __init__(
+        self, coefficients: Mapping[Tuple[str, int], LinearCoefficients]
+    ):
+        if not coefficients:
+            raise EstimationError("empty coefficient table")
+        self._coefficients: Dict[Tuple[str, int], LinearCoefficients] = dict(
+            coefficients
+        )
+
+    def coefficients(self, cluster: str, freq_mhz: int) -> LinearCoefficients:
+        """Fitted ``(α, β)`` for one operating point."""
+        try:
+            return self._coefficients[(cluster, freq_mhz)]
+        except KeyError:
+            raise EstimationError(
+                f"no fitted coefficients for {cluster}@{freq_mhz}MHz"
+            ) from None
+
+    def cluster_power(
+        self, cluster: str, freq_mhz: int, cores_used: int, utilization: float
+    ) -> float:
+        """Estimated power of one cluster (equations 3.1 / 3.2)."""
+        return self.coefficients(cluster, freq_mhz).predict(
+            cores_used, utilization
+        )
+
+    def estimate(
+        self, state: SystemState, perf: PerformanceEstimate
+    ) -> float:
+        """Total estimated power of a candidate state.
+
+        Combines both clusters using the performance estimator's used-core
+        counts and utilizations.
+        """
+        p_big = self.cluster_power(
+            BIG, state.f_big_mhz, perf.assignment.used_big, perf.util_big
+        )
+        p_little = self.cluster_power(
+            LITTLE,
+            state.f_little_mhz,
+            perf.assignment.used_little,
+            perf.util_little,
+        )
+        total = p_big + p_little
+        if total <= 0:
+            raise EstimationError(
+                f"non-positive power estimate for {state.describe()}"
+            )
+        return total
+
+    @property
+    def fitted_points(self) -> Tuple[Tuple[str, int], ...]:
+        """All (cluster, frequency) pairs with coefficients."""
+        return tuple(sorted(self._coefficients))

@@ -1,0 +1,99 @@
+"""The HARS thread schedulers: chunk-based and interleaving (Section 3.1.3).
+
+Both schedulers take the Table 3.1 split ``(T_B, T_L)`` and pin the
+application's threads — ordered by thread ID — onto the allocated cores
+with the simulated ``sched_setaffinity``:
+
+* **chunk-based** — the first ``T_L`` consecutive thread IDs go to the
+  little cores and the rest to the big cores.  Consecutive threads tend
+  to share data (constructive cache sharing), but a pipeline stage whose
+  threads are consecutive can land entirely on the little cluster and
+  throttle the whole pipeline (Figure 3.2a).
+* **interleaving** — thread IDs alternate between the clusters in
+  proportion to ``T_B:T_L`` (Figure 3.2b), so every pipeline stage gets a
+  fair mix of core types at the cost of cache sharing.
+
+A pinned thread's mask is the *set* of its cluster's used cores; the OS
+balancer spreads the group within the set.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.core.assignment import ThreadAssignment
+from repro.errors import SchedulingError
+from repro.sim.process import SimApp
+
+#: Valid scheduler-policy names.
+CHUNK = "chunk"
+INTERLEAVED = "interleaved"
+POLICIES: Tuple[str, str] = (CHUNK, INTERLEAVED)
+
+
+def chunk_split(n_threads: int, t_big: int) -> List[bool]:
+    """Per-thread big-cluster flags, chunk layout.
+
+    Thread IDs ``0 .. T_L−1`` → little; ``T_L .. T−1`` → big.
+    """
+    t_little = n_threads - t_big
+    _validate_split(n_threads, t_big)
+    return [index >= t_little for index in range(n_threads)]
+
+
+def interleaved_split(n_threads: int, t_big: int) -> List[bool]:
+    """Per-thread big-cluster flags, interleaved layout.
+
+    Distributes the ``T_B`` big slots evenly across the ID range using
+    the largest-remainder pattern: thread ``i`` is big iff the running
+    quota ``⌊(i+1)·T_B/T⌋`` increments at ``i``.  For ``T_B = T_L`` this
+    is strict alternation (little first), matching Figure 3.2(b).
+    """
+    _validate_split(n_threads, t_big)
+    flags: List[bool] = []
+    for index in range(n_threads):
+        quota_before = index * t_big // n_threads
+        quota_after = (index + 1) * t_big // n_threads
+        flags.append(quota_after > quota_before)
+    return flags
+
+
+def _validate_split(n_threads: int, t_big: int) -> None:
+    if n_threads < 1:
+        raise SchedulingError("need at least one thread")
+    if not 0 <= t_big <= n_threads:
+        raise SchedulingError(
+            f"t_big={t_big} out of range for {n_threads} threads"
+        )
+
+
+def apply_assignment(
+    app: SimApp,
+    assignment: ThreadAssignment,
+    big_core_ids: Sequence[int],
+    little_core_ids: Sequence[int],
+    policy: str,
+) -> None:
+    """Pin the app's threads per the assignment and scheduler policy.
+
+    ``big_core_ids`` / ``little_core_ids`` are the *used* cores
+    (``C_B,U`` / ``C_L,U`` of Table 3.1) this application may run on.
+    """
+    if policy == CHUNK:
+        flags = chunk_split(app.n_threads, assignment.t_big)
+    elif policy == INTERLEAVED:
+        flags = interleaved_split(app.n_threads, assignment.t_big)
+    else:
+        raise SchedulingError(f"unknown scheduler policy {policy!r}")
+
+    if assignment.t_big > 0 and not big_core_ids:
+        raise SchedulingError("threads assigned to big but no big cores given")
+    if assignment.t_little > 0 and not little_core_ids:
+        raise SchedulingError(
+            "threads assigned to little but no little cores given"
+        )
+
+    big_mask: FrozenSet[int] = frozenset(big_core_ids)
+    little_mask: FrozenSet[int] = frozenset(little_core_ids)
+    for thread, on_big in zip(app.threads, flags):
+        thread.set_affinity(big_mask if on_big else little_mask)

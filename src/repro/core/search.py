@@ -1,0 +1,171 @@
+"""The HARS search function (the paper's Algorithm 2, ``GetNextSysState``).
+
+Sweeps the neighbourhood ``[x−m, x+n]`` of the current state per
+dimension, prunes by Manhattan distance ``d``, estimates each candidate's
+normalized performance and power, and picks the best state under the
+paper's two-tier rule:
+
+1. any candidate *satisfying the target* (``est_rate ≥ t.min``) beats
+   every candidate that does not;
+2. among satisfying candidates, highest normalized perf/power wins;
+   among non-satisfying candidates, highest estimated performance wins
+   (get as close to the target as possible).
+
+MP-HARS reuses the same function with a *candidate filter* that encodes
+its resource-partitioning and frozen-state constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.perf_estimator import PerformanceEstimate, PerformanceEstimator
+from repro.core.policy import SearchSpace
+from repro.core.power_estimator import PowerEstimator
+from repro.core.state import SystemState, neighbourhood
+from repro.errors import EstimationError
+from repro.heartbeats.targets import PerformanceTarget
+from repro.platform.spec import PlatformSpec
+
+#: Filter signature: ``(candidate, current) -> allowed?``
+CandidateFilter = Callable[[SystemState, SystemState], bool]
+
+
+@dataclass(frozen=True)
+class EvaluatedState:
+    """One candidate with its estimates."""
+
+    state: SystemState
+    estimate: PerformanceEstimate
+    est_rate: float
+    norm_perf: float
+    est_power: float
+
+    @property
+    def perf_per_power(self) -> float:
+        """The selection metric: normalized performance per watt."""
+        return self.norm_perf / self.est_power
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the estimated rate satisfies the target minimum."""
+        return self._feasible
+
+    # populated via __post_init__ trick below (frozen dataclass)
+    _feasible: bool = False
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one ``GetNextSysState`` invocation."""
+
+    best: EvaluatedState
+    states_explored: int
+
+    @property
+    def state(self) -> SystemState:
+        return self.best.state
+
+
+def evaluate_state(
+    candidate: SystemState,
+    current: SystemState,
+    observed_rate: float,
+    n_threads: int,
+    target: PerformanceTarget,
+    perf_estimator: PerformanceEstimator,
+    power_estimator: PowerEstimator,
+) -> EvaluatedState:
+    """Estimate one candidate's rate, normalized perf, and power."""
+    estimate = perf_estimator.estimate(candidate, n_threads)
+    est_rate = perf_estimator.estimate_rate(
+        candidate, current, observed_rate, n_threads
+    )
+    norm_perf = target.normalized_performance(est_rate)
+    est_power = power_estimator.estimate(candidate, estimate)
+    return EvaluatedState(
+        state=candidate,
+        estimate=estimate,
+        est_rate=est_rate,
+        norm_perf=norm_perf,
+        est_power=est_power,
+        _feasible=est_rate >= target.min_rate,
+    )
+
+
+def _better(challenger: EvaluatedState, incumbent: EvaluatedState) -> bool:
+    """Algorithm 2 lines 13–22: the two-tier comparison.
+
+    Among infeasible candidates the paper picks the fastest; estimated
+    rates often tie exactly (whichever cluster binds the barrier sets the
+    rate), so ties break toward better perf/watt.
+    """
+    if challenger.feasible:
+        if incumbent.feasible:
+            return challenger.perf_per_power > incumbent.perf_per_power
+        return True
+    if incumbent.feasible:
+        return False
+    if challenger.est_rate > incumbent.est_rate * (1 + 1e-9):
+        return True
+    if challenger.est_rate < incumbent.est_rate * (1 - 1e-9):
+        return False
+    return challenger.perf_per_power > incumbent.perf_per_power
+
+
+def get_next_sys_state(
+    spec: PlatformSpec,
+    current: SystemState,
+    observed_rate: float,
+    n_threads: int,
+    target: PerformanceTarget,
+    space: SearchSpace,
+    perf_estimator: PerformanceEstimator,
+    power_estimator: PowerEstimator,
+    candidate_filter: Optional[CandidateFilter] = None,
+) -> SearchResult:
+    """Algorithm 2: sweep, estimate, and select the next system state.
+
+    The current state is itself a candidate (distance 0), so the search
+    never returns something worse than staying put — this is the paper's
+    final ``getBetterState(cs, ns)`` step.
+
+    ``states_explored`` counts candidates actually *estimated* (after the
+    distance prune and the filter), which is what the Figure 5.3(b)
+    overhead accounting meters.
+    """
+    if observed_rate <= 0:
+        raise EstimationError("search needs a positive observed rate")
+    best: Optional[EvaluatedState] = None
+    explored = 0
+    for candidate in neighbourhood(spec, current, space.m, space.n, space.d):
+        if candidate_filter is not None and not candidate_filter(
+            candidate, current
+        ):
+            continue
+        evaluated = evaluate_state(
+            candidate,
+            current,
+            observed_rate,
+            n_threads,
+            target,
+            perf_estimator,
+            power_estimator,
+        )
+        explored += 1
+        if best is None or _better(evaluated, best):
+            best = evaluated
+    if best is None:
+        # Nothing passed the filter; stay at the current state.
+        best = evaluate_state(
+            current,
+            current,
+            observed_rate,
+            n_threads,
+            target,
+            perf_estimator,
+            power_estimator,
+        )
+        explored += 1
+    return SearchResult(best=best, states_explored=explored)

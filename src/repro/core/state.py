@@ -1,0 +1,127 @@
+"""System states: the 4-D space HARS searches.
+
+A :class:`SystemState` is ``(C_B, C_L, f_B, f_L)`` — big/little core
+counts allocated to the application and both cluster frequencies.  The
+search works in *index space*: core counts index themselves and
+frequencies index the cluster DVFS tables, so the Manhattan distance ``d``
+of Algorithm 2 is a step count, not a physical quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import ConfigurationError
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.spec import PlatformSpec
+
+
+@dataclass(frozen=True)
+class SystemState:
+    """One point of the system-state space."""
+
+    c_big: int
+    c_little: int
+    f_big_mhz: int
+    f_little_mhz: int
+
+    def validate(self, spec: PlatformSpec) -> "SystemState":
+        """Check the state is realizable on the platform."""
+        if not 0 <= self.c_big <= spec.big.n_cores:
+            raise ConfigurationError(f"c_big={self.c_big} out of range")
+        if not 0 <= self.c_little <= spec.little.n_cores:
+            raise ConfigurationError(f"c_little={self.c_little} out of range")
+        if self.c_big == 0 and self.c_little == 0:
+            raise ConfigurationError("state allocates no cores")
+        spec.big.freq_index(self.f_big_mhz)
+        spec.little.freq_index(self.f_little_mhz)
+        return self
+
+    def indices(self, spec: PlatformSpec) -> Tuple[int, int, int, int]:
+        """Index-space coordinates ``(C_B, C_L, i_fB, i_fL)``."""
+        return (
+            self.c_big,
+            self.c_little,
+            spec.big.freq_index(self.f_big_mhz),
+            spec.little.freq_index(self.f_little_mhz),
+        )
+
+    def manhattan_distance(self, other: "SystemState", spec: PlatformSpec) -> int:
+        """Algorithm 2's ``getDistance``: L1 distance in index space."""
+        a = self.indices(spec)
+        b = other.indices(spec)
+        return sum(abs(x - y) for x, y in zip(a, b))
+
+    def describe(self) -> str:
+        """Short state label for traces: ``2B@1400+4L@1100``."""
+        return (
+            f"{self.c_big}B@{self.f_big_mhz}"
+            f"+{self.c_little}L@{self.f_little_mhz}"
+        )
+
+
+def max_state(spec: PlatformSpec) -> SystemState:
+    """All cores at maximum frequency — the paper's initial/baseline state."""
+    return SystemState(
+        c_big=spec.big.n_cores,
+        c_little=spec.little.n_cores,
+        f_big_mhz=spec.big.max_freq_mhz,
+        f_little_mhz=spec.little.max_freq_mhz,
+    )
+
+
+def from_indices(
+    spec: PlatformSpec, c_big: int, c_little: int, i_fb: int, i_fl: int
+) -> SystemState:
+    """Build a state from index-space coordinates (validated)."""
+    return SystemState(
+        c_big=c_big,
+        c_little=c_little,
+        f_big_mhz=spec.big.freq_at_index(i_fb),
+        f_little_mhz=spec.little.freq_at_index(i_fl),
+    ).validate(spec)
+
+
+def neighbourhood(
+    spec: PlatformSpec,
+    current: SystemState,
+    m: int,
+    n: int,
+    d: int,
+) -> Iterator[SystemState]:
+    """Candidate states of Algorithm 2's four nested loops.
+
+    Sweeps ``[x − m, x + n]`` per dimension in index space, clamped to
+    the platform's ranges, and prunes candidates whose Manhattan distance
+    from ``current`` exceeds ``d``.  The current state itself (distance 0)
+    is included, as in the paper.
+    """
+    if m < 0 or n < 0:
+        raise ConfigurationError("m and n must be non-negative")
+    if d <= 0:
+        raise ConfigurationError("d must be positive")
+    cb0, cl0, ifb0, ifl0 = current.indices(spec)
+    cb_range = _clamped_range(cb0, m, n, 0, spec.big.n_cores)
+    cl_range = _clamped_range(cl0, m, n, 0, spec.little.n_cores)
+    fb_range = _clamped_range(ifb0, m, n, 0, len(spec.big.frequencies_mhz) - 1)
+    fl_range = _clamped_range(ifl0, m, n, 0, len(spec.little.frequencies_mhz) - 1)
+    for cb in cb_range:
+        for cl in cl_range:
+            if cb == 0 and cl == 0:
+                continue
+            for ifb in fb_range:
+                for ifl in fl_range:
+                    dist = (
+                        abs(cb - cb0)
+                        + abs(cl - cl0)
+                        + abs(ifb - ifb0)
+                        + abs(ifl - ifl0)
+                    )
+                    if dist > d:
+                        continue
+                    yield from_indices(spec, cb, cl, ifb, ifl)
+
+
+def _clamped_range(center: int, m: int, n: int, low: int, high: int) -> range:
+    return range(max(low, center - m), min(high, center + n) + 1)

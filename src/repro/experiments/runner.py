@@ -1,0 +1,228 @@
+"""Experiment runner: build, run and measure one simulation.
+
+The runner owns the methodology details shared by every figure:
+
+* the *maximum achievable performance* of a benchmark is measured by a
+  baseline run (max cores, max frequency, GTS) — targets are fractions
+  of it (50 % ± 5 % default, 75 % ± 5 % high);
+* every run gets a fresh simulation, platform and workload, seeded
+  deterministically;
+* runs are bounded by a generous safety timeout so a mis-adapted run
+  terminates rather than hanging.
+
+Measured max rates are memoized per (platform, benchmark, shape) because
+figure sweeps revisit them constantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.manager import HarsManager
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import AppRunMetrics, RunMetrics
+from repro.experiments.versions import (
+    attach_multi_app_version,
+    attach_single_app_version,
+)
+from repro.heartbeats.targets import PerformanceTarget
+from repro.platform.spec import PlatformSpec, odroid_xu3
+from repro.sim.engine import Simulation
+from repro.sim.process import SimApp
+from repro.sim.tracing import TraceRecorder
+from repro.workloads.parsec import make_benchmark, resolve_name
+
+#: Default target window half-width (the paper's ±5 %).
+DEFAULT_TOLERANCE = 0.05
+
+_MAX_RATE_CACHE: Dict[Tuple, float] = {}
+
+
+@dataclass(frozen=True)
+class RunShape:
+    """Everything that defines one run apart from the version."""
+
+    benchmark: str
+    n_units: Optional[int] = None
+    n_threads: int = 8
+    target_fraction: float = 0.5
+    tolerance: float = DEFAULT_TOLERANCE
+    seed: int = 0
+    tick_s: float = 0.01
+    adapt_every: int = 5
+
+    def __post_init__(self) -> None:
+        resolve_name(self.benchmark)
+        if not 0 < self.target_fraction <= 1:
+            raise ConfigurationError("target fraction must be in (0, 1]")
+
+
+@dataclass
+class RunOutcome:
+    """Runner output: metrics plus the artefacts figures need."""
+
+    metrics: RunMetrics
+    trace: TraceRecorder
+    target: PerformanceTarget
+    max_rate: float
+
+
+def measure_max_rate(spec: PlatformSpec, shape: RunShape) -> float:
+    """Maximum achievable heartbeat rate: a baseline run's overall rate."""
+    key = (
+        spec.name,
+        resolve_name(shape.benchmark),
+        shape.n_units,
+        shape.n_threads,
+        shape.seed,
+        shape.tick_s,
+    )
+    if key in _MAX_RATE_CACHE:
+        return _MAX_RATE_CACHE[key]
+    sim = Simulation(spec, tick_s=shape.tick_s)
+    model = make_benchmark(shape.benchmark, shape.n_units, shape.n_threads)
+    model.reset(shape.seed)
+    placeholder = PerformanceTarget(1.0, 1.0, 1.0)
+    app = sim.add_app(SimApp(shape.benchmark, model, placeholder))
+    attach_single_app_version(sim, app, "baseline")
+    sim.run(until_s=_safety_horizon(model.total_heartbeats(), rate_floor=0.05))
+    rate = app.log.overall_rate()
+    if rate is None or rate <= 0:
+        raise ConfigurationError(
+            f"{shape.benchmark}: baseline run produced no measurable rate"
+        )
+    _MAX_RATE_CACHE[key] = rate
+    return rate
+
+
+def clear_max_rate_cache() -> None:
+    """Forget memoized baseline rates (tests use this)."""
+    _MAX_RATE_CACHE.clear()
+
+
+def build_target(spec: PlatformSpec, shape: RunShape) -> PerformanceTarget:
+    """The paper's target: ``fraction ± tolerance`` of max achievable."""
+    max_rate = measure_max_rate(spec, shape)
+    return PerformanceTarget.fraction_of(
+        max_rate, shape.target_fraction, shape.tolerance
+    )
+
+
+def run_single(
+    version: str,
+    shape: RunShape,
+    spec: Optional[PlatformSpec] = None,
+) -> RunOutcome:
+    """Run one benchmark under one version and collect metrics."""
+    spec = spec or odroid_xu3()
+    max_rate = measure_max_rate(spec, shape)
+    target = PerformanceTarget.fraction_of(
+        max_rate, shape.target_fraction, shape.tolerance
+    )
+    sim = Simulation(spec, tick_s=shape.tick_s)
+    model = make_benchmark(shape.benchmark, shape.n_units, shape.n_threads)
+    model.reset(shape.seed)
+    app = sim.add_app(SimApp(shape.benchmark, model, target))
+    controllers = attach_single_app_version(
+        sim, app, version, adapt_every=shape.adapt_every
+    )
+    elapsed = sim.run(
+        until_s=_safety_horizon(
+            model.total_heartbeats(), rate_floor=target.min_rate / 4
+        )
+    )
+    return RunOutcome(
+        metrics=_collect(version, sim, [app], controllers, elapsed),
+        trace=sim.trace,
+        target=target,
+        max_rate=max_rate,
+    )
+
+
+def run_multi(
+    version: str,
+    shapes: List[RunShape],
+    spec: Optional[PlatformSpec] = None,
+) -> RunOutcome:
+    """Run several applications concurrently under one multi-app version.
+
+    All applications start at the same time (the paper's Section 5.2.1
+    methodology); each gets its own target as a fraction of *its own*
+    maximum achievable rate measured by a solo baseline run.  The run
+    finishes when every application completes its work.
+    """
+    if not shapes:
+        raise ConfigurationError("run_multi needs at least one shape")
+    spec = spec or odroid_xu3()
+    tick_s = shapes[0].tick_s
+    adapt_every = shapes[0].adapt_every
+    sim = Simulation(spec, tick_s=tick_s)
+    apps: List[SimApp] = []
+    slowest_floor = float("inf")
+    total_beats = 0
+    for position, shape in enumerate(shapes):
+        max_rate = measure_max_rate(spec, shape)
+        target = PerformanceTarget.fraction_of(
+            max_rate, shape.target_fraction, shape.tolerance
+        )
+        model = make_benchmark(shape.benchmark, shape.n_units, shape.n_threads)
+        model.reset(shape.seed)
+        name = f"{resolve_name(shape.benchmark)}-{position}"
+        apps.append(sim.add_app(SimApp(name, model, target)))
+        slowest_floor = min(slowest_floor, target.min_rate / 4)
+        total_beats = max(total_beats, model.total_heartbeats())
+    controllers = attach_multi_app_version(sim, version, adapt_every=adapt_every)
+    elapsed = sim.run(
+        until_s=2 * _safety_horizon(total_beats, rate_floor=slowest_floor)
+    )
+    return RunOutcome(
+        metrics=_collect(version, sim, apps, controllers, elapsed),
+        trace=sim.trace,
+        target=apps[0].target,
+        max_rate=apps[0].target.avg_rate / shapes[0].target_fraction,
+    )
+
+
+def _safety_horizon(total_heartbeats: int, rate_floor: float) -> float:
+    """Upper bound on run time: the workload at a pessimistic rate."""
+    if rate_floor <= 0:
+        raise ConfigurationError("rate floor must be positive")
+    return total_heartbeats / rate_floor + 120.0
+
+
+def _collect(
+    version: str,
+    sim: Simulation,
+    apps: List[SimApp],
+    controllers: List,
+    elapsed: float,
+) -> RunMetrics:
+    app_metrics = []
+    for app in apps:
+        overall = app.log.overall_rate() or 0.0
+        app_metrics.append(
+            AppRunMetrics(
+                app_name=app.name,
+                heartbeats=len(app.log),
+                overall_rate=overall,
+                mean_normalized_perf=app.monitor.mean_normalized_performance(),
+                target_min=app.target.min_rate,
+                target_avg=app.target.avg_rate,
+                target_max=app.target.max_rate,
+            )
+        )
+    overhead = sum(c.cpu_overhead_seconds() for c in controllers)
+    final_state = ""
+    for controller in controllers:
+        state = getattr(controller, "state", None)
+        if state is not None and hasattr(state, "describe"):
+            final_state = state.describe()
+    return RunMetrics(
+        version=version,
+        apps=tuple(app_metrics),
+        elapsed_s=elapsed,
+        avg_power_w=sim.sensor.average_power_w(),
+        manager_overhead_s=overhead,
+        final_state=final_state,
+    )

@@ -1,0 +1,167 @@
+"""JSON serialization of experiment results.
+
+Figures take minutes to regenerate; persisting their results lets the
+CLI dump machine-readable outputs (``--json``) and lets downstream
+analysis compare runs without re-simulation.  Only plain-data structures
+are serialized — traces are flattened to per-column series.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig5_1 import PerfWattComparison
+from repro.experiments.fig5_3 import DistanceSweep
+from repro.experiments.fig5_4 import MultiAppComparison
+from repro.experiments.fig5_5_7 import BehaviourRun
+from repro.experiments.metrics import AppRunMetrics, RunMetrics
+
+_SCHEMA_VERSION = 1
+
+
+def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:
+    """Flatten one run's metrics."""
+    return {
+        "version": metrics.version,
+        "elapsed_s": metrics.elapsed_s,
+        "avg_power_w": metrics.avg_power_w,
+        "perf_per_watt": metrics.perf_per_watt,
+        "manager_overhead_s": metrics.manager_overhead_s,
+        "final_state": metrics.final_state,
+        "apps": [
+            {
+                "name": app.app_name,
+                "heartbeats": app.heartbeats,
+                "overall_rate": app.overall_rate,
+                "mean_normalized_perf": app.mean_normalized_perf,
+                "target": [app.target_min, app.target_avg, app.target_max],
+            }
+            for app in metrics.apps
+        ],
+    }
+
+
+def run_metrics_from_dict(data: Dict[str, Any]) -> RunMetrics:
+    """Inverse of :func:`run_metrics_to_dict`."""
+    try:
+        return RunMetrics(
+            version=data["version"],
+            elapsed_s=data["elapsed_s"],
+            avg_power_w=data["avg_power_w"],
+            manager_overhead_s=data.get("manager_overhead_s", 0.0),
+            final_state=data.get("final_state", ""),
+            apps=tuple(
+                AppRunMetrics(
+                    app_name=app["name"],
+                    heartbeats=app["heartbeats"],
+                    overall_rate=app["overall_rate"],
+                    mean_normalized_perf=app["mean_normalized_perf"],
+                    target_min=app["target"][0],
+                    target_avg=app["target"][1],
+                    target_max=app["target"][2],
+                )
+                for app in data["apps"]
+            ),
+        )
+    except KeyError as missing:
+        raise ConfigurationError(f"run-metrics dict missing {missing}") from None
+
+
+def comparison_to_dict(comparison: PerfWattComparison) -> Dict[str, Any]:
+    """Serialize a Figure 5.1/5.2 grid (normalized + raw)."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "perf-watt-comparison",
+        "target_fraction": comparison.target_fraction,
+        "versions": list(comparison.versions),
+        "normalized": comparison.normalized,
+        "geomean": comparison.geomean,
+        "raw": {
+            code: {
+                version: run_metrics_to_dict(metrics)
+                for version, metrics in per_version.items()
+            }
+            for code, per_version in comparison.raw.items()
+        },
+    }
+
+
+def multi_comparison_to_dict(comparison: MultiAppComparison) -> Dict[str, Any]:
+    """Serialize the Figure 5.4 grid."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "multi-app-comparison",
+        "versions": list(comparison.versions),
+        "normalized": comparison.normalized,
+        "geomean": comparison.geomean,
+        "raw": {
+            label: {
+                version: run_metrics_to_dict(metrics)
+                for version, metrics in per_version.items()
+            }
+            for label, per_version in comparison.raw.items()
+        },
+    }
+
+
+def sweep_to_dict(sweep: DistanceSweep) -> Dict[str, Any]:
+    """Serialize the Figure 5.3 sweep."""
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "distance-sweep",
+        "distances": list(sweep.distances),
+        "efficiency": {
+            str(target): values for target, values in sweep.efficiency.items()
+        },
+        "cpu_percent": {
+            str(target): values
+            for target, values in sweep.cpu_percent.items()
+        },
+    }
+
+
+def behaviour_to_dict(run: BehaviourRun) -> Dict[str, Any]:
+    """Serialize one behaviour trace (Figures 5.5–5.7)."""
+    columns = (
+        "rate",
+        "big_cores",
+        "little_cores",
+        "big_freq_mhz",
+        "little_freq_mhz",
+    )
+    return {
+        "schema": _SCHEMA_VERSION,
+        "kind": "behaviour-run",
+        "version": run.version,
+        "apps": {
+            app_name: {
+                "target": [
+                    run.targets[app_name].min_rate,
+                    run.targets[app_name].avg_rate,
+                    run.targets[app_name].max_rate,
+                ],
+                "series": {
+                    column: run.trace.series(app_name, column)
+                    for column in columns
+                },
+            }
+            for app_name in run.app_names()
+        },
+    }
+
+
+def dump_json(payload: Dict[str, Any], path: str) -> None:
+    """Write a serialized result to disk."""
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    """Read a serialized result back."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or "kind" not in data:
+        raise ConfigurationError(f"{path}: not a serialized repro result")
+    return data

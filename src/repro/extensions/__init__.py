@@ -1,0 +1,25 @@
+"""Extensions: the paper's discussion-section (§3.1.4) upgrades to HARS."""
+
+from repro.extensions.adaptive_manager import AdaptiveHarsManager
+from repro.extensions.escape import StuckDetector, full_space
+from repro.extensions.kalman import RatePredictor, ScalarKalmanFilter
+from repro.extensions.ratio_learning import (
+    OnlineRatioLearner,
+    RatioObservation,
+)
+from repro.extensions.stage_aware import (
+    apply_stage_aware_assignment,
+    stage_aware_split,
+)
+
+__all__ = [
+    "AdaptiveHarsManager",
+    "OnlineRatioLearner",
+    "RatePredictor",
+    "RatioObservation",
+    "ScalarKalmanFilter",
+    "StuckDetector",
+    "apply_stage_aware_assignment",
+    "full_space",
+    "stage_aware_split",
+]

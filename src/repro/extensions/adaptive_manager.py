@@ -1,0 +1,154 @@
+"""AdaptiveHarsManager: HARS plus the paper's discussion-section upgrades.
+
+Combines, each individually optional:
+
+* **Kalman workload prediction** (§3.1.4 #1) — adaptation decisions use a
+  Kalman-smoothed rate instead of the raw windowed rate; the filter
+  resets after every state change (the old rate no longer applies).
+* **Stage-aware scheduling** (§3.1.4 #2) — thread placement splits each
+  pipeline stage across the clusters in the T_B:T_L proportion.
+* **Online ratio learning** (§5.1.2 future work) — settled (state, rate)
+  observations refit the big:little ratio, replacing the fixed r0 = 1.5
+  and fixing the blackscholes misprediction.
+* **Local-optimum escape** (§3.1.4 #4) — repeated fruitless adaptation
+  periods trigger a one-shot full-space search.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.manager import (
+    DEFAULT_ADAPT_EVERY,
+    DEFAULT_STATE_EVAL_COST_S,
+    HarsManager,
+)
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import HarsPolicy
+from repro.core.power_estimator import PowerEstimator
+from repro.core.search import get_next_sys_state
+from repro.core.state import SystemState
+from repro.extensions.escape import StuckDetector, full_space
+from repro.extensions.kalman import RatePredictor
+from repro.extensions.ratio_learning import OnlineRatioLearner
+from repro.extensions.stage_aware import apply_stage_aware_assignment
+from repro.heartbeats.record import Heartbeat
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.topology import first_n
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+    from repro.sim.process import SimApp
+
+
+class AdaptiveHarsManager(HarsManager):
+    """HARS with prediction, ratio learning, escape, and stage awareness."""
+
+    def __init__(
+        self,
+        app_name: str,
+        policy: HarsPolicy,
+        perf_estimator: PerformanceEstimator,
+        power_estimator: PowerEstimator,
+        adapt_every: int = DEFAULT_ADAPT_EVERY,
+        state_eval_cost_s: float = DEFAULT_STATE_EVAL_COST_S,
+        initial_state: Optional[SystemState] = None,
+        predictor: Optional[RatePredictor] = None,
+        ratio_learner: Optional[OnlineRatioLearner] = None,
+        stuck_detector: Optional[StuckDetector] = None,
+        stage_aware: bool = False,
+    ):
+        super().__init__(
+            app_name=app_name,
+            policy=policy,
+            perf_estimator=perf_estimator,
+            power_estimator=power_estimator,
+            adapt_every=adapt_every,
+            state_eval_cost_s=state_eval_cost_s,
+            initial_state=initial_state,
+        )
+        self.predictor = predictor
+        self.ratio_learner = ratio_learner
+        self.stuck_detector = stuck_detector
+        self.stage_aware = stage_aware
+        self.escapes = 0
+        self._settled_periods = 0
+
+    # -- adaptation loop --------------------------------------------------------
+
+    def on_heartbeat(
+        self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat
+    ) -> None:
+        if app.name != self.app_name:
+            return
+        self.heartbeats_polled += 1
+        if heartbeat.index == 0 or heartbeat.index % self.adapt_every != 0:
+            return
+        raw_rate = app.monitor.current_rate()
+        if raw_rate is None or self._state is None:
+            return
+        rate = (
+            self.predictor.observe(raw_rate) if self.predictor else raw_rate
+        )
+
+        # Ratio learning: state changes land on adaptation-period
+        # boundaries and the rate window spans one period, so the first
+        # check after a change already measures the new state cleanly.
+        self._settled_periods += 1
+        if self.ratio_learner is not None and self._settled_periods >= 1:
+            self.ratio_learner.observe(
+                self._state, rate, app.n_threads, self._assignment
+            )
+            self.perf_estimator = self.ratio_learner.estimator()
+
+        target = app.target
+        if not target.out_of_window(rate):
+            if self.stuck_detector is not None:
+                self.stuck_detector.note_in_window(self._state)
+            return
+
+        space = self.policy.space_for(target.classify(rate))
+        if self.stuck_detector is not None and self.stuck_detector.note_out_of_window(
+            self._state
+        ):
+            space = full_space(sim.spec)
+            self.escapes += 1
+        result = get_next_sys_state(
+            spec=sim.spec,
+            current=self._state,
+            observed_rate=rate,
+            n_threads=app.n_threads,
+            target=target,
+            space=space,
+            perf_estimator=self.perf_estimator,
+            power_estimator=self.power_estimator,
+        )
+        self.states_explored_total += result.states_explored
+        if result.state != self._state:
+            self.adaptations += 1
+            self._apply(sim, result.state)
+
+    def _apply(self, sim: "Simulation", state: SystemState) -> None:
+        if not self.stage_aware:
+            super()._apply(sim, state)
+        else:
+            app = sim.app(self.app_name)
+            sim.dvfs.set_frequency(BIG, state.f_big_mhz)
+            sim.dvfs.set_frequency(LITTLE, state.f_little_mhz)
+            estimate = self.perf_estimator.estimate(state, app.n_threads)
+            assignment = estimate.assignment
+            apply_stage_aware_assignment(
+                app,
+                app.model,
+                assignment,
+                first_n(sim.spec, BIG, assignment.used_big),
+                first_n(sim.spec, LITTLE, assignment.used_little),
+            )
+            self._state = state
+            self._used = (assignment.used_big, assignment.used_little)
+            self._assignment = assignment
+        # A new state invalidates the predictor's rate estimate and the
+        # settled-observation clock.
+        if self.predictor is not None:
+            self.predictor.reset()
+        self._settled_periods = 0

@@ -1,0 +1,81 @@
+"""Local-optimum escape for the HARS search (paper §3.1.4, fourth item).
+
+The incremental search can get stuck at a suboptimal point it cannot
+leave within distance ``d``.  The paper suggests Tabu-style methods; this
+module implements the simple, deterministic variant of that idea: a
+*stuck detector* that counts consecutive adaptation periods in which the
+application stayed outside its target window without the state changing,
+and an *escape space* — a one-shot full-range search (``m = n = span``,
+``d`` covering the whole space) used when the detector fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.policy import SearchSpace
+from repro.core.state import SystemState
+from repro.errors import ConfigurationError
+from repro.platform.spec import PlatformSpec
+
+
+def full_space(spec: PlatformSpec) -> SearchSpace:
+    """A search space spanning the entire state space of ``spec``."""
+    span = max(
+        spec.big.n_cores,
+        spec.little.n_cores,
+        len(spec.big.frequencies_mhz) - 1,
+        len(spec.little.frequencies_mhz) - 1,
+    )
+    max_distance = (
+        spec.big.n_cores
+        + spec.little.n_cores
+        + len(spec.big.frequencies_mhz)
+        + len(spec.little.frequencies_mhz)
+    )
+    return SearchSpace(m=span, n=span, d=max_distance)
+
+
+@dataclass
+class StuckDetector:
+    """Counts fruitless out-of-window adaptation periods.
+
+    ``threshold`` consecutive periods that (a) found the application
+    outside its window and (b) did not change the system state trigger an
+    escape.  Any state change or in-window period resets the counter.
+    """
+
+    threshold: int = 3
+    _streak: int = 0
+    _last_state: Optional[SystemState] = None
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigurationError("threshold must be >= 1")
+
+    def note_in_window(self, state: SystemState) -> None:
+        """The application is satisfied: no escape pressure."""
+        self._streak = 0
+        self._last_state = state
+
+    def note_out_of_window(self, state: SystemState) -> bool:
+        """An out-of-window adaptation period finished at ``state``.
+
+        Returns ``True`` when the stuck threshold is reached (the caller
+        should escalate to the escape space); the counter resets so the
+        escape fires once per episode.
+        """
+        if self._last_state is not None and state == self._last_state:
+            self._streak += 1
+        else:
+            self._streak = 1
+        self._last_state = state
+        if self._streak >= self.threshold:
+            self._streak = 0
+            return True
+        return False
+
+    @property
+    def streak(self) -> int:
+        return self._streak

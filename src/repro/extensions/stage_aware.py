@@ -1,0 +1,72 @@
+"""Stage-aware thread scheduling (paper §3.1.4, second item).
+
+The interleaving scheduler spreads threads across clusters by thread ID,
+which only balances pipeline stages if every stage has the same thread
+count.  With *thread hierarchy information* — which stage each thread
+serves — the scheduler can split **each stage** between the clusters in
+the global ``T_B : T_L`` proportion, so every stage gets its fair share
+of big-core time regardless of the stage sizes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.assignment import ThreadAssignment
+from repro.errors import SchedulingError
+from repro.sim.process import SimApp
+from repro.workloads.base import WorkloadModel
+
+
+def stage_aware_split(stage_of_thread: Sequence[int], t_big: int) -> List[bool]:
+    """Per-thread big-cluster flags balancing ``t_big`` across stages.
+
+    Big slots are apportioned to stages by largest remainder of
+    ``k_s · t_big / T`` (``k_s`` = threads in stage ``s``), so the total
+    equals ``t_big`` exactly and each stage's share is within one thread
+    of proportional.
+    """
+    n_threads = len(stage_of_thread)
+    if n_threads == 0:
+        raise SchedulingError("no threads to split")
+    if not 0 <= t_big <= n_threads:
+        raise SchedulingError(f"t_big={t_big} out of range for {n_threads}")
+    stages = sorted(set(stage_of_thread))
+    counts = {s: stage_of_thread.count(s) for s in stages}
+
+    quotas = {s: counts[s] * t_big / n_threads for s in stages}
+    base = {s: int(quotas[s]) for s in stages}
+    leftover = t_big - sum(base.values())
+    by_remainder = sorted(
+        stages, key=lambda s: (quotas[s] - base[s], -counts[s]), reverse=True
+    )
+    for s in by_remainder[:leftover]:
+        base[s] += 1
+
+    flags = [False] * n_threads
+    remaining = dict(base)
+    for index, stage in enumerate(stage_of_thread):
+        if remaining[stage] > 0:
+            flags[index] = True
+            remaining[stage] -= 1
+    return flags
+
+
+def apply_stage_aware_assignment(
+    app: SimApp,
+    model: WorkloadModel,
+    assignment: ThreadAssignment,
+    big_core_ids: Sequence[int],
+    little_core_ids: Sequence[int],
+) -> None:
+    """Pin the app's threads with the stage-aware split."""
+    stage_of_thread = [model.thread_stage(i) for i in range(model.n_threads)]
+    flags = stage_aware_split(stage_of_thread, assignment.t_big)
+    if assignment.t_big > 0 and not big_core_ids:
+        raise SchedulingError("big threads assigned but no big cores")
+    if assignment.t_little > 0 and not little_core_ids:
+        raise SchedulingError("little threads assigned but no little cores")
+    big_mask = frozenset(big_core_ids)
+    little_mask = frozenset(little_core_ids)
+    for thread, on_big in zip(app.threads, flags):
+        thread.set_affinity(big_mask if on_big else little_mask)

@@ -1,0 +1,97 @@
+"""Heartbeat monitor: the observation stage of self-adaptive computing.
+
+A :class:`HeartbeatMonitor` pairs a :class:`HeartbeatLog` with a
+:class:`PerformanceTarget` and answers the questions the runtime managers
+ask every adaptation period: what is the current rate, is it inside the
+window, and — for the experiments — what was the time-averaged normalized
+performance of the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.heartbeats.record import HeartbeatLog
+from repro.heartbeats.targets import PerformanceTarget, Satisfaction
+
+#: Default trailing window (beats) over which rates are measured.
+DEFAULT_RATE_WINDOW = 5
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One adaptation-period observation handed to a runtime manager."""
+
+    index: int
+    time_s: float
+    rate: float
+    satisfaction: Satisfaction
+
+
+class HeartbeatMonitor:
+    """Windowed-rate observer over one application's heartbeat stream."""
+
+    def __init__(
+        self,
+        log: HeartbeatLog,
+        target: PerformanceTarget,
+        rate_window: int = DEFAULT_RATE_WINDOW,
+    ):
+        if rate_window < 1:
+            raise ConfigurationError("rate window must be at least 1")
+        self.log = log
+        self.target = target
+        self.rate_window = rate_window
+
+    def current_rate(self) -> Optional[float]:
+        """Trailing-window rate, or ``None`` until enough beats exist."""
+        return self.log.window_rate(self.rate_window)
+
+    def observe(self) -> Optional[Observation]:
+        """Snapshot rate + satisfaction at the latest heartbeat."""
+        rate = self.current_rate()
+        last = self.log.last
+        if rate is None or last is None:
+            return None
+        return Observation(
+            index=last.index,
+            time_s=last.time_s,
+            rate=rate,
+            satisfaction=self.target.classify(rate),
+        )
+
+    def needs_adaptation(self) -> bool:
+        """Algorithm 1 line 7 over the current window rate."""
+        rate = self.current_rate()
+        return rate is not None and self.target.out_of_window(rate)
+
+    # -- run-level metrics --------------------------------------------------
+
+    def normalized_performance_series(self) -> List[Tuple[int, float]]:
+        """``(index, min(g, h)/g)`` per windowed measurement."""
+        return [
+            (index, self.target.normalized_performance(rate))
+            for index, rate in self.log.rate_series(self.rate_window)
+        ]
+
+    def mean_normalized_performance(self) -> float:
+        """Run-level normalized performance: the numerator of perf/watt.
+
+        Averages ``min(g, h)/g`` across every windowed rate measurement;
+        a run pinned below target scores < 1, a run at-or-above scores 1.
+        """
+        series = self.normalized_performance_series()
+        if not series:
+            raise ConfigurationError(
+                f"{self.log.app_name}: too few heartbeats for a rate window"
+            )
+        return sum(v for _, v in series) / len(series)
+
+    def satisfaction_series(self) -> List[Tuple[int, Satisfaction]]:
+        """Per-measurement satisfaction classes (for behaviour traces)."""
+        return [
+            (index, self.target.classify(rate))
+            for index, rate in self.log.rate_series(self.rate_window)
+        ]

@@ -1,0 +1,100 @@
+"""Heartbeat records and logs — the Application Heartbeats substrate.
+
+The Application Heartbeats framework (Hoffmann et al., ICAC'10) lets an
+application emit a *heartbeat* each time it completes a unit of work; an
+external observer derives application-level performance from the
+heartbeat rate.  This module is the data layer: immutable heartbeat
+records and an append-only log with windowed-rate queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One emitted heartbeat.
+
+    ``index`` counts from 0 in emission order; ``time_s`` is the simulated
+    timestamp; ``tag`` optionally carries the workload phase for traces.
+    """
+
+    index: int
+    time_s: float
+    tag: str = ""
+
+
+class HeartbeatLog:
+    """Append-only heartbeat history with rate queries.
+
+    Rates are heartbeats per second, computed over a trailing window of
+    ``window`` beats: ``window / (t_last - t_first_of_window)``.
+    """
+
+    def __init__(self, app_name: str = ""):
+        self.app_name = app_name
+        self._beats: List[Heartbeat] = []
+
+    def emit(self, time_s: float, tag: str = "") -> Heartbeat:
+        """Append a heartbeat at ``time_s`` and return it."""
+        if self._beats and time_s < self._beats[-1].time_s:
+            raise ConfigurationError(
+                f"{self.app_name}: heartbeat time went backwards "
+                f"({time_s} < {self._beats[-1].time_s})"
+            )
+        beat = Heartbeat(index=len(self._beats), time_s=time_s, tag=tag)
+        self._beats.append(beat)
+        return beat
+
+    def __len__(self) -> int:
+        return len(self._beats)
+
+    @property
+    def beats(self) -> Sequence[Heartbeat]:
+        """All heartbeats, oldest first (read-only view)."""
+        return tuple(self._beats)
+
+    @property
+    def last(self) -> Optional[Heartbeat]:
+        """Most recent heartbeat, or ``None`` before the first one."""
+        return self._beats[-1] if self._beats else None
+
+    def window_rate(self, window: int) -> Optional[float]:
+        """Rate over the trailing ``window`` beats, or ``None`` if the log
+        is too short or the window spans zero time."""
+        if window < 1:
+            raise ConfigurationError("window must be at least 1 beat")
+        if len(self._beats) < window + 1:
+            return None
+        newest = self._beats[-1]
+        oldest = self._beats[-1 - window]
+        span = newest.time_s - oldest.time_s
+        if span <= 0:
+            return None
+        return window / span
+
+    def overall_rate(self) -> Optional[float]:
+        """Rate from the first to the last heartbeat."""
+        if len(self._beats) < 2:
+            return None
+        span = self._beats[-1].time_s - self._beats[0].time_s
+        if span <= 0:
+            return None
+        return (len(self._beats) - 1) / span
+
+    def rate_series(self, window: int) -> List[tuple]:
+        """``(index, rate)`` pairs for every beat where the window closes.
+
+        This is the "HPS" series the paper's behaviour graphs
+        (Figures 5.5–5.7) plot against the heartbeat index.
+        """
+        series: List[tuple] = []
+        for i in range(window, len(self._beats)):
+            span = self._beats[i].time_s - self._beats[i - window].time_s
+            if span > 0:
+                series.append((self._beats[i].index, window / span))
+        return series

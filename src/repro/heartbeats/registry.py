@@ -1,0 +1,93 @@
+"""Registry of heartbeat-producing applications.
+
+The Application Heartbeats framework registers each application in a
+shared segment that the external observer (HARS / MP-HARS) attaches to.
+The registry is that attachment point: it maps application names to their
+monitors and lets MP-HARS iterate "one application at a time" exactly as
+Algorithm 3's linked-list walk does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.heartbeats.monitor import DEFAULT_RATE_WINDOW, HeartbeatMonitor
+from repro.heartbeats.record import HeartbeatLog
+from repro.heartbeats.targets import PerformanceTarget
+
+
+class HeartbeatRegistry:
+    """Name → (log, monitor) registry with stable iteration order.
+
+    Iteration order is registration order, matching the paper's
+    linked-list traversal.
+    """
+
+    def __init__(self) -> None:
+        self._logs: Dict[str, HeartbeatLog] = {}
+        self._monitors: Dict[str, HeartbeatMonitor] = {}
+        self._order: List[str] = []
+
+    def register(
+        self,
+        app_name: str,
+        target: PerformanceTarget,
+        rate_window: int = DEFAULT_RATE_WINDOW,
+    ) -> HeartbeatLog:
+        """Create and register a fresh log/monitor pair for ``app_name``."""
+        if app_name in self._logs:
+            raise ConfigurationError(f"app {app_name!r} already registered")
+        log = HeartbeatLog(app_name=app_name)
+        self._logs[app_name] = log
+        self._monitors[app_name] = HeartbeatMonitor(log, target, rate_window)
+        self._order.append(app_name)
+        return log
+
+    def unregister(self, app_name: str) -> None:
+        """Detach an application (e.g. when it exits)."""
+        if app_name not in self._logs:
+            raise ConfigurationError(f"app {app_name!r} not registered")
+        del self._logs[app_name]
+        del self._monitors[app_name]
+        self._order.remove(app_name)
+
+    def log(self, app_name: str) -> HeartbeatLog:
+        """The application's heartbeat log."""
+        try:
+            return self._logs[app_name]
+        except KeyError:
+            raise ConfigurationError(f"app {app_name!r} not registered") from None
+
+    def monitor(self, app_name: str) -> HeartbeatMonitor:
+        """The application's monitor (rate window + target)."""
+        try:
+            return self._monitors[app_name]
+        except KeyError:
+            raise ConfigurationError(f"app {app_name!r} not registered") from None
+
+    def target(self, app_name: str) -> PerformanceTarget:
+        """The application's performance target."""
+        return self.monitor(app_name).target
+
+    @property
+    def app_names(self) -> Tuple[str, ...]:
+        """Registered names, in registration order."""
+        return tuple(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, app_name: str) -> bool:
+        return app_name in self._logs
+
+    def __iter__(self) -> Iterator[Tuple[str, HeartbeatMonitor]]:
+        """Iterate ``(name, monitor)`` pairs in registration order."""
+        for name in self._order:
+            yield name, self._monitors[name]
+
+    def current_rates(self) -> Dict[str, Optional[float]]:
+        """Latest windowed rate per application (``None`` if too early)."""
+        return {
+            name: monitor.current_rate() for name, monitor in self
+        }

@@ -1,0 +1,90 @@
+"""Performance-target windows and satisfaction classification.
+
+The paper gives each application a target window ``[t.min, t.max]``
+around a center ``t.avg`` (e.g. 50 % ± 5 % of the maximum achievable
+heartbeat rate).  Adaptation triggers when the observed rate leaves the
+window (``|rate − t.avg| > (t.max − t.min)/2``, Algorithm 1 line 7), and
+the MP-HARS decision table (Table 4.3) classifies each application as
+*underperforming*, *achieving*, or *overperforming*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class Satisfaction(enum.Enum):
+    """How an observed rate relates to the target window."""
+
+    UNDERPERF = "underperf"
+    ACHIEVE = "achieve"
+    OVERPERF = "overperf"
+
+
+@dataclass(frozen=True)
+class PerformanceTarget:
+    """A target window in heartbeats per second.
+
+    ``avg`` is the normalization point ``g`` of the paper's normalized
+    performance ``min(g, h)/g``.
+    """
+
+    min_rate: float
+    avg_rate: float
+    max_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_rate <= self.avg_rate <= self.max_rate:
+            raise ConfigurationError(
+                f"invalid target window ({self.min_rate}, {self.avg_rate}, "
+                f"{self.max_rate})"
+            )
+
+    @classmethod
+    def fraction_of(
+        cls, max_achievable: float, fraction: float, tolerance: float = 0.05
+    ) -> "PerformanceTarget":
+        """Build the paper's targets: ``fraction ± tolerance`` of the
+        maximum achievable rate (default target 50 % ± 5 %, high target
+        75 % ± 5 %)."""
+        if max_achievable <= 0:
+            raise ConfigurationError("max achievable rate must be positive")
+        if not 0 < fraction <= 1:
+            raise ConfigurationError("fraction must be in (0, 1]")
+        if not 0 <= tolerance < fraction:
+            raise ConfigurationError("tolerance must be in [0, fraction)")
+        return cls(
+            min_rate=(fraction - tolerance) * max_achievable,
+            avg_rate=fraction * max_achievable,
+            max_rate=(fraction + tolerance) * max_achievable,
+        )
+
+    @property
+    def half_width(self) -> float:
+        """``(t.max − t.min)/2`` — the adaptation trigger threshold."""
+        return (self.max_rate - self.min_rate) / 2.0
+
+    def out_of_window(self, rate: float) -> bool:
+        """Algorithm 1 line 7: does the rate call for adaptation?"""
+        return abs(rate - self.avg_rate) > self.half_width
+
+    def classify(self, rate: float) -> Satisfaction:
+        """Satisfaction class for Table 4.3 and the behaviour traces."""
+        if rate < self.min_rate:
+            return Satisfaction.UNDERPERF
+        if rate > self.max_rate:
+            return Satisfaction.OVERPERF
+        return Satisfaction.ACHIEVE
+
+    def normalized_performance(self, rate: float) -> float:
+        """The paper's ``min(g, h)/g`` with ``g = t.avg``.
+
+        Overperformance is capped at 1 — "there is no benefit in
+        overperformance" (Section 3.1.3).
+        """
+        if rate < 0:
+            raise ConfigurationError("negative rate")
+        return min(self.avg_rate, rate) / self.avg_rate

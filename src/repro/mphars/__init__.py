@@ -1,0 +1,30 @@
+"""MP-HARS — the multi-application extension (Chapter 4)."""
+
+from repro.mphars.appdata import AppData
+from repro.mphars.clusterdata import ClusterData
+from repro.mphars.consi import ConsIController
+from repro.mphars.freeze import (
+    FreezeDecision,
+    StateDecision,
+    decide,
+    worst_satisfaction,
+)
+from repro.mphars.manager import DEFAULT_FREEZE_BEATS, MpHarsManager
+from repro.mphars.partition import get_allocatable_core_set, release_all
+from repro.mphars.perfscore import ScoreOrderedStates, perf_score
+
+__all__ = [
+    "AppData",
+    "ClusterData",
+    "ConsIController",
+    "DEFAULT_FREEZE_BEATS",
+    "FreezeDecision",
+    "MpHarsManager",
+    "ScoreOrderedStates",
+    "StateDecision",
+    "decide",
+    "get_allocatable_core_set",
+    "perf_score",
+    "release_all",
+    "worst_satisfaction",
+]

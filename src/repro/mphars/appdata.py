@@ -1,0 +1,93 @@
+"""Per-application bookkeeping (the paper's Table 4.1).
+
+MP-HARS keeps one of these records per managed application, on the
+linked list Algorithm 3 iterates.  Core ownership is tracked as boolean
+arrays indexed by *within-cluster* core position (``use_b_core[4]`` /
+``use_l_core[4]`` in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.state import SystemState
+from repro.errors import AllocationError, ConfigurationError
+
+
+@dataclass
+class AppData:
+    """Table 4.1: the per-application data structure."""
+
+    name: str
+    n_big_slots: int
+    n_little_slots: int
+    nprocs_b: int = 0
+    nprocs_l: int = 0
+    use_b_core: List[bool] = field(default_factory=list)
+    use_l_core: List[bool] = field(default_factory=list)
+    adaptation_index: int = -1
+    heartbeat_rate: float = 0.0
+    freezing_cnt_b: int = 0
+    freezing_cnt_l: int = 0
+    # Pending releases consumed by Algorithm 4 on the next allocation.
+    dec_big_core_cnt: int = 0
+    dec_little_core_cnt: int = 0
+    #: The state this app last requested (frequencies are shared, so the
+    #: machine may sit elsewhere if another app moved a cluster since).
+    desired_state: Optional[SystemState] = None
+
+    def __post_init__(self) -> None:
+        if self.n_big_slots < 1 or self.n_little_slots < 1:
+            raise ConfigurationError(f"{self.name}: cluster sizes must be >= 1")
+        if not self.use_b_core:
+            self.use_b_core = [False] * self.n_big_slots
+        if not self.use_l_core:
+            self.use_l_core = [False] * self.n_little_slots
+        if len(self.use_b_core) != self.n_big_slots:
+            raise ConfigurationError(f"{self.name}: use_b_core size mismatch")
+        if len(self.use_l_core) != self.n_little_slots:
+            raise ConfigurationError(f"{self.name}: use_l_core size mismatch")
+
+    @property
+    def owned_big(self) -> int:
+        """Big cores currently marked used by this app."""
+        return sum(self.use_b_core)
+
+    @property
+    def owned_little(self) -> int:
+        """Little cores currently marked used by this app."""
+        return sum(self.use_l_core)
+
+    def uses_cluster(self, cluster_name: str) -> bool:
+        """Whether the app owns any core of a cluster (interference
+        scope for the frozen-state machinery)."""
+        if cluster_name == "big":
+            return self.owned_big > 0
+        if cluster_name == "little":
+            return self.owned_little > 0
+        raise ConfigurationError(f"unknown cluster {cluster_name!r}")
+
+    def request_counts(self, new_big: int, new_little: int) -> None:
+        """Record a new core-count request.
+
+        Sets the paper's ``decBigCoreCnt`` / ``decLittleCoreCnt`` fields
+        that Algorithm 4 consumes to free surplus cores.
+        """
+        if not 0 <= new_big <= self.n_big_slots:
+            raise AllocationError(f"{self.name}: big count {new_big} invalid")
+        if not 0 <= new_little <= self.n_little_slots:
+            raise AllocationError(
+                f"{self.name}: little count {new_little} invalid"
+            )
+        self.dec_big_core_cnt = max(0, self.owned_big - new_big)
+        self.dec_little_core_cnt = max(0, self.owned_little - new_little)
+        self.nprocs_b = new_big
+        self.nprocs_l = new_little
+
+    def tick_freezing_counts(self) -> None:
+        """Algorithm 3 lines 8–11: decrement on a new heartbeat."""
+        if self.freezing_cnt_b > 0:
+            self.freezing_cnt_b -= 1
+        if self.freezing_cnt_l > 0:
+            self.freezing_cnt_l -= 1

@@ -1,0 +1,53 @@
+"""Per-cluster bookkeeping (the paper's Table 4.2).
+
+One record per cluster: the frozen flag (frequency decreases blocked),
+the free-core array, and the current frequency level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import AllocationError, ConfigurationError
+
+
+@dataclass
+class ClusterData:
+    """Table 4.2: the per-cluster data structure."""
+
+    name: str
+    n_cores: int
+    first_core_id: int
+    frozen: bool = False
+    free_core: List[bool] = field(default_factory=list)
+    freq_mhz: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigurationError(f"{self.name}: n_cores must be >= 1")
+        if not self.free_core:
+            self.free_core = [True] * self.n_cores
+        if len(self.free_core) != self.n_cores:
+            raise ConfigurationError(f"{self.name}: free_core size mismatch")
+
+    @property
+    def free_count(self) -> int:
+        """Cores not owned by any application (``checkFreeCore``)."""
+        return sum(self.free_core)
+
+    def free_slots(self) -> Tuple[int, ...]:
+        """Within-cluster indices of free cores, ascending."""
+        return tuple(i for i, free in enumerate(self.free_core) if free)
+
+    def global_core_id(self, slot: int) -> int:
+        """Translate a within-cluster slot to a platform core id."""
+        if not 0 <= slot < self.n_cores:
+            raise AllocationError(f"{self.name}: slot {slot} out of range")
+        return self.first_core_id + slot
+
+    def mark(self, slot: int, free: bool) -> None:
+        """Set one slot's free/owned flag."""
+        if not 0 <= slot < self.n_cores:
+            raise AllocationError(f"{self.name}: slot {slot} out of range")
+        self.free_core[slot] = free

@@ -1,0 +1,112 @@
+"""Interference-aware adaptation: the frozen-state machinery (Table 4.3).
+
+Cluster frequency is shared: when one application lowers it, co-runners'
+performance data goes stale and their next adaptation would act on bad
+inputs.  MP-HARS therefore:
+
+* sets each affected application's *freezing count* (heartbeats to wait
+  until its measurements are trustworthy again) whenever a cluster's
+  frequency is decreased, and
+* marks a cluster *frozen* while any user's count is nonzero — frozen
+  clusters may not have their frequency decreased again.
+
+Table 4.3 maps (application-in-period satisfaction, worst satisfaction
+among the other users of the cluster, frozen state) to a *state decision*
+— the direction the in-period application may push the shared frequency —
+and a *freeze decision* updating the frozen flag.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError
+from repro.heartbeats.targets import Satisfaction
+
+
+class StateDecision(enum.Enum):
+    """Allowed shared-frequency direction for the adapting application."""
+
+    INC = "inc"  # may only raise the cluster frequency
+    DEC = "dec"  # may lower it (sets a freeze)
+    KEEP = "keep"  # must leave it unchanged
+
+
+class FreezeDecision(enum.Enum):
+    """What happens to the cluster's frozen flag."""
+
+    FREEZE = "freeze"
+    UNFREEZE = "unfreeze"
+    KEEP = "keep"
+
+
+#: Table 4.3, verbatim.  Keys: (app satisfaction, worst other
+#: satisfaction, frozen?) → (state decision, freeze decision).
+_TABLE: Dict[Tuple[Satisfaction, Satisfaction, bool], Tuple[StateDecision, FreezeDecision]] = {}
+
+
+def _fill_table() -> None:
+    under, achieve, over = (
+        Satisfaction.UNDERPERF,
+        Satisfaction.ACHIEVE,
+        Satisfaction.OVERPERF,
+    )
+    # Underperforming app: always allowed to increase; a frozen cluster
+    # unfreezes because raising frequency invalidates no one's data.
+    for others in (under, achieve, over):
+        _TABLE[(under, others, True)] = (StateDecision.INC, FreezeDecision.UNFREEZE)
+        _TABLE[(under, others, False)] = (StateDecision.INC, FreezeDecision.KEEP)
+    # Achieving app: leave the shared frequency alone.
+    for others in (under, achieve, over):
+        for frozen in (True, False):
+            _TABLE[(achieve, others, frozen)] = (
+                StateDecision.KEEP,
+                FreezeDecision.KEEP,
+            )
+    # Overperforming app: may lower the shared frequency only when every
+    # other user also overperforms and the cluster is not frozen; a
+    # frozen cluster may still be *raised* (escape hatch).
+    for others in (under, achieve, over):
+        _TABLE[(over, others, True)] = (StateDecision.INC, FreezeDecision.KEEP)
+    _TABLE[(over, under, False)] = (StateDecision.KEEP, FreezeDecision.KEEP)
+    _TABLE[(over, achieve, False)] = (StateDecision.KEEP, FreezeDecision.KEEP)
+    _TABLE[(over, over, False)] = (StateDecision.DEC, FreezeDecision.FREEZE)
+
+
+_fill_table()
+
+
+def decide(
+    app_satisfaction: Satisfaction,
+    others_satisfaction: Satisfaction,
+    frozen: bool,
+) -> Tuple[StateDecision, FreezeDecision]:
+    """Look up Table 4.3.
+
+    ``others_satisfaction`` is the *worst case* (minimum) satisfaction
+    among the other applications using the cluster; pass
+    ``Satisfaction.OVERPERF`` when there are none (sole user — but in
+    that case callers normally bypass the table entirely).
+    """
+    key = (app_satisfaction, others_satisfaction, frozen)
+    if key not in _TABLE:  # pragma: no cover - table is total
+        raise ConfigurationError(f"no decision for {key}")
+    return _TABLE[key]
+
+
+def worst_satisfaction(values) -> Satisfaction:
+    """Most constraining satisfaction among co-runners.
+
+    Order: UNDERPERF < ACHIEVE < OVERPERF.  An underperformer anywhere
+    blocks every decrease.
+    """
+    order = {
+        Satisfaction.UNDERPERF: 0,
+        Satisfaction.ACHIEVE: 1,
+        Satisfaction.OVERPERF: 2,
+    }
+    items = list(values)
+    if not items:
+        return Satisfaction.OVERPERF
+    return min(items, key=lambda s: order[s])

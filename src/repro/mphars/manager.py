@@ -1,0 +1,378 @@
+"""The MP-HARS runtime manager (the paper's Algorithm 3).
+
+MP-HARS manages several self-adaptive applications at once by combining
+the single-application HARS machinery (estimators, search, thread
+assignment) with two multi-application modules:
+
+* **resource partitioning** — each application owns a disjoint set of
+  cores (Algorithm 4 in :mod:`repro.mphars.partition`); the search may
+  only grow an application's core counts into the *free* pool, never into
+  a co-runner's cores;
+* **interference-aware adaptation** — cluster frequencies are shared, so
+  shared-cluster moves are gated by Table 4.3
+  (:mod:`repro.mphars.freeze`): an application that is the sole user of a
+  cluster controls its frequency freely; otherwise the decision table
+  restricts the direction, and decreases set freezing counts on every
+  affected application and freeze the cluster.
+
+Applications that have not yet adapted (no heartbeats yet — e.g.
+blackscholes in its serial input phase) own no cores and run on whatever
+cores are currently free; their first adaptation claims a partition.
+This is why, in the paper's case 6, a late-starting blackscholes finds
+all little cores taken and must settle for big cores (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import HarsPolicy
+from repro.core.power_estimator import PowerEstimator
+from repro.core.schedulers import apply_assignment
+from repro.core.search import get_next_sys_state
+from repro.core.state import SystemState
+from repro.errors import ConfigurationError
+from repro.heartbeats.record import Heartbeat
+from repro.heartbeats.targets import Satisfaction
+from repro.mphars.appdata import AppData
+from repro.mphars.clusterdata import ClusterData
+from repro.mphars.freeze import (
+    FreezeDecision,
+    StateDecision,
+    decide,
+    worst_satisfaction,
+)
+from repro.mphars.partition import get_allocatable_core_set, release_all
+from repro.platform.cluster import BIG, LITTLE
+from repro.sim.controller import Controller
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+    from repro.sim.process import SimApp
+
+#: Heartbeats an affected app must observe after a frequency decrease
+#: before its measurements are trusted again.
+DEFAULT_FREEZE_BEATS = 5
+
+#: Modelled manager CPU cost per estimated candidate state.
+DEFAULT_STATE_EVAL_COST_S = 50e-6
+
+
+class MpHarsManager(Controller):
+    """Multi-application HARS (Algorithms 3 + 4 + Table 4.3)."""
+
+    def __init__(
+        self,
+        policy: HarsPolicy,
+        perf_estimator: PerformanceEstimator,
+        power_estimator: PowerEstimator,
+        adapt_every: int = 5,
+        freeze_beats: int = DEFAULT_FREEZE_BEATS,
+        state_eval_cost_s: float = DEFAULT_STATE_EVAL_COST_S,
+    ):
+        if adapt_every < 1:
+            raise ConfigurationError("adapt_every must be >= 1")
+        if freeze_beats < 1:
+            raise ConfigurationError("freeze_beats must be >= 1")
+        self.policy = policy
+        self.perf_estimator = perf_estimator
+        self.power_estimator = power_estimator
+        self.adapt_every = adapt_every
+        self.freeze_beats = freeze_beats
+        self.state_eval_cost_s = state_eval_cost_s
+        self._apps: Dict[str, AppData] = {}
+        self._last_rate: Dict[str, Optional[float]] = {}
+        self._clusters: Dict[str, ClusterData] = {}
+        self._released: Dict[str, bool] = {}
+        self._targets: Dict[str, object] = {}
+        self.states_explored_total = 0
+        self.adaptations = 0
+
+    # -- Controller hooks -------------------------------------------------------
+
+    def on_start(self, sim: "Simulation") -> None:
+        spec = sim.spec
+        self._clusters = {
+            BIG: ClusterData(
+                name=BIG,
+                n_cores=spec.big.n_cores,
+                first_core_id=spec.big.first_core_id,
+                freq_mhz=spec.big.max_freq_mhz,
+            ),
+            LITTLE: ClusterData(
+                name=LITTLE,
+                n_cores=spec.little.n_cores,
+                first_core_id=spec.little.first_core_id,
+                freq_mhz=spec.little.max_freq_mhz,
+            ),
+        }
+        sim.dvfs.set_max()
+        for app in sim.apps:
+            self._apps[app.name] = AppData(
+                name=app.name,
+                n_big_slots=spec.big.n_cores,
+                n_little_slots=spec.little.n_cores,
+            )
+            self._last_rate[app.name] = None
+            self._released[app.name] = False
+            self._targets[app.name] = app.target
+            app.clear_affinities()
+        self._refresh_unpartitioned_cpusets(sim)
+
+    def on_tick(self, sim: "Simulation") -> None:
+        for app in sim.apps:
+            data = self._apps.get(app.name)
+            if data is None:
+                continue
+            if app.is_done() and not self._released[app.name]:
+                release_all(data, self._clusters[BIG], self._clusters[LITTLE])
+                self._released[app.name] = True
+                self._refresh_unpartitioned_cpusets(sim)
+
+    def on_heartbeat(
+        self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat
+    ) -> None:
+        data = self._apps.get(app.name)
+        if data is None:
+            return
+        # Algorithm 3 lines 8–15: drain freezing counts, refresh flags.
+        data.tick_freezing_counts()
+        self._refresh_frozen_flags()
+        rate = app.monitor.current_rate()
+        if rate is not None:
+            self._last_rate[app.name] = rate
+            data.heartbeat_rate = rate
+        if heartbeat.index == 0 or heartbeat.index % self.adapt_every != 0:
+            return
+        if rate is None or not app.target.out_of_window(rate):
+            return
+        self._adapt(sim, app, data, rate)
+
+    def current_allocation(self, app_name: str) -> Optional[Tuple[int, int]]:
+        data = self._apps.get(app_name)
+        if data is None:
+            return None
+        return (data.owned_big, data.owned_little)
+
+    def cpu_overhead_seconds(self) -> float:
+        return self.states_explored_total * self.state_eval_cost_s
+
+    # -- adaptation --------------------------------------------------------------
+
+    def _adapt(
+        self, sim: "Simulation", app: "SimApp", data: AppData, rate: float
+    ) -> None:
+        satisfaction = app.target.classify(rate)
+        current = self._current_state(sim, app, data)
+        decisions = {
+            cluster: self._cluster_decision(cluster, data, satisfaction)
+            for cluster in (BIG, LITTLE)
+        }
+        free_big = self._clusters[BIG].free_count
+        free_little = self._clusters[LITTLE].free_count
+
+        def candidate_ok(candidate: SystemState, cur: SystemState) -> bool:
+            if candidate.c_big > data.owned_big + free_big:
+                return False
+            if candidate.c_little > data.owned_little + free_little:
+                return False
+            if not _freq_allowed(
+                decisions[BIG], candidate.f_big_mhz, cur.f_big_mhz
+            ):
+                return False
+            return _freq_allowed(
+                decisions[LITTLE], candidate.f_little_mhz, cur.f_little_mhz
+            )
+
+        space = self.policy.space_for(satisfaction)
+        result = get_next_sys_state(
+            spec=sim.spec,
+            current=current,
+            observed_rate=rate,
+            n_threads=app.n_threads,
+            target=app.target,
+            space=space,
+            perf_estimator=self.perf_estimator,
+            power_estimator=self.power_estimator,
+            candidate_filter=candidate_ok,
+        )
+        self.states_explored_total += result.states_explored
+        self._apply(sim, app, data, result.state, satisfaction, decisions)
+        data.adaptation_index = app.log.last.index if app.log.last else -1
+
+    def _current_state(
+        self, sim: "Simulation", app: "SimApp", data: AppData
+    ) -> SystemState:
+        """The app's current point in the search space.
+
+        Owned counts if it has a partition; otherwise the free cores its
+        threads currently occupy (first adaptation).
+        """
+        c_big, c_little = data.owned_big, data.owned_little
+        if c_big == 0 and c_little == 0:
+            cores = app.cores_in_use()
+            c_big = sum(1 for c in cores if sim.spec.big.contains_core(c))
+            c_little = len(cores) - c_big
+            if c_big == 0 and c_little == 0:
+                c_little = min(1, self._clusters[LITTLE].free_count)
+                c_big = 0 if c_little else 1
+        return SystemState(
+            c_big=c_big,
+            c_little=c_little,
+            f_big_mhz=sim.machine.freq_mhz(BIG),
+            f_little_mhz=sim.machine.freq_mhz(LITTLE),
+        )
+
+    def _cluster_decision(
+        self, cluster: str, data: AppData, satisfaction: Satisfaction
+    ) -> Optional[StateDecision]:
+        """``checkClusterControllable``: None means unconstrained."""
+        others = [
+            other
+            for name, other in self._apps.items()
+            if name != data.name and other.uses_cluster(cluster)
+        ]
+        if not others:
+            return None  # sole (or first) user: full control
+        others_sat = worst_satisfaction(
+            self._satisfaction_of(other) for other in others
+        )
+        state_decision, freeze_decision = decide(
+            satisfaction, others_sat, self._clusters[cluster].frozen
+        )
+        if freeze_decision is FreezeDecision.UNFREEZE:
+            self._unfreeze(cluster)
+        return state_decision
+
+    def _satisfaction_of(self, data: AppData) -> Satisfaction:
+        rate = self._last_rate.get(data.name)
+        if rate is None:
+            # No measurements yet: the co-runner cannot be shown to be
+            # hurt, but conservatively treat it as merely achieving so
+            # nobody lowers its cluster frequency on no data.
+            return Satisfaction.ACHIEVE
+        # Late classification against the app's own target happens in the
+        # manager because AppData stores only the raw rate.
+        target = self._targets[data.name]
+        return target.classify(rate)
+
+    def _apply(
+        self,
+        sim: "Simulation",
+        app: "SimApp",
+        data: AppData,
+        state: SystemState,
+        satisfaction: Satisfaction,
+        decisions: Dict[str, Optional[StateDecision]],
+    ) -> None:
+        """``setSysStateAndScheduleThreads`` with partitioned cores."""
+        changed = False
+        # Core ownership via Algorithm 4.
+        if (state.c_big, state.c_little) != (data.owned_big, data.owned_little):
+            changed = True
+        data.request_counts(state.c_big, state.c_little)
+        mask = get_allocatable_core_set(
+            data, self._clusters[BIG], self._clusters[LITTLE]
+        )
+
+        # Shared frequencies: apply and handle freezing on decreases
+        # (Algorithm 3 lines 23–26).
+        for cluster, new_freq in (
+            (BIG, state.f_big_mhz),
+            (LITTLE, state.f_little_mhz),
+        ):
+            old_freq = sim.machine.freq_mhz(cluster)
+            if new_freq == old_freq:
+                continue
+            sim.dvfs.set_frequency(cluster, new_freq)
+            self._clusters[cluster].freq_mhz = new_freq
+            changed = True
+            if new_freq < old_freq:
+                self._set_freezing_counts(cluster)
+
+        # Thread placement over the owned cores (Table 3.1 split).
+        estimate = self.perf_estimator.estimate(state, app.n_threads)
+        assignment = estimate.assignment
+        big_ids = sorted(
+            self._clusters[BIG].global_core_id(slot)
+            for slot, used in enumerate(data.use_b_core)
+            if used
+        )[: assignment.used_big]
+        little_ids = sorted(
+            self._clusters[LITTLE].global_core_id(slot)
+            for slot, used in enumerate(data.use_l_core)
+            if used
+        )[: assignment.used_little]
+        app.set_cpuset(None)
+        apply_assignment(
+            app, assignment, big_ids, little_ids, self.policy.scheduler
+        )
+        data.desired_state = state
+        if changed:
+            self.adaptations += 1
+        self._refresh_unpartitioned_cpusets(sim)
+
+    # -- freezing ------------------------------------------------------------------
+
+    def _set_freezing_counts(self, cluster: str) -> None:
+        """A decrease on ``cluster``: freeze every app using it."""
+        for data in self._apps.values():
+            if not data.uses_cluster(cluster):
+                continue
+            if cluster == BIG:
+                data.freezing_cnt_b = self.freeze_beats
+            else:
+                data.freezing_cnt_l = self.freeze_beats
+        self._clusters[cluster].frozen = True
+
+    def _unfreeze(self, cluster: str) -> None:
+        for data in self._apps.values():
+            if cluster == BIG:
+                data.freezing_cnt_b = 0
+            else:
+                data.freezing_cnt_l = 0
+        self._clusters[cluster].frozen = False
+
+    def _refresh_frozen_flags(self) -> None:
+        """Algorithm 3 lines 12–15 (and auto-unfreeze when drained)."""
+        self._clusters[BIG].frozen = any(
+            data.freezing_cnt_b > 0 for data in self._apps.values()
+        )
+        self._clusters[LITTLE].frozen = any(
+            data.freezing_cnt_l > 0 for data in self._apps.values()
+        )
+
+    # -- unpartitioned apps -----------------------------------------------------------
+
+    def _refresh_unpartitioned_cpusets(self, sim: "Simulation") -> None:
+        """Apps without a partition run on the currently-free cores."""
+        free_ids = frozenset(
+            cluster.global_core_id(slot)
+            for cluster in self._clusters.values()
+            for slot in cluster.free_slots()
+        )
+        for app in sim.apps:
+            data = self._apps.get(app.name)
+            if data is None or data.owned_big or data.owned_little:
+                continue
+            if app.is_done():
+                continue
+            app.set_cpuset(free_ids if free_ids else None)
+
+
+def _freq_allowed(
+    decision: Optional[StateDecision], candidate_mhz: int, current_mhz: int
+) -> bool:
+    """Whether a candidate's shared-cluster frequency obeys a decision.
+
+    ``None`` means the adapting application is the cluster's sole user
+    and may move it freely.
+    """
+    if decision is None:
+        return True
+    if decision is StateDecision.KEEP:
+        return candidate_mhz == current_mhz
+    if decision is StateDecision.INC:
+        return candidate_mhz >= current_mhz
+    return candidate_mhz <= current_mhz  # DEC

@@ -1,0 +1,105 @@
+"""Resource partitioning: the paper's Algorithm 4 (``GetAllocatableCoreSet``).
+
+Each application owns a disjoint set of cores.  When an application's
+requested counts change, the allocator
+
+1. frees ``decBigCoreCnt`` / ``decLittleCoreCnt`` surplus cores back to
+   the cluster's free list,
+2. keeps cores the application already owns (minimizing thread
+   migration), and
+3. tops up from the free list.
+
+The function returns the application's new CPU mask (global core ids).
+It never takes a core owned by another application — that is the whole
+point of partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.errors import AllocationError
+from repro.mphars.appdata import AppData
+from repro.mphars.clusterdata import ClusterData
+
+
+def get_allocatable_core_set(
+    app: AppData, big: ClusterData, little: ClusterData
+) -> FrozenSet[int]:
+    """Algorithm 4: free surplus cores, then allocate up to the request.
+
+    ``app.nprocs_b`` / ``app.nprocs_l`` must already hold the new request
+    (set via :meth:`AppData.request_counts`, which also computes the
+    ``dec*`` fields).
+    """
+    _free_surplus(app.use_b_core, big, app.dec_big_core_cnt)
+    app.dec_big_core_cnt = 0
+    _free_surplus(app.use_l_core, little, app.dec_little_core_cnt)
+    app.dec_little_core_cnt = 0
+
+    mask = set()
+    mask.update(_allocate(app.use_b_core, big, app.nprocs_b, app.name))
+    mask.update(_allocate(app.use_l_core, little, app.nprocs_l, app.name))
+    return frozenset(mask)
+
+
+def release_all(app: AppData, big: ClusterData, little: ClusterData) -> None:
+    """Return every core the app owns (application exit)."""
+    for slot, used in enumerate(app.use_b_core):
+        if used:
+            big.mark(slot, free=True)
+            app.use_b_core[slot] = False
+    for slot, used in enumerate(app.use_l_core):
+        if used:
+            little.mark(slot, free=True)
+            app.use_l_core[slot] = False
+    app.nprocs_b = 0
+    app.nprocs_l = 0
+    app.dec_big_core_cnt = 0
+    app.dec_little_core_cnt = 0
+
+
+def _free_surplus(use_core: list, cluster: ClusterData, count: int) -> None:
+    """Algorithm 4 lines 4–19: release ``count`` owned cores."""
+    remaining = count
+    for slot, used in enumerate(use_core):
+        if remaining == 0:
+            break
+        if used:
+            cluster.mark(slot, free=True)
+            use_core[slot] = False
+            remaining -= 1
+    if remaining > 0:
+        raise AllocationError(
+            f"asked to free {count} cores on {cluster.name} but the app "
+            f"owned {count - remaining} fewer"
+        )
+
+
+def _allocate(
+    use_core: list, cluster: ClusterData, wanted: int, app_name: str
+) -> Tuple[int, ...]:
+    """Algorithm 4 lines 20–45: keep owned cores, then take free ones."""
+    granted = []
+    # First pass: keep cores already owned (no migration).
+    for slot, used in enumerate(use_core):
+        if len(granted) >= wanted:
+            break
+        if used:
+            cluster.mark(slot, free=False)
+            granted.append(cluster.global_core_id(slot))
+    # Second pass: claim free cores for the remainder.
+    for slot, free in enumerate(cluster.free_core):
+        if len(granted) >= wanted:
+            break
+        if free:
+            cluster.mark(slot, free=False)
+            use_core[slot] = True
+            granted.append(cluster.global_core_id(slot))
+    if len(granted) < wanted:
+        raise AllocationError(
+            f"{app_name}: wanted {wanted} cores on {cluster.name}, "
+            f"only {len(granted)} available — the search must bound its "
+            f"candidates by the free-core count"
+        )
+    return tuple(granted)

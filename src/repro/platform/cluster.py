@@ -1,0 +1,107 @@
+"""Cluster specifications: a group of identical cores sharing a DVFS domain.
+
+The paper's platform has exactly two clusters ("big" and "little"), each
+with its own frequency domain — per-*cluster* DVFS, not per-core (the
+paper calls this assumption out in Section 3.1.1, footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.platform.core_types import CoreTypeSpec
+
+#: Canonical cluster names used throughout the library.
+BIG = "big"
+LITTLE = "little"
+CLUSTER_NAMES: Tuple[str, str] = (BIG, LITTLE)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Immutable description of one cluster.
+
+    Parameters
+    ----------
+    name:
+        ``"big"`` or ``"little"``.
+    core_type:
+        The microarchitecture of every core in the cluster.
+    n_cores:
+        Number of cores.
+    first_core_id:
+        Global id of the cluster's first core.  The ODROID-XU3 numbers
+        the LITTLE cores 0–3 and the big cores 4–7 (this is the
+        ``bigStartIndex`` of the paper's Algorithm 4).
+    uncore_power_w:
+        Constant power of the cluster's shared logic (L2, interconnect)
+        while the cluster is powered.
+    """
+
+    name: str
+    core_type: CoreTypeSpec
+    n_cores: int
+    first_core_id: int
+    uncore_power_w: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.name not in CLUSTER_NAMES:
+            raise ConfigurationError(
+                f"cluster name must be one of {CLUSTER_NAMES}, got {self.name!r}"
+            )
+        if self.n_cores <= 0:
+            raise ConfigurationError(f"{self.name}: n_cores must be positive")
+        if self.first_core_id < 0:
+            raise ConfigurationError(f"{self.name}: negative first_core_id")
+        if self.uncore_power_w < 0:
+            raise ConfigurationError(f"{self.name}: negative uncore power")
+
+    @property
+    def core_ids(self) -> Tuple[int, ...]:
+        """Global ids of the cluster's cores, in ascending order."""
+        return tuple(range(self.first_core_id, self.first_core_id + self.n_cores))
+
+    @property
+    def frequencies_mhz(self) -> Tuple[int, ...]:
+        """The cluster's DVFS operating points (sorted ascending)."""
+        return self.core_type.frequencies_mhz
+
+    @property
+    def min_freq_mhz(self) -> int:
+        return self.frequencies_mhz[0]
+
+    @property
+    def max_freq_mhz(self) -> int:
+        return self.frequencies_mhz[-1]
+
+    def freq_index(self, freq_mhz: int) -> int:
+        """Index of an operating point in the sorted DVFS table."""
+        try:
+            return self.frequencies_mhz.index(freq_mhz)
+        except ValueError:
+            raise FrequencyError(
+                f"{self.name}: {freq_mhz} MHz is not an operating point "
+                f"(valid: {self.frequencies_mhz})"
+            ) from None
+
+    def freq_at_index(self, index: int) -> int:
+        """Operating point at a DVFS-table index (clamped indexing is the
+        caller's job; out-of-range raises)."""
+        freqs = self.frequencies_mhz
+        if not 0 <= index < len(freqs):
+            raise FrequencyError(
+                f"{self.name}: frequency index {index} out of range "
+                f"[0, {len(freqs) - 1}]"
+            )
+        return freqs[index]
+
+    def clamp_freq(self, freq_mhz: int) -> int:
+        """Round an arbitrary frequency to the nearest operating point."""
+        freqs = self.frequencies_mhz
+        return min(freqs, key=lambda f: (abs(f - freq_mhz), f))
+
+    def contains_core(self, core_id: int) -> bool:
+        """Whether a global core id belongs to this cluster."""
+        return self.first_core_id <= core_id < self.first_core_id + self.n_cores

@@ -1,0 +1,186 @@
+"""Core-type specifications for the HMP platform model.
+
+The paper's platform is the Samsung Exynos 5422 (ODROID-XU3): a big
+cluster of out-of-order Cortex-A15 cores and a LITTLE cluster of in-order
+Cortex-A7 cores.  A :class:`CoreTypeSpec` captures everything the
+simulator needs about one core microarchitecture:
+
+* its compute speed at the baseline frequency ``f0`` (work units / s),
+* a voltage/frequency operating-point table, and
+* the parameters of the ground-truth power model (dynamic capacitance
+  term, leakage, idle residency power).
+
+The ground-truth power model is intentionally *nonlinear* in voltage and
+frequency (``P_dyn ∝ C·V²·f``) so that HARS's fitted *linear* estimator
+(Section 3.1.2 of the paper) carries realistic approximation error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError, FrequencyError
+
+#: Canonical baseline frequency ``f0`` used for speed normalization (MHz).
+BASELINE_FREQ_MHZ = 1000
+
+#: Reference voltage used to normalize the dynamic-power term.
+REFERENCE_VOLTAGE = 1.0
+
+
+@dataclass(frozen=True)
+class CoreTypeSpec:
+    """Immutable description of one core microarchitecture.
+
+    Parameters
+    ----------
+    name:
+        Human-readable microarchitecture name (``"cortex-a15"``).
+    pipeline:
+        ``"out-of-order"`` or ``"in-order"``; informational.
+    issue_width:
+        Instruction issue width.  The paper derives its assumed big:little
+        performance ratio r0 = 3/2 from the issue widths (3 vs 2).
+    speed_at_f0:
+        Compute-bound speed of one core at ``BASELINE_FREQ_MHZ``, in work
+        units per second.  The LITTLE core defines the unit scale (1.0).
+    voltage_table:
+        Mapping from frequency (MHz) to supply voltage (V).  Its keys are
+        the cluster's DVFS operating points.
+    dynamic_capacitance_w:
+        Dynamic power of one fully-active core at ``f0`` and the reference
+        voltage, in watts (the ``C`` of ``C·V²·f``).
+    leakage_w_per_volt:
+        Static leakage per powered core, in watts per volt of supply.
+    idle_activity:
+        Residual activity factor of an idle-but-online core (clock gating
+        is imperfect); multiplies the dynamic term.
+    """
+
+    name: str
+    pipeline: str
+    issue_width: int
+    speed_at_f0: float
+    voltage_table: Mapping[int, float]
+    dynamic_capacitance_w: float
+    leakage_w_per_volt: float
+    idle_activity: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.speed_at_f0 <= 0:
+            raise ConfigurationError(f"{self.name}: speed_at_f0 must be positive")
+        if not self.voltage_table:
+            raise ConfigurationError(f"{self.name}: empty voltage table")
+        if self.pipeline not in ("out-of-order", "in-order"):
+            raise ConfigurationError(
+                f"{self.name}: pipeline must be 'out-of-order' or 'in-order'"
+            )
+        for freq, volt in self.voltage_table.items():
+            if freq <= 0 or volt <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: invalid operating point ({freq} MHz, {volt} V)"
+                )
+
+    @property
+    def frequencies_mhz(self) -> Tuple[int, ...]:
+        """Sorted DVFS operating points in MHz."""
+        return tuple(sorted(self.voltage_table))
+
+    def voltage_at(self, freq_mhz: int) -> float:
+        """Supply voltage for an operating point.
+
+        Raises
+        ------
+        FrequencyError
+            If ``freq_mhz`` is not an operating point of this core type.
+        """
+        try:
+            return self.voltage_table[freq_mhz]
+        except KeyError:
+            raise FrequencyError(
+                f"{self.name}: {freq_mhz} MHz is not an operating point "
+                f"(valid: {self.frequencies_mhz})"
+            ) from None
+
+    def compute_speed(self, freq_mhz: int, mem_intensity: float = 0.0) -> float:
+        """Ground-truth speed of one core at an operating point.
+
+        ``mem_intensity`` in [0, 1) models the memory-bound fraction of a
+        workload's execution time, which does *not* scale with core
+        frequency.  At ``mem_intensity = 0`` the speed scales linearly
+        with frequency; at higher values the return on frequency
+        diminishes, matching the sub-linear frequency scaling of
+        memory-bound PARSEC workloads.
+        """
+        if not 0.0 <= mem_intensity < 1.0:
+            raise ConfigurationError(
+                f"mem_intensity must be in [0, 1), got {mem_intensity}"
+            )
+        self.voltage_at(freq_mhz)  # validates the operating point
+        scale = freq_mhz / BASELINE_FREQ_MHZ
+        # time/unit = compute part (scales with 1/f) + memory part (fixed)
+        denominator = (1.0 - mem_intensity) / scale + mem_intensity
+        return self.speed_at_f0 / denominator
+
+    def dynamic_power(self, freq_mhz: int, activity: float) -> float:
+        """Dynamic power (W) of one core at the given activity factor."""
+        if activity < 0:
+            raise ConfigurationError(f"negative activity factor {activity}")
+        volt = self.voltage_at(freq_mhz)
+        v_sq = (volt / REFERENCE_VOLTAGE) ** 2
+        f_scale = freq_mhz / BASELINE_FREQ_MHZ
+        return self.dynamic_capacitance_w * v_sq * f_scale * activity
+
+    def leakage_power(self, freq_mhz: int) -> float:
+        """Static leakage (W) of one powered core at an operating point."""
+        return self.leakage_w_per_volt * self.voltage_at(freq_mhz)
+
+
+def _linear_voltage_table(
+    freqs_mhz: Tuple[int, ...], v_low: float, v_high: float
+) -> Dict[int, float]:
+    """Voltage table that interpolates linearly across the DVFS range."""
+    lo, hi = min(freqs_mhz), max(freqs_mhz)
+    span = max(1, hi - lo)
+    return {
+        f: round(v_low + (v_high - v_low) * (f - lo) / span, 4) for f in freqs_mhz
+    }
+
+
+def cortex_a15(
+    freqs_mhz: Tuple[int, ...] = tuple(range(800, 1601, 100)),
+) -> CoreTypeSpec:
+    """The big core of the ODROID-XU3: out-of-order, 3-wide, 0.8–1.6 GHz.
+
+    Power parameters are tuned so that four fully-active A15 cores at
+    1.6 GHz draw roughly 5.5 W — the regime the XU3's big cluster operates
+    in under the PARSEC native inputs.
+    """
+    return CoreTypeSpec(
+        name="cortex-a15",
+        pipeline="out-of-order",
+        issue_width=3,
+        speed_at_f0=1.5,
+        voltage_table=_linear_voltage_table(freqs_mhz, 0.90, 1.25),
+        dynamic_capacitance_w=0.52,
+        leakage_w_per_volt=0.15,
+    )
+
+
+def cortex_a7(
+    freqs_mhz: Tuple[int, ...] = tuple(range(800, 1301, 100)),
+) -> CoreTypeSpec:
+    """The LITTLE core of the ODROID-XU3: in-order, 2-wide, 0.8–1.3 GHz.
+
+    Four fully-active A7 cores at 1.3 GHz draw roughly 0.85 W.
+    """
+    return CoreTypeSpec(
+        name="cortex-a7",
+        pipeline="in-order",
+        issue_width=2,
+        speed_at_f0=1.0,
+        voltage_table=_linear_voltage_table(freqs_mhz, 0.90, 1.10),
+        dynamic_capacitance_w=0.125,
+        leakage_w_per_volt=0.03,
+    )

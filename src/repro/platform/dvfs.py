@@ -1,0 +1,74 @@
+"""DVFS control interface — the simulated equivalent of cpufreq sysfs.
+
+HARS is a *user-level* runtime: on the real board it writes
+``scaling_setspeed`` under ``/sys/devices/system/cpu/cpufreqN/``.  The
+:class:`DvfsController` provides the same verbs against the simulated
+:class:`~repro.platform.machine.Machine`, including index-based stepping
+(the runtime manager's search works in DVFS-table indices).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import FrequencyError
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.machine import Machine
+
+
+class DvfsController:
+    """Per-cluster frequency control over a :class:`Machine`."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+
+    def available_frequencies(self, cluster_name: str) -> Tuple[int, ...]:
+        """The cluster's DVFS table (``scaling_available_frequencies``)."""
+        return self.machine.spec.cluster(cluster_name).frequencies_mhz
+
+    def current(self, cluster_name: str) -> int:
+        """Current frequency in MHz (``scaling_cur_freq``)."""
+        return self.machine.freq_mhz(cluster_name)
+
+    def current_index(self, cluster_name: str) -> int:
+        """Current frequency as an index into the DVFS table."""
+        return self.machine.freq_index(cluster_name)
+
+    def set_frequency(self, cluster_name: str, freq_mhz: int) -> None:
+        """Set an exact operating point (``scaling_setspeed``)."""
+        self.machine.set_freq_mhz(cluster_name, freq_mhz)
+
+    def set_index(self, cluster_name: str, index: int) -> None:
+        """Set the operating point by DVFS-table index."""
+        cluster = self.machine.spec.cluster(cluster_name)
+        self.machine.set_freq_mhz(cluster_name, cluster.freq_at_index(index))
+
+    def step(self, cluster_name: str, delta: int) -> int:
+        """Move ``delta`` steps along the DVFS table, clamped to its ends.
+
+        Returns the new frequency in MHz.
+        """
+        cluster = self.machine.spec.cluster(cluster_name)
+        freqs = cluster.frequencies_mhz
+        index = cluster.freq_index(self.machine.freq_mhz(cluster_name))
+        new_index = max(0, min(len(freqs) - 1, index + delta))
+        self.machine.set_freq_mhz(cluster_name, freqs[new_index])
+        return freqs[new_index]
+
+    def set_max(self) -> None:
+        """Pin both clusters at their maximum frequency (baseline setup)."""
+        for name in (BIG, LITTLE):
+            cluster = self.machine.spec.cluster(name)
+            self.machine.set_freq_mhz(name, cluster.max_freq_mhz)
+
+    def set_min(self) -> None:
+        """Pin both clusters at their minimum frequency."""
+        for name in (BIG, LITTLE):
+            cluster = self.machine.spec.cluster(name)
+            self.machine.set_freq_mhz(name, cluster.min_freq_mhz)
+
+    def validate(self, cluster_name: str, freq_mhz: int) -> int:
+        """Return ``freq_mhz`` if valid for the cluster, else raise."""
+        cluster = self.machine.spec.cluster(cluster_name)
+        cluster.freq_index(freq_mhz)
+        return freq_mhz

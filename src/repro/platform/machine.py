@@ -1,0 +1,112 @@
+"""Mutable runtime state of the HMP platform.
+
+A :class:`Machine` is built from a :class:`~repro.platform.spec.PlatformSpec`
+and tracks the state HARS manipulates at run time: the current frequency of
+each cluster (per-cluster DVFS) and per-core online flags.  It is the
+object the simulation engine, the schedulers, and the runtime managers all
+share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import PlatformError
+from repro.platform.cluster import BIG, LITTLE, ClusterSpec
+from repro.platform.spec import PlatformSpec
+
+
+@dataclass
+class Core:
+    """Runtime state of one core."""
+
+    core_id: int
+    cluster_name: str
+    online: bool = True
+
+
+class Machine:
+    """Runtime view of a two-cluster HMP platform.
+
+    The machine starts with every core online and both clusters at their
+    maximum frequency (the Linux ``performance`` governor default the
+    paper's baseline uses).
+    """
+
+    def __init__(self, spec: PlatformSpec):
+        self.spec = spec
+        self._freqs: Dict[str, int] = {
+            BIG: spec.big.max_freq_mhz,
+            LITTLE: spec.little.max_freq_mhz,
+        }
+        self.cores: Dict[int, Core] = {
+            core_id: Core(core_id=core_id, cluster_name=cluster.name)
+            for cluster in spec.clusters
+            for core_id in cluster.core_ids
+        }
+
+    # -- frequency control (per-cluster DVFS) -----------------------------
+
+    def freq_mhz(self, cluster_name: str) -> int:
+        """Current frequency of a cluster."""
+        if cluster_name not in self._freqs:
+            raise PlatformError(f"unknown cluster {cluster_name!r}")
+        return self._freqs[cluster_name]
+
+    def set_freq_mhz(self, cluster_name: str, freq_mhz: int) -> None:
+        """Set a cluster's frequency; must be a DVFS operating point."""
+        cluster = self.spec.cluster(cluster_name)
+        cluster.freq_index(freq_mhz)  # validates
+        self._freqs[cluster_name] = freq_mhz
+
+    def freq_index(self, cluster_name: str) -> int:
+        """Index of the current frequency in the cluster's DVFS table."""
+        cluster = self.spec.cluster(cluster_name)
+        return cluster.freq_index(self._freqs[cluster_name])
+
+    # -- core topology -----------------------------------------------------
+
+    def cluster_of_core(self, core_id: int) -> ClusterSpec:
+        """The cluster specification owning a core id."""
+        return self.spec.cluster_of(core_id)
+
+    def online_core_ids(self, cluster_name: str | None = None) -> Tuple[int, ...]:
+        """Online core ids, optionally restricted to one cluster."""
+        ids: List[int] = []
+        for core in self.cores.values():
+            if not core.online:
+                continue
+            if cluster_name is not None and core.cluster_name != cluster_name:
+                continue
+            ids.append(core.core_id)
+        return tuple(sorted(ids))
+
+    def set_core_online(self, core_id: int, online: bool) -> None:
+        """Hot(un)plug a core.
+
+        HARS itself never hotplugs — it controls allocation through
+        affinity — but the baseline sweeps and tests exercise this.
+        """
+        if core_id not in self.cores:
+            raise PlatformError(f"unknown core id {core_id}")
+        self.cores[core_id].online = online
+
+    # -- convenience -------------------------------------------------------
+
+    def core_speed(self, core_id: int, mem_intensity: float = 0.0) -> float:
+        """Ground-truth speed of one core at the cluster's current freq."""
+        cluster = self.cluster_of_core(core_id)
+        return cluster.core_type.compute_speed(
+            self.freq_mhz(cluster.name), mem_intensity
+        )
+
+    def snapshot(self) -> Dict[str, int]:
+        """Current DVFS state, for traces: ``{"big": MHz, "little": MHz}``."""
+        return dict(self._freqs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.spec.name}, big={self._freqs[BIG]}MHz, "
+            f"little={self._freqs[LITTLE]}MHz)"
+        )

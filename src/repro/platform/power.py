@@ -1,0 +1,110 @@
+"""Ground-truth power model of the HMP platform.
+
+This is the model the *simulated hardware* obeys — the equivalent of the
+real silicon on the ODROID-XU3.  HARS never reads it directly; HARS only
+sees the :class:`~repro.platform.sensor.PowerSensor` (which samples this
+model) and its own *fitted linear* estimator
+(:mod:`repro.core.power_estimator`).
+
+Per cluster, with supply voltage ``V(f)`` from the core type's table::
+
+    P_cluster = uncore
+              + Σ_powered_cores  leakage(V)
+              + Σ_powered_cores  C_dyn · (V/V_ref)² · (f/f0) · activity_core
+
+where ``activity_core`` is the core's utilization this interval times the
+running workload's switching-activity factor (idle cores retain a small
+residual activity).  Board power is a constant added on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+from repro.platform.cluster import BIG, LITTLE, ClusterSpec
+from repro.platform.machine import Machine
+from repro.platform.spec import PlatformSpec
+
+
+@dataclass(frozen=True)
+class CoreActivity:
+    """One core's behaviour over a measurement interval.
+
+    Parameters
+    ----------
+    utilization:
+        Fraction of the interval the core was executing (0..1).
+    activity_factor:
+        Switching-activity factor of the workload executed (0..1]; a
+        compute-dense kernel like swaptions toggles more logic than a
+        memory-stalled one like facesim.
+    """
+
+    utilization: float
+    activity_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ConfigurationError(f"utilization {self.utilization} not in [0,1]")
+        if not 0.0 < self.activity_factor <= 1.0:
+            raise ConfigurationError(
+                f"activity_factor {self.activity_factor} not in (0,1]"
+            )
+
+
+#: Activity of a core with nothing scheduled on it.
+IDLE = CoreActivity(utilization=0.0)
+
+
+class PowerModel:
+    """Evaluates instantaneous platform power from per-core activity."""
+
+    def __init__(self, spec: PlatformSpec):
+        self.spec = spec
+
+    def cluster_power(
+        self,
+        cluster: ClusterSpec,
+        freq_mhz: int,
+        activities: Mapping[int, CoreActivity],
+        online_core_ids: Tuple[int, ...],
+    ) -> float:
+        """Instantaneous power (W) of one cluster.
+
+        ``activities`` maps core id → activity; cores absent from the
+        mapping are treated as idle.  Only online cores draw power.
+        """
+        core_type = cluster.core_type
+        total = cluster.uncore_power_w if online_core_ids else 0.0
+        for core_id in online_core_ids:
+            act = activities.get(core_id, IDLE)
+            # Idle cores keep a residual switching activity (imperfect
+            # clock gating) plus full leakage.
+            effective = max(
+                act.utilization * act.activity_factor, core_type.idle_activity
+            )
+            total += core_type.dynamic_power(freq_mhz, effective)
+            total += core_type.leakage_power(freq_mhz)
+        return total
+
+    def platform_power(
+        self, machine: Machine, activities: Mapping[int, CoreActivity]
+    ) -> Dict[str, float]:
+        """Instantaneous power of both clusters plus the board constant.
+
+        Returns a dict with keys ``"big"``, ``"little"``, ``"board"`` and
+        ``"total"`` — the same channels the XU3's INA231 sensors expose.
+        """
+        readings: Dict[str, float] = {}
+        for cluster in self.spec.clusters:
+            readings[cluster.name] = self.cluster_power(
+                cluster,
+                machine.freq_mhz(cluster.name),
+                activities,
+                machine.online_core_ids(cluster.name),
+            )
+        readings["board"] = self.spec.board_power_w
+        readings["total"] = readings[BIG] + readings[LITTLE] + readings["board"]
+        return readings

@@ -1,0 +1,102 @@
+"""Power-sensor model.
+
+The ODROID-XU3 carries INA231 current sensors on the big cluster, LITTLE
+cluster, DRAM and GPU rails; the paper reads them with a 263 808 µs
+sampling period and fits its power estimator against the samples.  This
+module reproduces that observation channel: the simulation engine feeds
+the sensor the ground-truth power of every tick, and the sensor exposes
+
+* periodic *samples* (what calibration fits against), and
+* exact integrated *energy* (what the experiments' perf/watt uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.errors import ConfigurationError
+
+#: The paper's sensor sampling period (263,808 microseconds).
+DEFAULT_SAMPLE_PERIOD_S = 0.263808
+
+#: Power channels every reading carries.
+CHANNELS = ("big", "little", "board", "total")
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One periodic sensor reading."""
+
+    time_s: float
+    watts: Mapping[str, float]
+
+
+class PowerSensor:
+    """Integrates tick-level power into energy and periodic samples."""
+
+    def __init__(self, sample_period_s: float = DEFAULT_SAMPLE_PERIOD_S):
+        if sample_period_s <= 0:
+            raise ConfigurationError("sample period must be positive")
+        self.sample_period_s = sample_period_s
+        self.samples: List[PowerSample] = []
+        self._energy_j: Dict[str, float] = {ch: 0.0 for ch in CHANNELS}
+        self._elapsed_s = 0.0
+        self._next_sample_s = sample_period_s
+        self._last_watts: Dict[str, float] = {ch: 0.0 for ch in CHANNELS}
+
+    def record(self, dt_s: float, watts: Mapping[str, float]) -> None:
+        """Account one simulation tick of duration ``dt_s`` at ``watts``.
+
+        The power is treated as constant across the tick — the engine's
+        tick (10 ms) is much shorter than the sensor period (263.8 ms),
+        which mirrors the real measurement setup.
+        """
+        if dt_s <= 0:
+            raise ConfigurationError("tick duration must be positive")
+        for channel in CHANNELS:
+            if channel not in watts:
+                raise ConfigurationError(f"power reading missing channel {channel!r}")
+            self._energy_j[channel] += watts[channel] * dt_s
+        self._elapsed_s += dt_s
+        self._last_watts = {ch: watts[ch] for ch in CHANNELS}
+        while self._next_sample_s <= self._elapsed_s:
+            self.samples.append(
+                PowerSample(time_s=self._next_sample_s, watts=dict(self._last_watts))
+            )
+            self._next_sample_s += self.sample_period_s
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total observed time."""
+        return self._elapsed_s
+
+    def energy_j(self, channel: str = "total") -> float:
+        """Exact integrated energy of a channel."""
+        if channel not in self._energy_j:
+            raise ConfigurationError(f"unknown power channel {channel!r}")
+        return self._energy_j[channel]
+
+    def average_power_w(self, channel: str = "total") -> float:
+        """Energy / time — the denominator of the paper's perf/watt."""
+        if self._elapsed_s == 0:
+            raise ConfigurationError("no power recorded yet")
+        return self.energy_j(channel) / self._elapsed_s
+
+    def sampled_average_w(self, channel: str = "total") -> float:
+        """Average over periodic samples — what a real sensor reader sees.
+
+        Differs slightly from :meth:`average_power_w` because sampling
+        quantizes; calibration uses this one for fidelity.
+        """
+        if not self.samples:
+            raise ConfigurationError("no samples captured yet")
+        return sum(s.watts[channel] for s in self.samples) / len(self.samples)
+
+    def reset(self) -> None:
+        """Clear all accumulated state (used between calibration runs)."""
+        self.samples.clear()
+        self._energy_j = {ch: 0.0 for ch in CHANNELS}
+        self._elapsed_s = 0.0
+        self._next_sample_s = self.sample_period_s
+        self._last_watts = {ch: 0.0 for ch in CHANNELS}

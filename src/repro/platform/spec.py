@@ -1,0 +1,146 @@
+"""Whole-platform specification and the ODROID-XU3 preset.
+
+A :class:`PlatformSpec` is the immutable description of an HMP machine:
+two clusters, their DVFS tables, and board-level constants.  The runtime
+(mutable) counterpart is :class:`repro.platform.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ConfigurationError, PlatformError
+from repro.platform.cluster import BIG, LITTLE, ClusterSpec
+from repro.platform.core_types import cortex_a7, cortex_a15
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Immutable description of a two-cluster HMP platform.
+
+    Parameters
+    ----------
+    name:
+        Platform name for reports (``"odroid-xu3"``).
+    big, little:
+        The two cluster specifications.  Their core-id ranges must not
+        overlap.
+    board_power_w:
+        Constant power of everything outside the CPU clusters that the
+        paper's sensors also see (DRAM refresh, regulators).
+    """
+
+    name: str
+    big: ClusterSpec
+    little: ClusterSpec
+    board_power_w: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.big.name != BIG or self.little.name != LITTLE:
+            raise ConfigurationError("clusters must be named 'big' and 'little'")
+        if set(self.big.core_ids) & set(self.little.core_ids):
+            raise ConfigurationError("big and little core-id ranges overlap")
+        if self.board_power_w < 0:
+            raise ConfigurationError("negative board power")
+
+    @property
+    def clusters(self) -> Tuple[ClusterSpec, ClusterSpec]:
+        """Both clusters, big first."""
+        return (self.big, self.little)
+
+    def cluster(self, name: str) -> ClusterSpec:
+        """Look up a cluster by canonical name."""
+        if name == BIG:
+            return self.big
+        if name == LITTLE:
+            return self.little
+        raise PlatformError(f"unknown cluster {name!r}")
+
+    def cluster_of(self, core_id: int) -> ClusterSpec:
+        """The cluster owning a global core id."""
+        for cluster in self.clusters:
+            if cluster.contains_core(core_id):
+                return cluster
+        raise PlatformError(f"core id {core_id} is not on platform {self.name}")
+
+    @property
+    def n_cores(self) -> int:
+        """Total core count across both clusters."""
+        return self.big.n_cores + self.little.n_cores
+
+    @property
+    def all_core_ids(self) -> Tuple[int, ...]:
+        """Every core id on the platform, ascending."""
+        return tuple(sorted(self.little.core_ids + self.big.core_ids))
+
+    def iter_states(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Iterate the full system-state space ``(C_B, C_L, f_B, f_L)``.
+
+        Core counts range over ``0..n`` per cluster with at least one core
+        total; frequencies range over each cluster's DVFS table.  This is
+        the space the static-optimal offline sweep explores.
+        """
+        for c_big in range(self.big.n_cores + 1):
+            for c_little in range(self.little.n_cores + 1):
+                if c_big == 0 and c_little == 0:
+                    continue
+                for f_big in self.big.frequencies_mhz:
+                    for f_little in self.little.frequencies_mhz:
+                        yield (c_big, c_little, f_big, f_little)
+
+    def state_space_size(self) -> int:
+        """Number of states in :meth:`iter_states`."""
+        n_counts = (self.big.n_cores + 1) * (self.little.n_cores + 1) - 1
+        return (
+            n_counts
+            * len(self.big.frequencies_mhz)
+            * len(self.little.frequencies_mhz)
+        )
+
+
+def odroid_xu3() -> PlatformSpec:
+    """The paper's evaluation platform: Samsung Exynos 5422.
+
+    * LITTLE: 4 × Cortex-A7, cores 0–3, 0.8–1.3 GHz
+    * big:    4 × Cortex-A15, cores 4–7, 0.8–1.6 GHz
+    """
+    little = ClusterSpec(
+        name=LITTLE,
+        core_type=cortex_a7(),
+        n_cores=4,
+        first_core_id=0,
+        uncore_power_w=0.05,
+    )
+    big = ClusterSpec(
+        name=BIG,
+        core_type=cortex_a15(),
+        n_cores=4,
+        first_core_id=4,
+        uncore_power_w=0.12,
+    )
+    return PlatformSpec(name="odroid-xu3", big=big, little=little)
+
+
+def small_test_platform() -> PlatformSpec:
+    """A 2+2-core platform with short DVFS tables, for fast unit tests."""
+    little = ClusterSpec(
+        name=LITTLE,
+        core_type=cortex_a7(freqs_mhz=(800, 1000, 1200)),
+        n_cores=2,
+        first_core_id=0,
+        uncore_power_w=0.05,
+    )
+    big = ClusterSpec(
+        name=BIG,
+        core_type=cortex_a15(freqs_mhz=(800, 1200, 1600)),
+        n_cores=2,
+        first_core_id=2,
+        uncore_power_w=0.12,
+    )
+    return PlatformSpec(name="test-2x2", big=big, little=little)
+
+
+def frequency_tables(spec: PlatformSpec) -> Dict[str, Tuple[int, ...]]:
+    """Convenience: ``{cluster name: DVFS table}`` for reports."""
+    return {c.name: c.frequencies_mhz for c in spec.clusters}

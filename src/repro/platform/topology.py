@@ -1,0 +1,68 @@
+"""CPU-set / topology helpers (the simulated ``sched_setaffinity`` masks).
+
+Affinity everywhere in the library is a ``frozenset`` of global core ids.
+These helpers construct and split such masks by cluster, mirroring the
+cpuset arithmetic HARS and MP-HARS do on the real board.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.errors import PlatformError
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.spec import PlatformSpec
+
+CpuSet = FrozenSet[int]
+
+
+def full_mask(spec: PlatformSpec) -> CpuSet:
+    """Every core on the platform."""
+    return frozenset(spec.all_core_ids)
+
+
+def cluster_mask(spec: PlatformSpec, cluster_name: str) -> CpuSet:
+    """All cores of one cluster."""
+    return frozenset(spec.cluster(cluster_name).core_ids)
+
+
+def make_mask(core_ids: Iterable[int], spec: PlatformSpec) -> CpuSet:
+    """Validate and freeze a set of core ids."""
+    mask = frozenset(core_ids)
+    valid = set(spec.all_core_ids)
+    unknown = mask - valid
+    if unknown:
+        raise PlatformError(f"core ids {sorted(unknown)} not on platform")
+    return mask
+
+def split_mask(mask: CpuSet, spec: PlatformSpec) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Split a mask into (big core ids, little core ids), each sorted."""
+    big = tuple(sorted(c for c in mask if spec.big.contains_core(c)))
+    little = tuple(sorted(c for c in mask if spec.little.contains_core(c)))
+    return big, little
+
+
+def first_n(spec: PlatformSpec, cluster_name: str, n: int) -> Tuple[int, ...]:
+    """The lowest-numbered ``n`` cores of a cluster.
+
+    This is how the single-application HARS picks its ``C_B``/``C_L``
+    cores: allocation is by count, lowest ids first.
+    """
+    cluster = spec.cluster(cluster_name)
+    if not 0 <= n <= cluster.n_cores:
+        raise PlatformError(
+            f"cannot take {n} cores from {cluster_name} (has {cluster.n_cores})"
+        )
+    return cluster.core_ids[:n]
+
+
+def count_by_cluster(mask: CpuSet, spec: PlatformSpec) -> Tuple[int, int]:
+    """``(n_big, n_little)`` cores in a mask."""
+    big, little = split_mask(mask, spec)
+    return len(big), len(little)
+
+
+def describe(mask: CpuSet, spec: PlatformSpec) -> str:
+    """Human-readable mask description for traces and logs."""
+    big, little = split_mask(mask, spec)
+    return f"big{list(big)}+little{list(little)}"

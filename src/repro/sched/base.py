@@ -1,0 +1,33 @@
+"""Scheduler interface for the simulation engine.
+
+A scheduler's job each tick is placement: decide which core every
+CPU-demanding thread runs on this tick, honouring per-thread affinity and
+per-app cpusets.  The engine then divides each core's capacity fairly
+among the threads placed on it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.sim.thread import SimThread
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+#: A placement: core id → threads running there this tick.
+Placement = Dict[int, List[SimThread]]
+
+
+class Scheduler(abc.ABC):
+    """Abstract OS-scheduler model."""
+
+    @abc.abstractmethod
+    def place(self, sim: "Simulation") -> Placement:
+        """Place every demanding thread on a core for the coming tick.
+
+        Implementations must respect ``thread.affinity`` and the owning
+        app's cpuset (via :meth:`repro.sim.process.SimApp.allowed_cores`)
+        and must update ``thread.current_core``.
+        """

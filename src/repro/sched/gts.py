@@ -1,0 +1,118 @@
+"""Linux HMP Global Task Scheduling (GTS) model.
+
+GTS tracks per-task load and migrates heavy tasks to the big cluster and
+light tasks to the little cluster.  Crucially — and this is the baseline
+pathology the paper builds on (Section 4.1.1) — GTS keeps CPU-intensive
+tasks on the big cluster even when it is oversubscribed: eight hungry
+threads time-share four big cores while the little cores idle.
+
+Within the preferred cluster the model load-balances by spreading
+threads across the allowed cores evenly, preferring a thread's current
+core on ties to avoid gratuitous migration.
+
+Per-thread affinity and per-app cpusets are honoured, so the same class
+also serves HARS's pinned placement: once HARS restricts a thread to one
+cluster's allocated cores, the up/down migration logic has no freedom
+left and the class degrades to a within-set load balancer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.errors import SchedulingError
+from repro.platform.cluster import BIG, LITTLE
+from repro.sched.base import Placement, Scheduler
+from repro.sched.load_tracking import (
+    DOWN_MIGRATION_THRESHOLD,
+    UP_MIGRATION_THRESHOLD,
+    preferred_cluster,
+    validate_thresholds,
+)
+from repro.sim.thread import SimThread
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+
+class GtsScheduler(Scheduler):
+    """Load-threshold cluster selection + within-cluster balancing."""
+
+    def __init__(
+        self,
+        up_threshold: float = UP_MIGRATION_THRESHOLD,
+        down_threshold: float = DOWN_MIGRATION_THRESHOLD,
+    ):
+        validate_thresholds(up_threshold, down_threshold)
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+
+    #: Floor weight so even a freshly-idle thread occupies queue space.
+    MIN_TASK_WEIGHT = 0.1
+
+    def place(self, sim: "Simulation") -> Placement:
+        online = sim.machine.online_core_ids()
+        placement: Placement = {}
+        # Run-queue weight per core: the balancer spreads *load*, not
+        # thread count (CFS load balancing), so a heavy stage thread is
+        # not stuck sharing a core with another heavy one while light
+        # threads underuse a neighbour.
+        load_counts: Dict[int, float] = {core: 0.0 for core in online}
+
+        for app in sim.apps:
+            if app.is_done():
+                continue
+            for thread in app.threads:
+                if not app.model.wants_cpu(thread.local_index):
+                    continue
+                allowed = app.allowed_cores(thread, online)
+                core = self._pick_core(sim, thread, allowed, load_counts)
+                placement.setdefault(core, []).append(thread)
+                load_counts[core] += max(thread.load, self.MIN_TASK_WEIGHT)
+                thread.current_core = core
+        return placement
+
+    # -- internals -----------------------------------------------------------
+
+    def _pick_core(
+        self,
+        sim: "Simulation",
+        thread: SimThread,
+        allowed: frozenset,
+        load_counts: Dict[int, int],
+    ) -> int:
+        big_cores = sorted(
+            c for c in allowed if sim.machine.spec.big.contains_core(c)
+        )
+        little_cores = sorted(
+            c for c in allowed if sim.machine.spec.little.contains_core(c)
+        )
+        if not big_cores and not little_cores:
+            raise SchedulingError(f"{thread.key()}: no allowed online cores")
+
+        candidates: List[int]
+        if big_cores and little_cores:
+            current = self._current_cluster(sim, thread)
+            desired = preferred_cluster(
+                thread.load, current, self.up_threshold, self.down_threshold
+            )
+            candidates = big_cores if desired == BIG else little_cores
+        else:
+            candidates = big_cores or little_cores
+
+        # A small stickiness bonus keeps a thread on its current core
+        # unless another core is meaningfully lighter (migration cost).
+        return min(
+            candidates,
+            key=lambda c: (
+                load_counts[c] - (0.05 if c == thread.current_core else 0.0),
+                c,
+            ),
+        )
+
+    def _current_cluster(self, sim: "Simulation", thread: SimThread) -> str:
+        if thread.current_core is None:
+            return BIG  # fresh hungry tasks start on big (fork placement)
+        if sim.machine.spec.big.contains_core(thread.current_core):
+            return BIG
+        return LITTLE

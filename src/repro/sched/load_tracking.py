@@ -1,0 +1,40 @@
+"""Load-tracking constants and helpers for the GTS scheduler model.
+
+Linux's big.LITTLE Global Task Scheduling migrates tasks between the
+clusters by comparing each task's tracked load against two thresholds:
+an *up-migration* threshold (heavy tasks move to big) and a
+*down-migration* threshold (light tasks move to little).  The tracked
+signal itself is the exponentially-decayed runnable demand maintained in
+:meth:`repro.sim.thread.SimThread.update_load`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Load above which a task prefers the big cluster (fraction of full).
+UP_MIGRATION_THRESHOLD = 0.80
+
+#: Load below which a task prefers the little cluster.
+DOWN_MIGRATION_THRESHOLD = 0.25
+
+
+def validate_thresholds(up: float, down: float) -> None:
+    """Ensure a (down, up) threshold pair is sane."""
+    if not 0.0 <= down < up <= 1.0:
+        raise ConfigurationError(
+            f"migration thresholds must satisfy 0 <= down < up <= 1, "
+            f"got down={down}, up={up}"
+        )
+
+
+def preferred_cluster(load: float, current: str, up: float, down: float) -> str:
+    """Which cluster a task with ``load`` prefers.
+
+    Tasks between the thresholds stay where they are (hysteresis).
+    """
+    if load >= up:
+        return "big"
+    if load <= down:
+        return "little"
+    return current

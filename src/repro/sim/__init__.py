@@ -1,0 +1,22 @@
+"""Discrete-time HMP simulation engine."""
+
+from repro.sim.clock import SimClock
+from repro.sim.controller import Controller
+from repro.sim.engine import DEFAULT_TICK_S, MAX_TICKS, Simulation
+from repro.sim.process import SimApp
+from repro.sim.thread import INITIAL_LOAD, LOAD_TIME_CONSTANT_S, SimThread
+from repro.sim.tracing import TracePoint, TraceRecorder
+
+__all__ = [
+    "Controller",
+    "DEFAULT_TICK_S",
+    "INITIAL_LOAD",
+    "LOAD_TIME_CONSTANT_S",
+    "MAX_TICKS",
+    "SimApp",
+    "SimClock",
+    "SimThread",
+    "Simulation",
+    "TracePoint",
+    "TraceRecorder",
+]

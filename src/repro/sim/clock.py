@@ -1,0 +1,32 @@
+"""Simulated clock.
+
+All simulated time is float seconds starting at zero.  The clock only
+moves forward, in engine-tick increments.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """Monotonic simulated-time source."""
+
+    def __init__(self) -> None:
+        self._now_s = 0.0
+
+    @property
+    def now_s(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now_s
+
+    def advance(self, dt_s: float) -> float:
+        """Advance by ``dt_s`` seconds and return the new time."""
+        if dt_s <= 0:
+            raise SimulationError(f"clock can only move forward, got dt={dt_s}")
+        self._now_s += dt_s
+        return self._now_s
+
+    def reset(self) -> None:
+        """Return to time zero (between independent runs)."""
+        self._now_s = 0.0

@@ -1,0 +1,42 @@
+"""Controller protocol — how runtime systems plug into the engine.
+
+HARS, MP-HARS, CONS-I and the static baselines are all *controllers*: the
+engine calls them every tick and at every heartbeat, and they act on the
+platform through the DVFS controller and thread affinities — the same
+control surface a user-level runtime has on the real board.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.heartbeats.record import Heartbeat
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+    from repro.sim.process import SimApp
+
+
+class Controller:
+    """Base controller; all hooks are optional no-ops."""
+
+    def on_start(self, sim: "Simulation") -> None:
+        """Called once before the first tick (initial state setup)."""
+
+    def on_tick(self, sim: "Simulation") -> None:
+        """Called at the start of every tick."""
+
+    def on_heartbeat(
+        self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat
+    ) -> None:
+        """Called after an application emits a heartbeat."""
+
+    def current_allocation(self, app_name: str) -> Optional[Tuple[int, int]]:
+        """``(big cores, little cores)`` this controller has allocated to
+        the app, or ``None`` if it does not manage allocations.  Used by
+        the trace recorder for the behaviour graphs."""
+        return None
+
+    def cpu_overhead_seconds(self) -> float:
+        """Modelled CPU time this controller has consumed (Fig 5.3b)."""
+        return 0.0

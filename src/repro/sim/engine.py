@@ -1,0 +1,312 @@
+"""Time-stepped HMP simulation engine.
+
+Each tick (default 10 ms of simulated time) the engine:
+
+1. runs every controller's ``on_tick`` hook (runtime managers adapt here),
+2. asks the OS scheduler model for a placement (core → threads),
+3. divides each core's tick capacity fairly among its threads and grants
+   the resulting work budget to the workload models,
+4. collects per-thread consumption back, emits heartbeats, and fires
+   controllers' ``on_heartbeat`` hooks,
+5. evaluates the ground-truth power model from per-core utilization and
+   feeds the power sensor, and
+6. updates each thread's load-tracking signal for the GTS model.
+
+The engine is deterministic: all randomness lives inside seeded workload
+profiles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.dvfs import DvfsController
+from repro.platform.machine import Machine
+from repro.platform.power import CoreActivity, PowerModel
+from repro.platform.sensor import PowerSensor
+from repro.platform.spec import PlatformSpec
+from repro.sched.base import Scheduler
+from repro.sched.gts import GtsScheduler
+from repro.sim.clock import SimClock
+from repro.sim.controller import Controller
+from repro.sim.process import SimApp
+from repro.sim.tracing import TracePoint, TraceRecorder
+
+#: Default tick length (10 ms), far below the 263.8 ms sensor period.
+DEFAULT_TICK_S = 0.01
+
+#: Hard cap on ticks per run — guards against runaway configurations.
+MAX_TICKS = 2_000_000
+
+
+class Simulation:
+    """One simulated machine running one or more applications."""
+
+    def __init__(
+        self,
+        spec: PlatformSpec,
+        tick_s: float = DEFAULT_TICK_S,
+        scheduler: Optional[Scheduler] = None,
+    ):
+        if tick_s <= 0:
+            raise ConfigurationError("tick must be positive")
+        self.spec = spec
+        self.tick_s = tick_s
+        self.machine = Machine(spec)
+        self.dvfs = DvfsController(self.machine)
+        self.power_model = PowerModel(spec)
+        self.sensor = PowerSensor()
+        self.clock = SimClock()
+        self.scheduler: Scheduler = scheduler or GtsScheduler()
+        self.apps: List[SimApp] = []
+        self.controllers: List[Controller] = []
+        self.trace = TraceRecorder()
+        #: Per-core utilization of the most recent tick (0..1), the
+        #: signal utilization-driven governors (ondemand) consume.
+        self.last_core_utilization: Dict[int, float] = {}
+        self._started = False
+
+    # -- setup ---------------------------------------------------------------
+
+    def add_app(self, app: SimApp) -> SimApp:
+        """Register an application before the run starts."""
+        if self._started:
+            raise SimulationError("cannot add apps after the run started")
+        if any(existing.name == app.name for existing in self.apps):
+            raise ConfigurationError(f"duplicate app name {app.name!r}")
+        self.apps.append(app)
+        return app
+
+    def add_controller(self, controller: Controller) -> Controller:
+        """Register a runtime-system controller."""
+        if self._started:
+            raise SimulationError("cannot add controllers after the run started")
+        self.controllers.append(controller)
+        return controller
+
+    def app(self, name: str) -> SimApp:
+        """Look up a registered application by name."""
+        for candidate in self.apps:
+            if candidate.name == name:
+                return candidate
+        raise ConfigurationError(f"unknown app {name!r}")
+
+    # -- run loop --------------------------------------------------------------
+
+    def run(self, until_s: Optional[float] = None) -> float:
+        """Run until every app finishes (or ``until_s`` elapses).
+
+        Returns the simulated time at exit.  Apps that never finish
+        (e.g. the microbenchmark) require ``until_s``.
+        """
+        if not self.apps:
+            raise SimulationError("no applications registered")
+        if until_s is None and any(
+            app.model.total_heartbeats() == 0 for app in self.apps
+        ):
+            raise SimulationError(
+                "endless workloads present: run() needs an explicit until_s"
+            )
+        if not self._started:
+            self._started = True
+            for controller in self.controllers:
+                controller.on_start(self)
+        ticks = 0
+        while not self._all_done():
+            if until_s is not None and self.clock.now_s >= until_s - 1e-9:
+                break
+            self.step()
+            ticks += 1
+            if ticks > MAX_TICKS:
+                raise SimulationError(
+                    f"run exceeded {MAX_TICKS} ticks "
+                    f"({self.clock.now_s:.0f}s simulated) — likely stalled"
+                )
+        return self.clock.now_s
+
+    def step(self) -> None:
+        """Advance the simulation by exactly one tick."""
+        if not self._started:
+            self._started = True
+            for controller in self.controllers:
+                controller.on_start(self)
+        dt = self.tick_s
+        for controller in self.controllers:
+            controller.on_tick(self)
+
+        placement = self.scheduler.place(self)
+        busy, busy_activity, demand = self._execute_tick(placement, dt)
+        self._integrate_power(busy, busy_activity, dt)
+
+        for app in self.apps:
+            for thread in app.threads:
+                thread.update_load(
+                    demand.get((app.name, thread.local_index), 0.0), dt
+                )
+
+        self.clock.advance(dt)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _all_done(self) -> bool:
+        return all(app.is_done() for app in self.apps)
+
+    #: Maximum grant/advance rounds per tick.  Round 1 is the fair share;
+    #: later rounds redistribute core time a blocking thread left unused
+    #: (a real scheduler switches to the runnable co-tenant immediately).
+    GRANT_ROUNDS = 3
+
+    def _execute_tick(
+        self, placement: Dict[int, List], dt: float
+    ) -> Tuple[Dict[int, float], Dict[int, float], Dict[Tuple[str, int], float]]:
+        """Grant core time, advance workloads, and account busy time.
+
+        Returns per-core busy seconds, per-core busy·activity sums for
+        the power model, and per-thread *demand* (runnable fraction of
+        the tick) for load tracking: a thread that stayed hungry through
+        every round was runnable the whole tick (demand 1); a thread that
+        blocked shows the fraction of its granted time it actually used.
+        """
+        busy: Dict[int, float] = {}
+        busy_activity: Dict[int, float] = {}
+        thread_busy: Dict[Tuple[str, int], float] = {}
+        thread_granted: Dict[Tuple[str, int], float] = {}
+        blocked: set = set()
+        end_time = self.clock.now_s + dt
+        remaining: Dict[int, float] = {}  # core id -> unclaimed seconds
+        hungry: Dict[int, List] = {}  # core id -> threads still consuming
+        for core_id, threads in placement.items():
+            if threads:
+                remaining[core_id] = dt
+                hungry[core_id] = list(threads)
+
+        for _ in range(self.GRANT_ROUNDS):
+            grants: Dict[str, Dict[int, float]] = {}
+            meta: Dict[Tuple[str, int], Tuple[float, float, int]] = {}
+            for core_id, threads in hungry.items():
+                if not threads or remaining[core_id] <= 1e-9:
+                    continue
+                cluster = self.machine.cluster_of_core(core_id)
+                freq = self.machine.freq_mhz(cluster.name)
+                share_s = remaining[core_id] / len(threads)
+                for thread in threads:
+                    app = self.app(thread.app_name)
+                    speed = app.model.thread_speed(
+                        cluster.name, cluster.core_type, freq
+                    )
+                    grants.setdefault(app.name, {})[thread.local_index] = (
+                        share_s * speed
+                    )
+                    meta[(app.name, thread.local_index)] = (
+                        share_s,
+                        speed,
+                        core_id,
+                    )
+            if not grants:
+                break
+
+            satisfied: set = set()
+            for app in self.apps:
+                app_grants = grants.get(app.name)
+                if not app_grants:
+                    continue
+                result = app.model.advance(app_grants)
+                for local_index, granted in app_grants.items():
+                    consumed = result.consumed.get(local_index, 0.0)
+                    share_s, speed, core_id = meta[(app.name, local_index)]
+                    busy_s = min(share_s, consumed / speed) if speed > 0 else 0.0
+                    key = (app.name, local_index)
+                    busy[core_id] = busy.get(core_id, 0.0) + busy_s
+                    busy_activity[core_id] = (
+                        busy_activity.get(core_id, 0.0)
+                        + busy_s * app.model.traits.activity_factor
+                    )
+                    thread_busy[key] = thread_busy.get(key, 0.0) + busy_s
+                    thread_granted[key] = thread_granted.get(key, 0.0) + share_s
+                    remaining[core_id] -= busy_s
+                    if consumed < granted * 0.999:
+                        # The thread blocked (barrier, empty/full queue):
+                        # it takes no further time this tick.
+                        satisfied.add(key)
+                        blocked.add(key)
+                for i in range(result.heartbeats):
+                    tag = (
+                        result.heartbeat_tags[i]
+                        if i < len(result.heartbeat_tags)
+                        else ""
+                    )
+                    heartbeat = app.log.emit(end_time, tag)
+                    for controller in self.controllers:
+                        controller.on_heartbeat(self, app, heartbeat)
+                    self._record_trace(app)
+
+            still_hungry = False
+            for core_id in list(hungry):
+                hungry[core_id] = [
+                    t
+                    for t in hungry[core_id]
+                    if (t.app_name, t.local_index) not in satisfied
+                ]
+                if hungry[core_id] and remaining[core_id] > dt * 0.01:
+                    still_hungry = True
+            if not still_hungry:
+                break
+
+        demand: Dict[Tuple[str, int], float] = {}
+        for key, granted_s in thread_granted.items():
+            if key in blocked and granted_s > 0:
+                # Blocked threads were runnable only while they used CPU.
+                demand[key] = min(1.0, thread_busy.get(key, 0.0) / granted_s)
+            else:
+                demand[key] = 1.0  # hungry through every round: runnable
+        return busy, busy_activity, demand
+
+    def _integrate_power(
+        self,
+        busy: Dict[int, float],
+        busy_activity: Dict[int, float],
+        dt: float,
+    ) -> None:
+        self.last_core_utilization = {
+            core_id: min(1.0, busy_s / dt) for core_id, busy_s in busy.items()
+        }
+        activities: Dict[int, CoreActivity] = {}
+        for core_id, busy_s in busy.items():
+            utilization = min(1.0, busy_s / dt)
+            if busy_s > 0:
+                activity = min(1.0, busy_activity[core_id] / busy_s)
+            else:
+                activity = 1.0
+            activities[core_id] = CoreActivity(
+                utilization=utilization, activity_factor=activity
+            )
+        watts = self.power_model.platform_power(self.machine, activities)
+        self.sensor.record(dt, watts)
+
+    def _record_trace(self, app: SimApp) -> None:
+        allocation: Optional[Tuple[int, int]] = None
+        for controller in self.controllers:
+            allocation = controller.current_allocation(app.name)
+            if allocation is not None:
+                break
+        if allocation is None:
+            cores = app.cores_in_use()
+            n_big = sum(1 for c in cores if self.spec.big.contains_core(c))
+            allocation = (n_big, len(cores) - n_big)
+        last = app.log.last
+        if last is None:  # pragma: no cover - emit precedes record
+            return
+        self.trace.record(
+            app.name,
+            TracePoint(
+                time_s=last.time_s,
+                hb_index=last.index,
+                rate=app.monitor.current_rate(),
+                big_cores=allocation[0],
+                little_cores=allocation[1],
+                big_freq_mhz=self.machine.freq_mhz(BIG),
+                little_freq_mhz=self.machine.freq_mhz(LITTLE),
+            ),
+        )

@@ -1,0 +1,61 @@
+"""Run tracing: the data behind the paper's behaviour graphs.
+
+Figures 5.5–5.7 plot, per application and heartbeat index: the heartbeat
+rate (HPS), allocated big/little core counts, both cluster frequencies,
+and the target window.  The :class:`TraceRecorder` collects exactly those
+rows as the simulation runs; the experiment harness renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One behaviour-graph row for one application."""
+
+    time_s: float
+    hb_index: int
+    rate: Optional[float]  # windowed HPS; None until the window fills
+    big_cores: int
+    little_cores: int
+    big_freq_mhz: int
+    little_freq_mhz: int
+
+
+class TraceRecorder:
+    """Per-application time series of :class:`TracePoint` rows."""
+
+    def __init__(self) -> None:
+        self._points: Dict[str, List[TracePoint]] = {}
+
+    def record(self, app_name: str, point: TracePoint) -> None:
+        """Append one row for an application."""
+        self._points.setdefault(app_name, []).append(point)
+
+    def points(self, app_name: str) -> Tuple[TracePoint, ...]:
+        """All rows for an application, oldest first."""
+        return tuple(self._points.get(app_name, ()))
+
+    @property
+    def app_names(self) -> Tuple[str, ...]:
+        return tuple(self._points)
+
+    def series(self, app_name: str, column: str) -> List[Tuple[int, float]]:
+        """``(hb_index, value)`` pairs for one behaviour-graph column.
+
+        ``column`` is one of ``rate``, ``big_cores``, ``little_cores``,
+        ``big_freq_mhz``, ``little_freq_mhz``.
+        """
+        out: List[Tuple[int, float]] = []
+        for point in self._points.get(app_name, ()):
+            value = getattr(point, column)
+            if value is None:
+                continue
+            out.append((point.hb_index, float(value)))
+        return out
+
+    def __len__(self) -> int:
+        return sum(len(rows) for rows in self._points.values())

@@ -1,0 +1,80 @@
+"""Small unit-handling helpers shared across the library.
+
+The platform model works in the following canonical units:
+
+* frequency  — megahertz (``int``), matching the cpufreq sysfs convention
+* time       — seconds (``float``) of *simulated* time
+* power      — watts (``float``)
+* energy     — joules (``float``)
+* work       — abstract "work units"; a core's speed is work units / second
+
+These helpers keep conversions explicit and provide a couple of numeric
+utilities (geometric mean, clamping) used throughout the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Number of megahertz in a gigahertz, for readable conversions.
+MHZ_PER_GHZ = 1000
+
+
+def ghz(value: float) -> int:
+    """Convert gigahertz to the canonical integer megahertz."""
+    return int(round(value * MHZ_PER_GHZ))
+
+
+def mhz_to_ghz(value_mhz: int) -> float:
+    """Convert megahertz to gigahertz (for display only)."""
+    return value_mhz / MHZ_PER_GHZ
+
+
+def usec(value: float) -> float:
+    """Convert microseconds to canonical seconds."""
+    return value * 1e-6
+
+
+def msec(value: float) -> float:
+    """Convert milliseconds to canonical seconds."""
+    return value * 1e-3
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``."""
+    if low > high:
+        raise ConfigurationError(f"clamp bounds reversed: [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of strictly positive values.
+
+    The paper reports geometric means across benchmarks (the "GM" bar in
+    Figures 5.1, 5.2, and 5.4).
+    """
+    if not values:
+        raise ConfigurationError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigurationError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises on an empty iterable."""
+    items = list(values)
+    if not items:
+        raise ConfigurationError("mean of empty sequence")
+    return sum(items) / len(items)
+
+
+def frange(start: float, stop: float, step: float) -> Iterable[float]:
+    """Float range that is robust to accumulation error."""
+    if step <= 0:
+        raise ConfigurationError("frange requires a positive step")
+    n = int(math.floor((stop - start) / step + 1e-9)) + 1
+    for i in range(max(0, n)):
+        yield start + i * step

@@ -1,0 +1,55 @@
+"""Synthetic workload models (the PARSEC stand-ins and microbenchmark)."""
+
+from repro.workloads.base import AdvanceResult, WorkloadModel, WorkloadTraits
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.extra import EXTRA_BENCHMARKS, make_extra_benchmark
+from repro.workloads.microbench import (
+    MicrobenchWorkload,
+    ProfilePoint,
+    profile_power,
+)
+from repro.workloads.parsec import (
+    BENCHMARKS,
+    SHORT_CODES,
+    BenchmarkInfo,
+    benchmark_info,
+    make_benchmark,
+    resolve_name,
+)
+from repro.workloads.phases import (
+    ConstantProfile,
+    NoisyProfile,
+    SinusoidProfile,
+    StepProfile,
+    TraceProfile,
+    WorkProfile,
+    record_profile,
+)
+from repro.workloads.pipeline import PipelineWorkload, StageSpec
+
+__all__ = [
+    "AdvanceResult",
+    "BENCHMARKS",
+    "BenchmarkInfo",
+    "ConstantProfile",
+    "DataParallelWorkload",
+    "EXTRA_BENCHMARKS",
+    "MicrobenchWorkload",
+    "make_extra_benchmark",
+    "NoisyProfile",
+    "PipelineWorkload",
+    "ProfilePoint",
+    "SHORT_CODES",
+    "SinusoidProfile",
+    "StageSpec",
+    "StepProfile",
+    "TraceProfile",
+    "WorkProfile",
+    "record_profile",
+    "WorkloadModel",
+    "WorkloadTraits",
+    "benchmark_info",
+    "make_benchmark",
+    "profile_power",
+    "resolve_name",
+]

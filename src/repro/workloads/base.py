@@ -1,0 +1,148 @@
+"""Workload-model interface driven by the simulation engine.
+
+A :class:`WorkloadModel` is the synthetic stand-in for one instrumented
+PARSEC application.  Each simulation tick the engine grants every thread
+a *work capacity* (how many work units that thread could complete this
+tick on its assigned core, at the core's current frequency) and the model
+
+* consumes capacity according to its parallel structure (barrier
+  data-parallelism, pipeline stages, serial phases),
+* reports per-thread *consumed* work back (which drives utilization,
+  power, and the GTS load signal), and
+* reports the heartbeats it emitted.
+
+Ground-truth speed: a thread on a core of ``core_type`` at ``freq_mhz``
+processes
+
+    speed = base(cluster) · 1 / ((1 − mi)·f0/f + mi)
+
+work units per second, where ``base(little) = unit_scale`` and
+``base(big) = unit_scale · big_little_ratio``.  ``big_little_ratio`` is
+the workload's *true* big:little ratio — the quantity HARS assumes to be
+r0 = 1.5 and the paper measures to be 1.0 for blackscholes.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.core_types import BASELINE_FREQ_MHZ, CoreTypeSpec
+
+
+@dataclass(frozen=True)
+class AdvanceResult:
+    """What happened inside the model during one tick.
+
+    ``consumed`` maps thread index → work units actually executed (never
+    more than the grant).  ``heartbeats`` is the number of work-unit
+    completions to emit, with ``heartbeat_tags`` carrying per-beat phase
+    labels for traces.
+    """
+
+    consumed: Dict[int, float]
+    heartbeats: int = 0
+    heartbeat_tags: tuple = ()
+    done: bool = False
+
+
+@dataclass(frozen=True)
+class WorkloadTraits:
+    """Static per-workload parameters shared by all model kinds.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name (``"bodytrack"``).
+    unit_scale:
+        Speed of one little core at ``f0`` for this workload, in work
+        units per second; sets the absolute work scale.
+    big_little_ratio:
+        True per-core speed ratio r = S_B / S_L at equal frequency.
+    mem_intensity:
+        Memory-bound time fraction in [0, 1); damps frequency scaling.
+    activity_factor:
+        Switching-activity factor in (0, 1]; scales dynamic power.
+    """
+
+    name: str
+    unit_scale: float = 1.0
+    big_little_ratio: float = 1.5
+    mem_intensity: float = 0.0
+    activity_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.unit_scale <= 0:
+            raise ConfigurationError(f"{self.name}: unit_scale must be positive")
+        if self.big_little_ratio <= 0:
+            raise ConfigurationError(f"{self.name}: ratio must be positive")
+        if not 0.0 <= self.mem_intensity < 1.0:
+            raise ConfigurationError(f"{self.name}: mem_intensity not in [0,1)")
+        if not 0.0 < self.activity_factor <= 1.0:
+            raise ConfigurationError(f"{self.name}: activity not in (0,1]")
+
+    def thread_speed(
+        self, cluster_name: str, core_type: CoreTypeSpec, freq_mhz: int
+    ) -> float:
+        """Work units per second of one thread running alone on a core."""
+        if cluster_name == BIG:
+            base = self.unit_scale * self.big_little_ratio
+        elif cluster_name == LITTLE:
+            base = self.unit_scale
+        else:
+            raise ConfigurationError(f"unknown cluster {cluster_name!r}")
+        core_type.voltage_at(freq_mhz)  # validates the operating point
+        scale = freq_mhz / BASELINE_FREQ_MHZ
+        denominator = (1.0 - self.mem_intensity) / scale + self.mem_intensity
+        return base / denominator
+
+
+class WorkloadModel(abc.ABC):
+    """Abstract synthetic application.
+
+    Concrete models: :class:`repro.workloads.dataparallel.DataParallelWorkload`
+    and :class:`repro.workloads.pipeline.PipelineWorkload`.
+    """
+
+    def __init__(self, traits: WorkloadTraits, n_threads: int):
+        if n_threads < 1:
+            raise ConfigurationError(f"{traits.name}: need at least one thread")
+        self.traits = traits
+        self.n_threads = n_threads
+
+    @property
+    def name(self) -> str:
+        return self.traits.name
+
+    @abc.abstractmethod
+    def reset(self, seed: int = 0) -> None:
+        """Return the model to its initial state (fresh run)."""
+
+    @abc.abstractmethod
+    def wants_cpu(self, thread_index: int) -> bool:
+        """Whether the thread has work right now (drives GTS load)."""
+
+    @abc.abstractmethod
+    def advance(self, grants: Dict[int, float]) -> AdvanceResult:
+        """Consume granted capacity; return consumption and heartbeats."""
+
+    @abc.abstractmethod
+    def is_done(self) -> bool:
+        """Whether every work unit has been completed."""
+
+    @abc.abstractmethod
+    def total_heartbeats(self) -> int:
+        """How many heartbeats a full run emits."""
+
+    def thread_stage(self, thread_index: int) -> int:
+        """Pipeline stage of a thread (0 for non-pipeline workloads)."""
+        return 0
+
+    def thread_speed(
+        self, cluster_name: str, core_type: CoreTypeSpec, freq_mhz: int
+    ) -> float:
+        """Per-thread ground-truth speed; see :class:`WorkloadTraits`."""
+        return self.traits.thread_speed(cluster_name, core_type, freq_mhz)

@@ -1,0 +1,144 @@
+"""Barrier-style data-parallel workload model.
+
+This models the dominant PARSEC pattern (blackscholes, bodytrack,
+facesim, fluidanimate, swaptions): each work unit is split equally over
+the ``T`` worker threads, and the unit — and its heartbeat — completes
+when the *slowest* thread finishes its share (the paper's
+``t_f = max(t_B, t_L)``, Section 3.1.1).  Threads that finish early wait
+at the barrier, which lowers their utilization exactly the way the
+HARS power estimator's ``U_B,U = t_B / t_F`` term assumes.
+
+An optional *serial phase* runs before the parallel units: only thread 0
+executes and no heartbeats are emitted.  This reproduces blackscholes'
+input-reading phase, which drives the case-6 anomaly in the MP-HARS
+evaluation (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.workloads.base import AdvanceResult, WorkloadModel, WorkloadTraits
+from repro.workloads.phases import WorkProfile
+
+#: Completion slack: a share below this many work units counts as done.
+_EPSILON = 1e-9
+
+
+class DataParallelWorkload(WorkloadModel):
+    """Equal-split, barrier-per-unit data-parallel application."""
+
+    def __init__(
+        self,
+        traits: WorkloadTraits,
+        n_threads: int,
+        profile: WorkProfile,
+        n_units: int,
+        serial_work: float = 0.0,
+    ):
+        super().__init__(traits, n_threads)
+        if n_units < 1:
+            raise ConfigurationError(f"{traits.name}: need at least one unit")
+        if serial_work < 0:
+            raise ConfigurationError(f"{traits.name}: negative serial work")
+        self.profile = profile
+        self.n_units = n_units
+        self.serial_work = serial_work
+        self.reset()
+
+    def reset(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._unit_index = 0
+        self._serial_remaining = self.serial_work
+        self._shares: List[float] = []
+        self._done = False
+        if self.serial_work == 0:
+            self._load_unit()
+
+    def _load_unit(self) -> None:
+        """Split the next work unit equally across threads."""
+        work = self.profile.work(self._unit_index, self._seed)
+        share = work / self.n_threads
+        self._shares = [share] * self.n_threads
+
+    # -- WorkloadModel interface -------------------------------------------
+
+    def wants_cpu(self, thread_index: int) -> bool:
+        if not 0 <= thread_index < self.n_threads:
+            raise SimulationError(
+                f"{self.name}: thread index {thread_index} out of range"
+            )
+        if self._done:
+            return False
+        if self._serial_remaining > _EPSILON:
+            return thread_index == 0
+        return self._shares[thread_index] > _EPSILON
+
+    def advance(self, grants: Dict[int, float]) -> AdvanceResult:
+        if self._done:
+            return AdvanceResult(consumed={}, done=True)
+        consumed = {i: 0.0 for i in grants}
+        remaining_grant = dict(grants)
+        heartbeats = 0
+        tags: List[str] = []
+
+        # Serial phase: only thread 0 makes progress, no heartbeats.
+        if self._serial_remaining > _EPSILON:
+            grant0 = remaining_grant.get(0, 0.0)
+            used = min(grant0, self._serial_remaining)
+            self._serial_remaining -= used
+            consumed[0] = consumed.get(0, 0.0) + used
+            remaining_grant[0] = grant0 - used
+            if self._serial_remaining > _EPSILON:
+                return AdvanceResult(consumed=consumed)
+            self._load_unit()
+
+        # Parallel units: loop because a large grant may complete several
+        # units within one tick.
+        while True:
+            progressed = False
+            for i, grant in remaining_grant.items():
+                if grant <= _EPSILON or self._shares[i] <= _EPSILON:
+                    continue
+                used = min(grant, self._shares[i])
+                self._shares[i] -= used
+                remaining_grant[i] = grant - used
+                consumed[i] += used
+                progressed = True
+            if all(share <= _EPSILON for share in self._shares):
+                heartbeats += 1
+                tags.append("parallel")
+                self._unit_index += 1
+                if self._unit_index >= self.n_units:
+                    self._done = True
+                    break
+                self._load_unit()
+                continue
+            if not progressed:
+                break
+
+        return AdvanceResult(
+            consumed=consumed,
+            heartbeats=heartbeats,
+            heartbeat_tags=tuple(tags),
+            done=self._done,
+        )
+
+    def is_done(self) -> bool:
+        return self._done
+
+    def total_heartbeats(self) -> int:
+        return self.n_units
+
+    # -- introspection (tests, estimator validation) ------------------------
+
+    @property
+    def units_completed(self) -> int:
+        """How many work units (heartbeats) have completed so far."""
+        return self._unit_index
+
+    @property
+    def in_serial_phase(self) -> bool:
+        """Whether the model is still in the heartbeat-free serial phase."""
+        return self._serial_remaining > _EPSILON

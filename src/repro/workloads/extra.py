@@ -1,0 +1,127 @@
+"""Extra synthetic workloads beyond the paper's six PARSEC benchmarks.
+
+The evaluation uses blackscholes…swaptions; these presets extend the
+library's coverage for users exploring other regimes.  They follow the
+same modelling conventions as :mod:`repro.workloads.parsec` and are kept
+in a separate catalog so the paper's benchmark set stays exact.
+
+========== ==== ==============================================================
+preset     kind distinguishing regime
+========== ==== ==============================================================
+streamcluster DP the most memory-bound preset: frequency barely helps, so
+               the efficient states run wide-and-slow.
+canneal    DP   memory-bound with heavy per-unit variation (annealing
+               temperature schedule): stresses the adaptation loop.
+x264       PIPE a 3-stage encode pipeline with strongly uneven stage widths,
+               the case the stage-aware scheduler exists for.
+========== ==== ==============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import WorkloadModel, WorkloadTraits
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.parsec import _big_core_speed, _unit_work_for
+from repro.workloads.phases import (
+    NoisyProfile,
+    SinusoidProfile,
+    StepProfile,
+)
+from repro.workloads.pipeline import PipelineWorkload, StageSpec
+
+_STREAMCLUSTER = WorkloadTraits(
+    name="streamcluster",
+    big_little_ratio=1.25,
+    mem_intensity=0.55,
+    activity_factor=0.70,
+)
+
+_CANNEAL = WorkloadTraits(
+    name="canneal",
+    big_little_ratio=1.35,
+    mem_intensity=0.45,
+    activity_factor=0.75,
+)
+
+_X264 = WorkloadTraits(
+    name="x264",
+    big_little_ratio=1.8,
+    mem_intensity=0.15,
+    activity_factor=0.9,
+)
+
+
+def _streamcluster(n_units: int, n_threads: int) -> WorkloadModel:
+    unit_work = _unit_work_for(_STREAMCLUSTER, baseline_hps=1.5)
+    profile = NoisyProfile(
+        SinusoidProfile(
+            base_work=unit_work,
+            amplitude=0.1 * unit_work,
+            period_units=60,
+        ),
+        sigma=0.05,
+    )
+    return DataParallelWorkload(_STREAMCLUSTER, n_threads, profile, n_units)
+
+
+def _canneal(n_units: int, n_threads: int) -> WorkloadModel:
+    unit_work = _unit_work_for(_CANNEAL, baseline_hps=1.8)
+    # Simulated-annealing temperature schedule: hot early phases move a
+    # lot (expensive), late phases settle (cheap).
+    profile = NoisyProfile(
+        StepProfile(
+            segments=(
+                (max(1, n_units * 30 // 100), unit_work * 1.6),
+                (max(1, n_units * 30 // 100), unit_work * 1.1),
+                (max(1, n_units * 40 // 100), unit_work * 0.6),
+            )
+        ),
+        sigma=0.10,
+    )
+    return DataParallelWorkload(_CANNEAL, n_threads, profile, n_units)
+
+
+def _x264(n_units: int, n_threads: int) -> WorkloadModel:
+    if n_threads < 2:
+        raise ConfigurationError("x264 needs -n >= 2")
+    # Read(1) → encode(2n−2, heavy) → entropy/write(n?) — deliberately
+    # uneven stage widths so ID-interleaving misallocates big cores.
+    scale = _big_core_speed(_X264) / (1.5 * 2.0)
+    stages = (
+        StageSpec("read", 1, 0.10 * scale),
+        StageSpec("encode", 2 * n_threads - 2, 1.50 * scale),
+        StageSpec("entropy", max(1, n_threads // 2), 0.40 * scale),
+    )
+    return PipelineWorkload(_X264, stages, n_items=n_units)
+
+
+_EXTRA_FACTORIES: Dict[str, Callable[[int, int], WorkloadModel]] = {
+    "streamcluster": _streamcluster,
+    "canneal": _canneal,
+    "x264": _x264,
+}
+
+#: Extra preset names.
+EXTRA_BENCHMARKS: Tuple[str, ...] = tuple(_EXTRA_FACTORIES)
+
+_DEFAULT_UNITS = {"streamcluster": 250, "canneal": 200, "x264": 400}
+
+
+def make_extra_benchmark(
+    name: str,
+    n_units: Optional[int] = None,
+    n_threads: int = 8,
+) -> WorkloadModel:
+    """Instantiate one of the extra presets."""
+    key = name.lower()
+    if key not in _EXTRA_FACTORIES:
+        raise ConfigurationError(
+            f"unknown extra benchmark {name!r}; valid: {sorted(_EXTRA_FACTORIES)}"
+        )
+    units = n_units if n_units is not None else _DEFAULT_UNITS[key]
+    if units < 1:
+        raise ConfigurationError("n_units must be positive")
+    return _EXTRA_FACTORIES[key](units, n_threads)

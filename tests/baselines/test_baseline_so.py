@@ -1,0 +1,150 @@
+"""Tests for the baseline version and the static-optimal sweep."""
+
+import pytest
+
+from repro.baselines.baseline import BaselineController
+from repro.baselines.static_optimal import (
+    StaticOptimalController,
+    evaluate_all_states,
+    find_static_optimal,
+    find_static_optimal_measured,
+    oracle_power,
+    oracle_rate,
+)
+from repro.core.state import SystemState
+from repro.heartbeats.targets import PerformanceTarget
+from repro.platform.cluster import BIG, LITTLE
+from repro.sim.engine import Simulation
+from repro.sim.process import SimApp
+from repro.workloads.parsec import make_benchmark
+
+
+def _target(max_rate=2.5, fraction=0.5):
+    return PerformanceTarget.fraction_of(max_rate, fraction)
+
+
+class TestBaselineController:
+    def test_sets_max_frequency_and_unpins(self, xu3):
+        sim = Simulation(xu3)
+        app = sim.add_app(
+            SimApp("swaptions", make_benchmark("SW", n_units=5), _target())
+        )
+        app.set_cpuset(frozenset({0}))
+        app.threads[0].set_affinity(frozenset({0}))
+        sim.add_controller(BaselineController())
+        sim.step()
+        assert sim.machine.freq_mhz(BIG) == 1600
+        assert sim.machine.freq_mhz(LITTLE) == 1300
+        assert app.cpuset is None
+        assert all(t.affinity is None for t in app.threads)
+
+
+class TestOracle:
+    def test_rate_uses_big_cluster_when_present(self, xu3):
+        model = make_benchmark("SW", n_units=10)
+        mixed = SystemState(2, 4, 1600, 1300)
+        big_only = SystemState(2, 0, 1600, 800)
+        # GTS puts every hungry thread on big: little cores add nothing.
+        assert oracle_rate(xu3, model, mixed) == pytest.approx(
+            oracle_rate(xu3, model, big_only)
+        )
+
+    def test_rate_scales_with_cores(self, xu3):
+        model = make_benchmark("SW", n_units=10)
+        r2 = oracle_rate(xu3, model, SystemState(2, 0, 1600, 800))
+        r4 = oracle_rate(xu3, model, SystemState(4, 0, 1600, 800))
+        assert r4 == pytest.approx(2 * r2)
+
+    def test_little_only_uses_little(self, xu3):
+        model = make_benchmark("SW", n_units=10)
+        rate = oracle_rate(xu3, model, SystemState(0, 4, 800, 1300))
+        assert rate > 0
+
+    def test_oracle_rate_matches_simulation_for_dp(self, xu3):
+        """The analytic GTS model predicts the engine within ~5 %."""
+        state = SystemState(0, 4, 800, 1100)
+        model = make_benchmark("SW", n_units=40)
+        predicted = oracle_rate(xu3, model, state)
+        sim = Simulation(xu3)
+        app = sim.add_app(SimApp("sw", model, _target()))
+        sim.add_controller(StaticOptimalController("sw", state))
+        sim.run(until_s=300)
+        assert app.log.overall_rate() == pytest.approx(predicted, rel=0.05)
+
+    def test_oracle_power_matches_simulation_for_dp(self, xu3):
+        state = SystemState(0, 4, 800, 1100)
+        model = make_benchmark("SW", n_units=40)
+        predicted = oracle_power(xu3, model, state)
+        sim = Simulation(xu3)
+        app = sim.add_app(SimApp("sw", model, _target()))
+        sim.add_controller(StaticOptimalController("sw", state))
+        sim.run(until_s=300)
+        assert sim.sensor.average_power_w() == pytest.approx(predicted, rel=0.1)
+
+    def test_pipeline_oracle_bounded_by_aggregate(self, xu3):
+        model = make_benchmark("ferret", n_units=10)
+        state = SystemState(4, 0, 1600, 800)
+        rate = oracle_rate(xu3, model, state)
+        speed = model.thread_speed(BIG, xu3.big.core_type, 1600)
+        total_cost = sum(s.cost_per_item for s in model.stages)
+        assert 0 < rate <= 4 * speed / total_cost + 1e-9
+
+    def test_evaluate_all_states_covers_space(self, xu3):
+        model = make_benchmark("SW", n_units=10)
+        evaluations = evaluate_all_states(xu3, model, _target())
+        assert len(evaluations) == xu3.state_space_size()
+
+
+class TestFindStaticOptimal:
+    def test_feasible_state_chosen_when_possible(self, xu3):
+        model = make_benchmark("SW", n_units=10)
+        target = _target(2.5, 0.5)
+        best = find_static_optimal(xu3, model, target)
+        assert best.rate >= target.min_rate
+
+    def test_unreachable_target_falls_back_to_fastest(self, xu3):
+        model = make_benchmark("SW", n_units=10)
+        target = PerformanceTarget(100.0, 110.0, 120.0)
+        best = find_static_optimal(xu3, model, target)
+        all_rates = [
+            e.rate for e in evaluate_all_states(xu3, model, target)
+        ]
+        assert best.rate == pytest.approx(max(all_rates))
+
+    def test_so_beats_max_state_on_perf_per_watt(self, xu3):
+        model = make_benchmark("SW", n_units=10)
+        target = _target(2.5, 0.5)
+        best = find_static_optimal(xu3, model, target)
+        max_eval = [
+            e
+            for e in evaluate_all_states(xu3, model, target)
+            if e.state == SystemState(4, 4, 1600, 1300)
+        ][0]
+        assert best.perf_per_power > max_eval.perf_per_power
+
+    def test_measured_sweep_returns_valid_state(self, xu3):
+        target = _target(2.5, 0.5)
+        state = find_static_optimal_measured(
+            xu3,
+            lambda: make_benchmark("SW", n_units=30),
+            target,
+            top_k=3,
+            probe_units=15,
+        )
+        state.validate(xu3)
+
+
+class TestStaticOptimalController:
+    def test_applies_state_and_cpuset(self, xu3):
+        sim = Simulation(xu3)
+        app = sim.add_app(
+            SimApp("sw", make_benchmark("SW", n_units=5), _target())
+        )
+        controller = StaticOptimalController("sw", SystemState(2, 1, 1000, 900))
+        sim.add_controller(controller)
+        sim.step()
+        assert sim.machine.freq_mhz(BIG) == 1000
+        assert sim.machine.freq_mhz(LITTLE) == 900
+        assert app.cpuset == frozenset({4, 5, 0})
+        assert controller.current_allocation("sw") == (2, 1)
+        assert controller.current_allocation("other") is None

@@ -1,0 +1,74 @@
+"""Properties of the pipeline fixed-point oracle (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.static_optimal import _pipeline_rate, oracle_rate
+from repro.core.state import SystemState
+from repro.platform.spec import odroid_xu3
+from repro.workloads.base import WorkloadTraits
+from repro.workloads.pipeline import PipelineWorkload, StageSpec
+
+_SPEC = odroid_xu3()
+
+
+def _pipeline(stage_shape):
+    stages = tuple(
+        StageSpec(f"s{i}", n, cost) for i, (n, cost) in enumerate(stage_shape)
+    )
+    return PipelineWorkload(
+        WorkloadTraits(name="p", big_little_ratio=1.5), stages, n_items=10
+    )
+
+
+_STAGE = st.tuples(
+    st.integers(min_value=1, max_value=8),  # threads
+    st.floats(min_value=0.1, max_value=3.0),  # cost
+)
+_SHAPE = st.lists(_STAGE, min_size=2, max_size=6)
+_CORES = st.integers(min_value=1, max_value=8)
+_SPEED = st.floats(min_value=0.3, max_value=4.0)
+
+
+@given(shape=_SHAPE, cores=_CORES, speed=_SPEED)
+@settings(max_examples=60)
+def test_rate_bounded_by_aggregate_and_stage_caps(shape, cores, speed):
+    model = _pipeline(shape)
+    rate = _pipeline_rate(model, cores, speed)
+    total_cost = sum(s.cost_per_item for s in model.stages)
+    aggregate_cap = cores * speed / total_cost
+    per_stage_cap = min(
+        s.n_threads * speed / s.cost_per_item for s in model.stages
+    )
+    assert 0 < rate <= aggregate_cap + 1e-9
+    assert rate <= per_stage_cap + 1e-9
+
+
+@given(shape=_SHAPE, speed=_SPEED)
+@settings(max_examples=40)
+def test_rate_monotone_in_cores(shape, speed):
+    model = _pipeline(shape)
+    rates = [_pipeline_rate(model, cores, speed) for cores in (1, 2, 4, 8)]
+    for before, after in zip(rates, rates[1:]):
+        assert after >= before - 1e-9
+
+
+@given(shape=_SHAPE, cores=_CORES)
+@settings(max_examples=40)
+def test_rate_linear_in_speed(shape, cores):
+    model = _pipeline(shape)
+    slow = _pipeline_rate(model, cores, 1.0)
+    fast = _pipeline_rate(model, cores, 2.0)
+    assert fast == pytest.approx(2 * slow, rel=1e-6)
+
+
+class TestOracleRateDispatch:
+    def test_pipeline_state_uses_fixed_point(self):
+        from repro.workloads.parsec import make_benchmark
+
+        model = make_benchmark("ferret", n_units=10)
+        state = SystemState(4, 0, 1600, 800)
+        rate = oracle_rate(_SPEC, model, state)
+        speed = model.thread_speed("big", _SPEC.big.core_type, 1600)
+        assert rate == pytest.approx(_pipeline_rate(model, 4, speed))

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite.
+
+Expensive artefacts (the calibrated power estimator, measured max rates)
+are session-scoped; everything else is rebuilt per test for isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.platform.spec import odroid_xu3, small_test_platform
+
+
+@pytest.fixture(scope="session")
+def xu3():
+    """The paper's evaluation platform."""
+    return odroid_xu3()
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    """A 2+2-core platform for cheap sweeps."""
+    return small_test_platform()
+
+
+@pytest.fixture(scope="session")
+def power_estimator(xu3):
+    """Fitted linear power estimator for the XU3 (calibrated once)."""
+    return calibrate(xu3)

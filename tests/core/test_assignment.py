@@ -1,0 +1,170 @@
+"""Unit and property tests for Table 3.1 thread assignment."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.assignment import assign_threads, cluster_times
+from repro.errors import EstimationError
+
+
+class TestPaperTable:
+    """The four rows of Table 3.1 with r = 1.5, C_B = C_L = 4."""
+
+    def test_row1_few_threads_each_on_own_big_core(self):
+        a = assign_threads(3, 4, 4, 1.5)
+        assert (a.t_big, a.t_little) == (3, 0)
+        assert (a.used_big, a.used_little) == (3, 0)
+
+    def test_row2_big_timeshare_regime(self):
+        a = assign_threads(5, 4, 4, 1.5)
+        assert (a.t_big, a.t_little) == (5, 0)
+        assert (a.used_big, a.used_little) == (4, 0)
+
+    def test_row3_spill_to_little(self):
+        # T = 8: T_B = ⌊1.5·4⌋ = 6, T_L = 2, C_L,U = 2.
+        a = assign_threads(8, 4, 4, 1.5)
+        assert (a.t_big, a.t_little) == (6, 2)
+        assert (a.used_big, a.used_little) == (4, 2)
+
+    def test_row4_both_clusters_saturated(self):
+        # T = 12 > r·C_B + C_L = 10: T_B = ⌈6/10·12⌉ = 8.
+        a = assign_threads(12, 4, 4, 1.5)
+        assert (a.t_big, a.t_little) == (8, 4)
+        assert (a.used_big, a.used_little) == (4, 4)
+
+    def test_boundary_t_equals_r_cb(self):
+        a = assign_threads(6, 4, 4, 1.5)
+        assert (a.t_big, a.t_little) == (6, 0)
+
+    def test_boundary_t_equals_r_cb_plus_cl(self):
+        a = assign_threads(10, 4, 4, 1.5)
+        assert (a.t_big, a.t_little) == (6, 4)
+        assert (a.used_big, a.used_little) == (4, 4)
+
+
+class TestEdgeCases:
+    def test_no_big_cores(self):
+        a = assign_threads(8, 0, 4, 1.5)
+        assert (a.t_big, a.t_little) == (0, 8)
+        assert (a.used_big, a.used_little) == (0, 4)
+
+    def test_no_little_cores(self):
+        a = assign_threads(8, 4, 0, 1.5)
+        assert (a.t_big, a.t_little) == (8, 0)
+        assert (a.used_big, a.used_little) == (4, 0)
+
+    def test_ratio_one_balances_by_count(self):
+        a = assign_threads(8, 4, 4, 1.0)
+        assert a.t_big == 4 and a.t_little == 4
+
+    def test_ratio_below_one_mirrors(self):
+        # Little twice as fast as big: mirror of r = 2 with swapped roles.
+        fast_little = assign_threads(8, 4, 4, 0.5)
+        fast_big = assign_threads(8, 4, 4, 2.0)
+        assert fast_little.t_big == fast_big.t_little
+        assert fast_little.t_little == fast_big.t_big
+        assert fast_little.used_big == fast_big.used_little
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(EstimationError):
+            assign_threads(0, 4, 4, 1.5)
+        with pytest.raises(EstimationError):
+            assign_threads(4, 0, 0, 1.5)
+        with pytest.raises(EstimationError):
+            assign_threads(4, 4, 4, 0.0)
+
+
+_THREADS = st.integers(min_value=1, max_value=64)
+_CORES = st.integers(min_value=0, max_value=8)
+_RATIO = st.floats(min_value=0.25, max_value=4.0)
+
+
+@given(t=_THREADS, cb=_CORES, cl=_CORES, r=_RATIO)
+def test_assignment_invariants(t, cb, cl, r):
+    if cb == 0 and cl == 0:
+        return
+    a = assign_threads(t, cb, cl, r)
+    # Conservation: every thread is assigned exactly once.
+    assert a.t_big + a.t_little == t
+    # A cluster with no cores gets no threads.
+    if cb == 0:
+        assert a.t_big == 0
+    if cl == 0:
+        assert a.t_little == 0
+    # Used cores never exceed allocation or thread count.
+    assert 0 <= a.used_big <= min(cb, max(a.t_big, 0))
+    assert 0 <= a.used_little <= min(cl, max(a.t_little, 0))
+    # Threads imply used cores.
+    assert (a.t_big > 0) == (a.used_big > 0)
+    assert (a.t_little > 0) == (a.used_little > 0)
+
+
+@given(t=_THREADS, cb=_CORES, cl=_CORES, r=st.floats(min_value=1.0, max_value=4.0))
+def test_assignment_near_minimizes_tf_over_alternatives(t, cb, cl, r):
+    """The table's split is near-optimal against moving one thread.
+
+    Rows 1–3 are exactly optimal.  Row 4 (both clusters saturated)
+    rounds the continuous optimum ``T·r·C_B/(r·C_B + C_L)`` with a
+    ceiling, which a one-thread move can beat when a cluster is tiny —
+    this is a property of the *paper's* table, so we only require the
+    result to be within 2× of the single-move alternatives there.
+    """
+    if cb == 0 or cl == 0:
+        return
+    a = assign_threads(t, cb, cl, r)
+    s_big, s_little = r, 1.0
+    _, _, t_f = cluster_times(a, 1.0, t, cb, cl, s_big, s_little)
+    saturated_row = t > r * cb + cl  # row 4
+
+    for delta in (-1, 1):
+        nb = a.t_big + delta
+        nl = t - nb
+        if nb < 0 or nl < 0:
+            continue
+        alt = type(a)(
+            t_big=nb,
+            t_little=nl,
+            used_big=min(nb, cb),
+            used_little=min(nl, cl),
+        )
+        _, _, alt_tf = cluster_times(alt, 1.0, t, cb, cl, s_big, s_little)
+        if saturated_row:
+            assert t_f <= 2.0 * alt_tf + 1e-9
+        else:
+            assert t_f <= alt_tf + 1e-9
+
+
+class TestClusterTimes:
+    def test_single_cluster_time(self):
+        a = assign_threads(4, 4, 0, 1.5)
+        t_b, t_l, t_f = cluster_times(a, 8.0, 4, 4, 0, 2.0, 1.0)
+        # Each thread: share 2.0 at speed 2.0 → 1 s.
+        assert t_b == pytest.approx(1.0)
+        assert t_l == 0.0
+        assert t_f == pytest.approx(1.0)
+
+    def test_timeshared_cluster_time(self):
+        a = assign_threads(8, 4, 0, 1.5)
+        t_b, _, _ = cluster_times(a, 8.0, 8, 4, 0, 2.0, 1.0)
+        # 8 threads × 1.0 share on 4 cores of speed 2: 1 s.
+        assert t_b == pytest.approx(1.0)
+
+    def test_tf_is_max(self):
+        a = assign_threads(8, 4, 4, 1.5)
+        t_b, t_l, t_f = cluster_times(a, 8.0, 8, 4, 4, 1.5, 1.0)
+        assert t_f == max(t_b, t_l)
+
+    def test_threads_without_capacity_raise(self):
+        a = assign_threads(8, 4, 4, 1.5)
+        with pytest.raises(EstimationError):
+            cluster_times(a, 8.0, 8, 4, 0, 1.5, 1.0)
+
+    def test_balanced_split_nearly_equalizes_clusters(self):
+        # With the paper's parameters the two clusters finish within the
+        # granularity of one thread of work.
+        a = assign_threads(10, 4, 4, 1.5)
+        t_b, t_l, t_f = cluster_times(a, 10.0, 10, 4, 4, 1.5, 1.0)
+        assert abs(t_b - t_l) / t_f < 0.35

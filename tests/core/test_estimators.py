@@ -1,0 +1,191 @@
+"""Unit tests for the performance and power estimators + calibration."""
+
+import pytest
+
+from repro.core.calibration import calibrate, fit_coefficients
+from repro.core.perf_estimator import DEFAULT_R0, PerformanceEstimator
+from repro.core.power_estimator import LinearCoefficients, PowerEstimator
+from repro.core.state import SystemState
+from repro.errors import CalibrationError, EstimationError
+from repro.platform.cluster import BIG, LITTLE
+from repro.workloads.microbench import ProfilePoint
+
+
+class TestPerformanceEstimator:
+    def test_default_r0_is_paper_value(self):
+        assert DEFAULT_R0 == 1.5
+
+    def test_per_core_speeds_scale_with_frequency(self):
+        est = PerformanceEstimator()
+        s_big, s_little = est.per_core_speeds(SystemState(4, 4, 1600, 1300))
+        assert s_big == pytest.approx(1.5 * 1.6)
+        assert s_little == pytest.approx(1.3)
+
+    def test_capacity_monotonic_in_cores(self):
+        est = PerformanceEstimator()
+        caps = [
+            est.estimate(SystemState(cb, 4, 1600, 1300), 8).capacity
+            for cb in range(5)
+        ]
+        assert caps == sorted(caps)
+
+    def test_capacity_weakly_monotonic_in_frequency(self):
+        # Weakly monotonic: when the little cluster is the critical path,
+        # raising the big frequency cannot help (and must not hurt).
+        est = PerformanceEstimator()
+        caps = [
+            est.estimate(SystemState(4, 4, f, 1300), 8).capacity
+            for f in range(800, 1601, 100)
+        ]
+        for before, after in zip(caps, caps[1:]):
+            assert after >= before - 1e-9
+        assert caps[-1] > caps[0]
+
+    def test_single_cluster_capacity(self):
+        est = PerformanceEstimator()
+        # 8 threads on 4 little cores at f0: capacity = 4·S_L = 4.
+        cap = est.estimate(SystemState(0, 4, 800, 1000), 8).capacity
+        assert cap == pytest.approx(4.0)
+
+    def test_utilizations_bounded_and_balanced(self):
+        est = PerformanceEstimator()
+        perf = est.estimate(SystemState(4, 4, 1600, 1300), 8)
+        assert 0 < perf.util_big <= 1.0
+        assert 0 < perf.util_little <= 1.0
+        # t_f = max(t_B, t_L) so at least one cluster is the critical path.
+        assert max(perf.util_big, perf.util_little) == pytest.approx(1.0)
+
+    def test_estimate_rate_transfer(self):
+        est = PerformanceEstimator()
+        current = SystemState(4, 4, 1600, 1300)
+        half = SystemState(4, 4, 800, 800)
+        rate = est.estimate_rate(half, current, observed_rate=2.0, n_threads=8)
+        cap_ratio = (
+            est.estimate(half, 8).capacity / est.estimate(current, 8).capacity
+        )
+        assert rate == pytest.approx(2.0 * cap_ratio)
+
+    def test_estimate_rate_identity(self):
+        est = PerformanceEstimator()
+        state = SystemState(2, 2, 1000, 1000)
+        assert est.estimate_rate(state, state, 3.3, 8) == pytest.approx(3.3)
+
+    def test_invalid_observed_rate(self):
+        est = PerformanceEstimator()
+        state = SystemState(2, 2, 1000, 1000)
+        with pytest.raises(EstimationError):
+            est.estimate_rate(state, state, 0.0, 8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EstimationError):
+            PerformanceEstimator(r0=0.0)
+
+
+class TestFitCoefficients:
+    def _points(self, alpha=0.5, beta=1.0):
+        return [
+            ProfilePoint(
+                cluster=BIG,
+                freq_mhz=1000,
+                cores_used=c,
+                utilization=u,
+                watts=alpha * c * u + beta,
+            )
+            for c in (1, 2, 3, 4)
+            for u in (0.25, 0.5, 1.0)
+        ]
+
+    def test_exact_fit_of_linear_data(self):
+        fitted = fit_coefficients(self._points(alpha=0.7, beta=0.3))
+        coeffs = fitted[(BIG, 1000)]
+        assert coeffs.alpha == pytest.approx(0.7)
+        assert coeffs.beta == pytest.approx(0.3)
+        assert coeffs.r_squared == pytest.approx(1.0)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(CalibrationError):
+            fit_coefficients([])
+
+    def test_degenerate_group_rejected(self):
+        points = [
+            ProfilePoint(BIG, 1000, 1, 0.5, 1.0),
+            ProfilePoint(BIG, 1000, 1, 0.5, 1.1),
+        ]
+        with pytest.raises(CalibrationError):
+            fit_coefficients(points)
+
+
+class TestPowerEstimator:
+    def test_predict_is_linear(self):
+        coeffs = LinearCoefficients(alpha=0.5, beta=1.0)
+        assert coeffs.predict(4, 0.5) == pytest.approx(2.0)
+        assert coeffs.predict(0, 0.0) == pytest.approx(1.0)
+
+    def test_predict_validates(self):
+        coeffs = LinearCoefficients(alpha=0.5, beta=1.0)
+        with pytest.raises(EstimationError):
+            coeffs.predict(-1, 0.5)
+        with pytest.raises(EstimationError):
+            coeffs.predict(1, 1.5)
+
+    def test_missing_operating_point_raises(self):
+        est = PowerEstimator({(BIG, 1000): LinearCoefficients(0.5, 1.0)})
+        with pytest.raises(EstimationError):
+            est.coefficients(BIG, 1100)
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(EstimationError):
+            PowerEstimator({})
+
+
+class TestCalibration:
+    def test_covers_every_operating_point(self, xu3, power_estimator):
+        expected = {(BIG, f) for f in xu3.big.frequencies_mhz} | {
+            (LITTLE, f) for f in xu3.little.frequencies_mhz
+        }
+        assert set(power_estimator.fitted_points) == expected
+
+    def test_fit_quality_is_high(self, power_estimator, xu3):
+        # The ground truth is linear in C·U per (cluster, freq), so the
+        # fit should be near-perfect.
+        for key in power_estimator.fitted_points:
+            assert power_estimator.coefficients(*key).r_squared > 0.99
+
+    def test_alpha_grows_with_frequency(self, power_estimator, xu3):
+        alphas = [
+            power_estimator.coefficients(BIG, f).alpha
+            for f in xu3.big.frequencies_mhz
+        ]
+        assert alphas == sorted(alphas)
+
+    def test_big_costs_more_than_little(self, power_estimator):
+        assert (
+            power_estimator.coefficients(BIG, 1300).alpha
+            > power_estimator.coefficients(LITTLE, 1300).alpha
+        )
+
+    def test_estimate_against_ground_truth(self, xu3, power_estimator):
+        """Estimator vs ground truth within ~20 % for a busy cluster."""
+        from repro.platform.machine import Machine
+        from repro.platform.power import CoreActivity, PowerModel
+
+        est = PerformanceEstimator()
+        state = SystemState(4, 0, 1200, 800)
+        perf = est.estimate(state, 8)
+        predicted = power_estimator.estimate(state, perf)
+
+        machine = Machine(xu3)
+        machine.set_freq_mhz(BIG, 1200)
+        machine.set_freq_mhz(LITTLE, 800)
+        actual = PowerModel(xu3).platform_power(
+            machine,
+            {c: CoreActivity(utilization=1.0) for c in (4, 5, 6, 7)},
+        )
+        # The estimator omits board power, which the sensor channel
+        # separates too; compare against big + little.
+        assert predicted == pytest.approx(
+            actual[BIG] + actual[LITTLE], rel=0.2
+        )
+
+    def test_cache_returns_same_object(self, xu3):
+        assert calibrate(xu3) is calibrate(xu3)

@@ -1,0 +1,60 @@
+"""Property tests for the thread-split policies (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.schedulers import chunk_split, interleaved_split
+from repro.extensions.stage_aware import stage_aware_split
+
+_N = st.integers(min_value=1, max_value=64)
+
+
+@given(n=_N, data=st.data())
+def test_chunk_split_properties(n, data):
+    t_big = data.draw(st.integers(min_value=0, max_value=n))
+    flags = chunk_split(n, t_big)
+    assert len(flags) == n
+    assert sum(flags) == t_big
+    # Chunk property: little threads form one consecutive prefix.
+    if t_big < n:
+        first_big = flags.index(True) if t_big else n
+        assert all(not f for f in flags[:first_big])
+        assert all(f for f in flags[first_big:])
+
+
+@given(n=_N, data=st.data())
+def test_interleaved_split_properties(n, data):
+    t_big = data.draw(st.integers(min_value=0, max_value=n))
+    flags = interleaved_split(n, t_big)
+    assert len(flags) == n
+    assert sum(flags) == t_big
+    # Interleave property: every window of ceil(n/t_big) threads holds at
+    # least one big thread (big slots spread evenly).
+    if t_big:
+        window = -(-n // t_big)  # ceil
+        for start in range(0, n - window + 1):
+            assert any(flags[start : start + window + 1])
+
+
+@given(
+    stage_sizes=st.lists(
+        st.integers(min_value=1, max_value=10), min_size=1, max_size=6
+    ),
+    data=st.data(),
+)
+def test_stage_aware_split_properties(stage_sizes, data):
+    stages = [s for s, size in enumerate(stage_sizes) for _ in range(size)]
+    n = len(stages)
+    t_big = data.draw(st.integers(min_value=0, max_value=n))
+    flags = stage_aware_split(stages, t_big)
+    assert len(flags) == n
+    assert sum(flags) == t_big
+    # Each stage's big share is within one thread of proportional.
+    for stage_index, size in enumerate(stage_sizes):
+        got = sum(
+            flag
+            for flag, stage in zip(flags, stages)
+            if stage == stage_index
+        )
+        ideal = size * t_big / n
+        assert abs(got - ideal) <= 1.0 + 1e-9

@@ -1,0 +1,110 @@
+"""Unit tests for the chunk-based and interleaving thread schedulers."""
+
+import pytest
+
+from repro.core.assignment import assign_threads
+from repro.core.schedulers import (
+    CHUNK,
+    INTERLEAVED,
+    apply_assignment,
+    chunk_split,
+    interleaved_split,
+)
+from repro.errors import SchedulingError
+from repro.heartbeats.targets import PerformanceTarget
+from repro.sim.process import SimApp
+from repro.workloads.base import WorkloadTraits
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.phases import ConstantProfile
+
+
+def _app(n_threads=8):
+    model = DataParallelWorkload(
+        WorkloadTraits(name="t"), n_threads, ConstantProfile(1.0), 4
+    )
+    return SimApp("t", model, PerformanceTarget(1.0, 1.0, 1.0))
+
+
+class TestChunkSplit:
+    def test_figure_3_2a_layout(self):
+        # 8 threads, T_B = T_L = 4: threads 0–3 little, 4–7 big.
+        flags = chunk_split(8, t_big=4)
+        assert flags == [False] * 4 + [True] * 4
+
+    def test_all_big(self):
+        assert chunk_split(4, 4) == [True] * 4
+
+    def test_all_little(self):
+        assert chunk_split(4, 0) == [False] * 4
+
+    def test_consecutive_little_block(self):
+        flags = chunk_split(8, t_big=6)
+        assert flags == [False, False] + [True] * 6
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            chunk_split(0, 0)
+        with pytest.raises(SchedulingError):
+            chunk_split(4, 5)
+
+
+class TestInterleavedSplit:
+    def test_figure_3_2b_layout(self):
+        # T_B = T_L = 4: strict alternation starting little.
+        flags = interleaved_split(8, t_big=4)
+        assert flags == [False, True] * 4
+
+    def test_big_count_preserved(self):
+        for t_big in range(9):
+            assert sum(interleaved_split(8, t_big)) == t_big
+
+    def test_uneven_ratio_spreads_evenly(self):
+        flags = interleaved_split(8, t_big=6)
+        # No more than one little thread in any window of 4.
+        littles = [i for i, big in enumerate(flags) if not big]
+        assert len(littles) == 2
+        assert abs(littles[1] - littles[0]) >= 3
+
+    def test_no_big_threads(self):
+        assert interleaved_split(4, 0) == [False] * 4
+
+
+class TestApplyAssignment:
+    def test_chunk_pins_blocks(self):
+        app = _app()
+        assignment = assign_threads(8, 4, 4, 1.0)  # 4 big / 4 little
+        apply_assignment(app, assignment, (4, 5, 6, 7), (0, 1, 2, 3), CHUNK)
+        for thread in app.threads[:4]:
+            assert thread.affinity == frozenset({0, 1, 2, 3})
+        for thread in app.threads[4:]:
+            assert thread.affinity == frozenset({4, 5, 6, 7})
+
+    def test_interleaved_alternates(self):
+        app = _app()
+        assignment = assign_threads(8, 4, 4, 1.0)
+        apply_assignment(
+            app, assignment, (4, 5, 6, 7), (0, 1, 2, 3), INTERLEAVED
+        )
+        masks = [t.affinity for t in app.threads]
+        assert masks[0] == frozenset({0, 1, 2, 3})
+        assert masks[1] == frozenset({4, 5, 6, 7})
+        assert masks[2] == frozenset({0, 1, 2, 3})
+
+    def test_subset_of_cluster_cores(self):
+        app = _app()
+        assignment = assign_threads(8, 2, 2, 1.5)
+        apply_assignment(app, assignment, (4, 5), (0, 1), CHUNK)
+        big_masks = {t.affinity for t in app.threads if t.affinity == frozenset({4, 5})}
+        assert big_masks  # some threads pinned to the two big cores
+
+    def test_missing_cores_for_assignment_raises(self):
+        app = _app()
+        assignment = assign_threads(8, 4, 4, 1.5)  # needs both clusters
+        with pytest.raises(SchedulingError):
+            apply_assignment(app, assignment, (), (0, 1, 2, 3), CHUNK)
+
+    def test_unknown_policy_rejected(self):
+        app = _app()
+        assignment = assign_threads(8, 4, 0, 1.5)
+        with pytest.raises(SchedulingError):
+            apply_assignment(app, assignment, (4, 5, 6, 7), (), "random")

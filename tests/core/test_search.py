@@ -1,0 +1,175 @@
+"""Unit tests for the Algorithm 2 search function."""
+
+import pytest
+
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import HARS_E, HARS_I, SearchSpace, sweep_policy
+from repro.core.search import evaluate_state, get_next_sys_state
+from repro.core.state import SystemState, max_state
+from repro.errors import ConfigurationError, EstimationError
+from repro.heartbeats.targets import PerformanceTarget, Satisfaction
+
+
+@pytest.fixture
+def perf_est():
+    return PerformanceEstimator()
+
+
+def _search(xu3, power_estimator, perf_est, current, rate, target, space, **kw):
+    return get_next_sys_state(
+        spec=xu3,
+        current=current,
+        observed_rate=rate,
+        n_threads=8,
+        target=target,
+        space=space,
+        perf_estimator=perf_est,
+        power_estimator=power_estimator,
+        **kw,
+    )
+
+
+class TestPolicies:
+    def test_hars_i_spaces_are_directional(self):
+        over = HARS_I.space_for(Satisfaction.OVERPERF)
+        under = HARS_I.space_for(Satisfaction.UNDERPERF)
+        assert (over.m, over.n, over.d) == (1, 0, 1)
+        assert (under.m, under.n, under.d) == (0, 1, 1)
+
+    def test_hars_e_space_is_paper_box(self):
+        space = HARS_E.space_for(Satisfaction.OVERPERF)
+        assert (space.m, space.n, space.d) == (4, 4, 7)
+
+    def test_sweep_policy(self):
+        policy = sweep_policy(5)
+        assert policy.space_for(Satisfaction.OVERPERF).d == 5
+        assert policy.scheduler == "interleaved"
+
+    def test_invalid_space_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SearchSpace(m=-1, n=0, d=1)
+        with pytest.raises(ConfigurationError):
+            SearchSpace(m=0, n=0, d=0)
+
+
+class TestSearchSelection:
+    def test_overperforming_run_shrinks_the_state(
+        self, xu3, power_estimator, perf_est
+    ):
+        current = max_state(xu3)
+        target = PerformanceTarget(0.9, 1.0, 1.1)
+        result = _search(
+            xu3, power_estimator, perf_est, current, 4.0, target,
+            SearchSpace(4, 4, 7),
+        )
+        chosen = result.state
+        assert chosen != current
+        # The chosen state still satisfies the target in estimation...
+        assert result.best.est_rate >= target.min_rate
+        # ...but is much cheaper than staying at max.
+        stay = evaluate_state(
+            current, current, 4.0, 8, target, perf_est, power_estimator
+        )
+        assert result.best.est_power < stay.est_power
+
+    def test_underperforming_run_grows_the_state(
+        self, xu3, power_estimator, perf_est
+    ):
+        current = SystemState(0, 2, 800, 800)
+        target = PerformanceTarget(2.0, 2.2, 2.4)
+        result = _search(
+            xu3, power_estimator, perf_est, current, 0.6, target,
+            SearchSpace(0, 4, 7),
+        )
+        assert result.best.est_rate > 0.6
+
+    def test_feasible_dominates_higher_pp_infeasible(
+        self, xu3, power_estimator, perf_est
+    ):
+        """A state meeting the target wins even when an infeasible state
+        has better perf/watt (Algorithm 2 lines 13–22)."""
+        current = max_state(xu3)
+        target = PerformanceTarget(3.0, 3.2, 3.4)
+        result = _search(
+            xu3, power_estimator, perf_est, current, 4.0, target,
+            SearchSpace(4, 4, 7),
+        )
+        assert result.best.est_rate >= target.min_rate
+
+    def test_when_nothing_feasible_pick_fastest(
+        self, xu3, power_estimator, perf_est
+    ):
+        current = SystemState(0, 1, 800, 800)
+        target = PerformanceTarget(50.0, 55.0, 60.0)  # unreachable
+        result = _search(
+            xu3, power_estimator, perf_est, current, 0.5, target,
+            SearchSpace(0, 1, 1),
+        )
+        # Must move toward more capacity even though infeasible.
+        assert result.best.est_rate > 0.5
+
+    def test_current_state_is_floor(self, xu3, power_estimator, perf_est):
+        """The search never returns a state estimated worse than staying
+        (getBetterState)."""
+        current = SystemState(2, 2, 1200, 1000)
+        target = PerformanceTarget(1.9, 2.0, 2.1)  # achieved at current
+        result = _search(
+            xu3, power_estimator, perf_est, current, 2.0, target,
+            SearchSpace(4, 4, 7),
+        )
+        stay = evaluate_state(
+            current, current, 2.0, 8, target, perf_est, power_estimator
+        )
+        if result.state != current:
+            assert result.best.perf_per_power >= stay.perf_per_power
+
+    def test_candidate_filter_restricts(self, xu3, power_estimator, perf_est):
+        current = SystemState(2, 2, 1200, 1000)
+        target = PerformanceTarget(0.5, 0.6, 0.7)
+
+        def only_keep_freqs(candidate, cur):
+            return (
+                candidate.f_big_mhz == cur.f_big_mhz
+                and candidate.f_little_mhz == cur.f_little_mhz
+            )
+
+        result = _search(
+            xu3, power_estimator, perf_est, current, 2.0, target,
+            SearchSpace(4, 4, 7), candidate_filter=only_keep_freqs,
+        )
+        assert result.state.f_big_mhz == 1200
+        assert result.state.f_little_mhz == 1000
+
+    def test_filter_rejecting_everything_stays_put(
+        self, xu3, power_estimator, perf_est
+    ):
+        current = SystemState(2, 2, 1200, 1000)
+        target = PerformanceTarget(0.5, 0.6, 0.7)
+        result = _search(
+            xu3, power_estimator, perf_est, current, 2.0, target,
+            SearchSpace(1, 1, 2), candidate_filter=lambda c, cur: False,
+        )
+        assert result.state == current
+
+    def test_states_explored_counts_evaluations(
+        self, xu3, power_estimator, perf_est
+    ):
+        current = SystemState(2, 2, 1200, 1000)
+        target = PerformanceTarget(0.5, 0.6, 0.7)
+        small = _search(
+            xu3, power_estimator, perf_est, current, 2.0, target,
+            SearchSpace(1, 0, 1),
+        )
+        large = _search(
+            xu3, power_estimator, perf_est, current, 2.0, target,
+            SearchSpace(4, 4, 7),
+        )
+        assert small.states_explored == 5
+        assert large.states_explored > 100
+
+    def test_invalid_rate_rejected(self, xu3, power_estimator, perf_est):
+        with pytest.raises(EstimationError):
+            _search(
+                xu3, power_estimator, perf_est, max_state(xu3), 0.0,
+                PerformanceTarget(1.0, 1.1, 1.2), SearchSpace(1, 1, 2),
+            )

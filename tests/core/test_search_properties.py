@@ -1,0 +1,91 @@
+"""Property-based tests for the Algorithm 2 search (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import calibrate
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import SearchSpace
+from repro.core.search import get_next_sys_state
+from repro.core.state import from_indices
+from repro.heartbeats.targets import PerformanceTarget
+from repro.platform.spec import odroid_xu3
+
+_SPEC = odroid_xu3()
+_PERF = PerformanceEstimator()
+_POWER = calibrate(_SPEC)
+
+_CB = st.integers(min_value=0, max_value=4)
+_CL = st.integers(min_value=0, max_value=4)
+_IFB = st.integers(min_value=0, max_value=8)
+_IFL = st.integers(min_value=0, max_value=5)
+_RATE = st.floats(min_value=0.1, max_value=10.0)
+_TARGET_CENTER = st.floats(min_value=0.2, max_value=8.0)
+_MN = st.integers(min_value=0, max_value=4)
+_D = st.integers(min_value=1, max_value=9)
+
+
+@given(
+    cb=_CB, cl=_CL, ifb=_IFB, ifl=_IFL,
+    rate=_RATE, center=_TARGET_CENTER,
+    m=_MN, n=_MN, d=_D,
+)
+@settings(max_examples=40, deadline=None)
+def test_search_always_returns_valid_reachable_state(
+    cb, cl, ifb, ifl, rate, center, m, n, d
+):
+    if cb == 0 and cl == 0:
+        return
+    current = from_indices(_SPEC, cb, cl, ifb, ifl)
+    target = PerformanceTarget(0.9 * center, center, 1.1 * center)
+    result = get_next_sys_state(
+        spec=_SPEC,
+        current=current,
+        observed_rate=rate,
+        n_threads=8,
+        target=target,
+        space=SearchSpace(m=m, n=n, d=d),
+        perf_estimator=_PERF,
+        power_estimator=_POWER,
+    )
+    chosen = result.state
+    chosen.validate(_SPEC)
+    # Within the box and the Manhattan bound.
+    assert current.manhattan_distance(chosen, _SPEC) <= d
+    for got, ref in zip(chosen.indices(_SPEC), current.indices(_SPEC)):
+        assert ref - m <= got <= ref + n
+    # Explored count is bounded by the (clamped) box size.
+    assert 1 <= result.states_explored <= (m + n + 1) ** 4
+    # The chosen candidate is never worse than staying put under the
+    # selection order (feasibility first, then perf/watt or rate).
+    assert result.best.est_power > 0
+
+
+@given(
+    cb=st.integers(min_value=1, max_value=4),
+    ifb=_IFB, ifl=_IFL, rate=_RATE,
+)
+@settings(max_examples=30, deadline=None)
+def test_filter_is_always_respected(cb, ifb, ifl, rate):
+    current = from_indices(_SPEC, cb, 2, ifb, ifl)
+    target = PerformanceTarget(0.9, 1.0, 1.1)
+
+    def no_core_growth(candidate, cur):
+        return (
+            candidate.c_big <= cur.c_big
+            and candidate.c_little <= cur.c_little
+        )
+
+    result = get_next_sys_state(
+        spec=_SPEC,
+        current=current,
+        observed_rate=rate,
+        n_threads=8,
+        target=target,
+        space=SearchSpace(m=4, n=4, d=7),
+        perf_estimator=_PERF,
+        power_estimator=_POWER,
+        candidate_filter=no_core_growth,
+    )
+    assert result.state.c_big <= current.c_big
+    assert result.state.c_little <= current.c_little

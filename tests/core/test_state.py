@@ -1,0 +1,124 @@
+"""Unit and property tests for the system-state space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import (
+    SystemState,
+    from_indices,
+    max_state,
+    neighbourhood,
+)
+from repro.errors import ConfigurationError
+from repro.platform.spec import odroid_xu3
+
+_SPEC = odroid_xu3()
+
+
+class TestSystemState:
+    def test_validate_accepts_valid_state(self, xu3):
+        SystemState(2, 3, 1200, 1000).validate(xu3)
+
+    def test_validate_rejects_bad_counts(self, xu3):
+        with pytest.raises(ConfigurationError):
+            SystemState(5, 0, 800, 800).validate(xu3)
+        with pytest.raises(ConfigurationError):
+            SystemState(0, 0, 800, 800).validate(xu3)
+        with pytest.raises(ConfigurationError):
+            SystemState(-1, 2, 800, 800).validate(xu3)
+
+    def test_validate_rejects_bad_frequency(self, xu3):
+        from repro.errors import FrequencyError
+
+        with pytest.raises(FrequencyError):
+            SystemState(1, 1, 850, 800).validate(xu3)
+
+    def test_indices(self, xu3):
+        assert SystemState(2, 3, 1200, 1000).indices(xu3) == (2, 3, 4, 2)
+
+    def test_manhattan_distance(self, xu3):
+        a = SystemState(4, 4, 1600, 1300)
+        b = SystemState(2, 4, 1400, 1200)
+        assert a.manhattan_distance(b, xu3) == 2 + 0 + 2 + 1
+        assert a.manhattan_distance(a, xu3) == 0
+
+    def test_describe(self):
+        assert SystemState(2, 4, 1400, 1100).describe() == "2B@1400+4L@1100"
+
+    def test_max_state(self, xu3):
+        state = max_state(xu3)
+        assert state == SystemState(4, 4, 1600, 1300)
+
+    def test_from_indices_round_trip(self, xu3):
+        state = from_indices(xu3, 1, 2, 3, 4)
+        assert state.indices(xu3) == (1, 2, 3, 4)
+
+
+class TestNeighbourhood:
+    def test_incremental_down_space(self, xu3):
+        """HARS-I overperform space: m=1, n=0, d=1 — stay or one step down
+        in exactly one dimension."""
+        current = SystemState(2, 2, 1200, 1000)
+        states = list(neighbourhood(xu3, current, m=1, n=0, d=1))
+        assert current in states
+        assert len(states) == 5  # self + 4 single-dim decrements
+        for state in states:
+            assert current.manhattan_distance(state, xu3) <= 1
+            assert state.indices(xu3) <= current.indices(xu3)
+
+    def test_incremental_up_space(self, xu3):
+        current = SystemState(2, 2, 1200, 1000)
+        states = list(neighbourhood(xu3, current, m=0, n=1, d=1))
+        assert len(states) == 5
+
+    def test_clamps_at_space_edges(self, xu3):
+        corner = max_state(xu3)
+        states = list(neighbourhood(xu3, corner, m=0, n=1, d=1))
+        assert states == [corner]  # nothing above the max state
+
+    def test_excludes_zero_core_state(self, xu3):
+        current = SystemState(1, 0, 800, 800)
+        states = list(neighbourhood(xu3, current, m=1, n=0, d=2))
+        assert all(s.c_big + s.c_little >= 1 for s in states)
+
+    def test_distance_prunes(self, xu3):
+        current = SystemState(2, 2, 1200, 1000)
+        wide = list(neighbourhood(xu3, current, m=4, n=4, d=7))
+        tight = list(neighbourhood(xu3, current, m=4, n=4, d=2))
+        assert len(tight) < len(wide)
+        for state in wide:
+            assert current.manhattan_distance(state, xu3) <= 7
+
+    def test_invalid_parameters(self, xu3):
+        current = max_state(xu3)
+        with pytest.raises(ConfigurationError):
+            list(neighbourhood(xu3, current, m=-1, n=0, d=1))
+        with pytest.raises(ConfigurationError):
+            list(neighbourhood(xu3, current, m=0, n=0, d=0))
+
+
+_CB = st.integers(min_value=0, max_value=4)
+_CL = st.integers(min_value=0, max_value=4)
+_IFB = st.integers(min_value=0, max_value=8)
+_IFL = st.integers(min_value=0, max_value=5)
+_MN = st.integers(min_value=0, max_value=4)
+_D = st.integers(min_value=1, max_value=9)
+
+
+@given(cb=_CB, cl=_CL, ifb=_IFB, ifl=_IFL, m=_MN, n=_MN, d=_D)
+@settings(max_examples=60)
+def test_neighbourhood_properties(cb, cl, ifb, ifl, m, n, d):
+    if cb == 0 and cl == 0:
+        return
+    current = from_indices(_SPEC, cb, cl, ifb, ifl)
+    states = list(neighbourhood(_SPEC, current, m, n, d))
+    # The current state is always a candidate; all are valid and unique
+    # and within the box and distance bound.
+    assert current in states
+    assert len(states) == len(set(states))
+    for state in states:
+        state.validate(_SPEC)
+        assert current.manhattan_distance(state, _SPEC) <= d
+        for got, center in zip(state.indices(_SPEC), current.indices(_SPEC)):
+            assert center - m <= got <= center + n

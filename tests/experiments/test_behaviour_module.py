@@ -1,0 +1,40 @@
+"""Tests for the Figures 5.5–5.7 behaviour-run module (small scale)."""
+
+import pytest
+
+from repro.experiments.fig5_5_7 import BEHAVIOUR_VERSIONS, run_behaviour
+
+
+class TestBehaviourRun:
+    @pytest.fixture(scope="class")
+    def mp_run(self, xu3):
+        return run_behaviour(
+            "mp-hars-e",
+            spec=xu3,
+            pair=("bodytrack", "fluidanimate"),
+            n_units=50,
+        )
+
+    def test_versions_are_the_paper_three(self):
+        assert BEHAVIOUR_VERSIONS == ("cons-i", "mp-hars-i", "mp-hars-e")
+
+    def test_traces_exist_for_both_apps(self, mp_run):
+        assert len(mp_run.app_names()) == 2
+        for app_name in mp_run.app_names():
+            assert mp_run.trace.series(app_name, "rate")
+            assert mp_run.trace.series(app_name, "big_cores")
+
+    def test_targets_recorded(self, mp_run):
+        for app_name in mp_run.app_names():
+            target = mp_run.targets[app_name]
+            assert target.min_rate < target.max_rate
+
+    def test_steady_mean_and_overshoot(self, mp_run):
+        app_name = mp_run.app_names()[0]
+        assert mp_run.steady_mean(app_name, "rate", skip=10) > 0
+        assert 0.0 <= mp_run.overshoot_fraction(app_name, skip=10) <= 1.0
+
+    def test_render_contains_all_columns(self, mp_run):
+        text = mp_run.render()
+        for label in ("HPS", "B_Core", "L_Core", "B_Freq", "L_Freq"):
+            assert label in text

@@ -1,0 +1,78 @@
+"""Unit tests for figure-module logic with synthetic data (no sims)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig5_1 import GM, PerfWattComparison
+from repro.experiments.fig5_2 import gain_compression
+from repro.experiments.fig5_3 import DistanceSweep
+from repro.experiments.fig5_4 import CASES, MultiAppComparison, case_label
+
+
+def _comparison(target, gains):
+    cmp = PerfWattComparison(
+        target_fraction=target, versions=("baseline", "hars-e")
+    )
+    for code, gain in gains.items():
+        cmp.normalized[code] = {"baseline": 1.0, "hars-e": gain}
+    return cmp
+
+
+class TestPerfWattComparison:
+    def test_geomean(self):
+        cmp = _comparison(0.5, {"BL": 2.0, "SW": 8.0})
+        assert cmp.geomean["hars-e"] == pytest.approx(4.0)
+        assert cmp.geomean["baseline"] == pytest.approx(1.0)
+
+    def test_render_contains_gm_row(self):
+        cmp = _comparison(0.5, {"BL": 2.0})
+        text = cmp.render()
+        assert GM in text
+        assert "50%" in text
+
+
+class TestGainCompression:
+    def test_ratios(self):
+        default = _comparison(0.5, {"BL": 4.0})
+        high = _comparison(0.75, {"BL": 2.0})
+        ratios = gain_compression(default, high)
+        assert ratios["hars-e"] == pytest.approx(0.5)
+        assert ratios["baseline"] == pytest.approx(1.0)
+
+
+class TestDistanceSweep:
+    def _sweep(self, efficiencies):
+        sweep = DistanceSweep(distances=(1, 3, 5, 7, 9))
+        sweep.efficiency[0.5] = efficiencies
+        sweep.cpu_percent[0.5] = {d: 0.1 * d for d in efficiencies}
+        return sweep
+
+    def test_knee_finds_plateau_start(self):
+        sweep = self._sweep({1: 1.0, 3: 1.2, 5: 1.3, 7: 1.3, 9: 1.31})
+        assert sweep.knee(0.5) == 5
+
+    def test_knee_tolerance(self):
+        sweep = self._sweep({1: 1.0, 3: 1.28, 5: 1.3, 7: 1.3, 9: 1.3})
+        assert sweep.knee(0.5, tolerance=0.02) == 3
+        assert sweep.knee(0.5, tolerance=0.001) == 5
+
+    def test_render(self):
+        sweep = self._sweep({1: 1.0, 3: 1.1, 5: 1.2, 7: 1.2, 9: 1.2})
+        text = sweep.render()
+        assert "manager CPU %" in text
+        assert "50%" in text
+
+
+class TestMultiAppComparison:
+    def test_case_labels_follow_paper_order(self):
+        labels = [case_label(pair, i) for i, pair in enumerate(CASES)]
+        assert labels[0] == "case1:BO+SW"
+        assert labels[3] == "case4:BO+FL"
+        assert labels[5] == "case6:BO+BL"
+
+    def test_geomean_and_render(self):
+        cmp = MultiAppComparison(versions=("baseline", "mp-hars-e"))
+        cmp.normalized["case1:BO+SW"] = {"baseline": 1.0, "mp-hars-e": 2.0}
+        cmp.normalized["case2:BL+SW"] = {"baseline": 1.0, "mp-hars-e": 4.5}
+        assert cmp.geomean["mp-hars-e"] == pytest.approx(3.0)
+        assert "case1:BO+SW" in cmp.render()

@@ -1,0 +1,130 @@
+"""Unit tests for run metrics and text reporting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import (
+    AppRunMetrics,
+    RunMetrics,
+    geomean_across,
+    normalize_to_baseline,
+)
+from repro.experiments.report import (
+    bar_chart,
+    format_table,
+    grouped_bars,
+    sampled_series,
+)
+
+
+def _app_metrics(perf=0.9, name="a"):
+    return AppRunMetrics(
+        app_name=name,
+        heartbeats=100,
+        overall_rate=1.0,
+        mean_normalized_perf=perf,
+        target_min=0.9,
+        target_avg=1.0,
+        target_max=1.1,
+    )
+
+
+def _run(version="x", perf=0.9, power=2.0, overhead=0.0, n_apps=1):
+    return RunMetrics(
+        version=version,
+        apps=tuple(_app_metrics(perf, f"a{i}") for i in range(n_apps)),
+        elapsed_s=100.0,
+        avg_power_w=power,
+        manager_overhead_s=overhead,
+    )
+
+
+class TestRunMetrics:
+    def test_perf_per_watt_single_app(self):
+        assert _run(perf=0.8, power=2.0).perf_per_watt == pytest.approx(0.4)
+
+    def test_perf_per_watt_multi_app_uses_mean_perf(self):
+        run = RunMetrics(
+            version="x",
+            apps=(_app_metrics(1.0, "a"), _app_metrics(0.5, "b")),
+            elapsed_s=10.0,
+            avg_power_w=3.0,
+        )
+        assert run.perf_per_watt == pytest.approx(0.75 / 3.0)
+
+    def test_manager_cpu_percent(self):
+        assert _run(overhead=5.0).manager_cpu_percent == pytest.approx(5.0)
+
+    def test_app_lookup(self):
+        run = _run(n_apps=2)
+        assert run.app("a1").app_name == "a1"
+        with pytest.raises(ConfigurationError):
+            run.app("missing")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RunMetrics(version="x", apps=(), elapsed_s=1.0, avg_power_w=1.0)
+        with pytest.raises(ConfigurationError):
+            _run(power=0.0)
+        with pytest.raises(ConfigurationError):
+            _app_metrics(perf=1.5)
+
+
+class TestNormalization:
+    def test_normalize_to_baseline(self):
+        results = {
+            "baseline": _run("baseline", perf=1.0, power=4.0),  # pp 0.25
+            "hars": _run("hars", perf=1.0, power=2.0),  # pp 0.5
+        }
+        normalized = normalize_to_baseline(results)
+        assert normalized["baseline"] == pytest.approx(1.0)
+        assert normalized["hars"] == pytest.approx(2.0)
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(ConfigurationError):
+            normalize_to_baseline({"hars": _run()})
+
+    def test_geomean_across(self):
+        rows = [{"v": 2.0}, {"v": 8.0}]
+        assert geomean_across(rows, ["v"])["v"] == pytest.approx(4.0)
+
+    def test_geomean_missing_version_raises(self):
+        with pytest.raises(ConfigurationError):
+            geomean_across([{"v": 2.0}, {}], ["v"])
+
+
+class TestReport:
+    def test_format_table_aligns(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "22.50" in lines[-1]
+
+    def test_format_table_validates_width(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_bar_chart_scales(self):
+        chart = bar_chart({"x": 1.0, "y": 2.0}, title="t")
+        lines = chart.splitlines()
+        assert lines[0] == "t"
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_bar_chart_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})
+
+    def test_grouped_bars(self):
+        text = grouped_bars(
+            ["BL"], ["Baseline", "SO"], {"BL": {"Baseline": 1.0, "SO": 3.5}}
+        )
+        assert "BL" in text and "3.50" in text
+
+    def test_sampled_series_condenses(self):
+        series = [(i, float(i)) for i in range(100)]
+        text = sampled_series(series, max_points=10)
+        assert len(text.split()) <= 27
+        assert text.startswith("0:")
+
+    def test_sampled_series_empty(self):
+        assert sampled_series([]) == "(empty series)"

@@ -1,0 +1,119 @@
+"""Tests for the Pareto-frontier and estimator-accuracy analyses."""
+
+import pytest
+
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.state import SystemState
+from repro.errors import ConfigurationError
+from repro.experiments.accuracy import (
+    DEFAULT_SAMPLE,
+    evaluate_accuracy,
+)
+from repro.experiments.pareto import ParetoFrontier, ParetoPoint, build_frontier
+from repro.workloads.parsec import make_benchmark
+
+
+@pytest.fixture(scope="module")
+def sw_frontier(xu3):
+    return build_frontier(xu3, make_benchmark("SW", n_units=10))
+
+
+class TestParetoFrontier:
+    def test_frontier_is_nondominated_and_sorted(self, sw_frontier):
+        points = sw_frontier.points
+        assert len(points) >= 5
+        for before, after in zip(points, points[1:]):
+            assert after.rate > before.rate
+            assert after.watts > before.watts  # strictly, by construction
+
+    def test_frontier_much_smaller_than_space(self, xu3, sw_frontier):
+        assert len(sw_frontier) < xu3.state_space_size() / 10
+
+    def test_min_watts_monotonic_in_rate(self, sw_frontier):
+        low = sw_frontier.min_watts_for_rate(0.5)
+        high = sw_frontier.min_watts_for_rate(
+            sw_frontier.points[-1].rate
+        )
+        assert low is not None and high is not None
+        assert low <= high
+
+    def test_rate_beyond_platform_is_none(self, sw_frontier):
+        assert sw_frontier.min_watts_for_rate(1e9) is None
+
+    def test_excess_power(self, sw_frontier):
+        point = sw_frontier.points[len(sw_frontier) // 2]
+        # On-frontier points have zero excess.
+        assert sw_frontier.excess_power(point.rate, point.watts) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        # A wasteful operator sits above the frontier.
+        assert sw_frontier.excess_power(point.rate, point.watts + 1.0) == (
+            pytest.approx(1.0)
+        )
+        # Beating the frontier clamps at zero.
+        assert sw_frontier.excess_power(point.rate, 0.0) == 0.0
+
+    def test_excess_ratio(self, sw_frontier):
+        point = sw_frontier.points[0]
+        ratio = sw_frontier.excess_ratio(point.rate, 2 * point.watts)
+        assert ratio == pytest.approx(1.0)
+
+    def test_empty_frontier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParetoFrontier([])
+
+    def test_hars_settles_near_the_frontier(self, xu3, sw_frontier):
+        """The point of the analysis: a HARS run's settled operating
+        point sits within ~35 % of the oracle frontier."""
+        from repro.experiments.runner import RunShape, run_single
+
+        metrics = run_single(
+            "hars-e", RunShape("swaptions", n_units=60), xu3
+        ).metrics
+        rate = metrics.apps[0].overall_rate
+        excess = sw_frontier.excess_ratio(rate, metrics.avg_power_w)
+        assert excess is not None
+        assert excess < 0.35
+
+
+class TestAccuracy:
+    @pytest.fixture(scope="class")
+    def report(self, xu3, power_estimator):
+        return evaluate_accuracy(
+            xu3,
+            lambda: make_benchmark("bodytrack", n_units=25),
+            "bodytrack",
+            PerformanceEstimator(),
+            power_estimator,
+            states=DEFAULT_SAMPLE[:4],
+            probe_units=25,
+        )
+
+    def test_reference_predicts_itself(self, report):
+        # The first sampled state is the reference: zero transfer error.
+        assert report.rows[0].rate_error == pytest.approx(0.0, abs=1e-6)
+
+    def test_rate_mape_is_modest(self, report):
+        # The estimator's assumptions (fixed r0, equal split) keep it
+        # within a few tens of percent — good enough to rank states,
+        # which is all the search needs.
+        assert report.rate_mape < 0.30
+
+    def test_power_mape_is_modest(self, report):
+        assert report.power_mape < 0.30
+
+    def test_render(self, report):
+        text = report.render()
+        assert "MAPE" in text
+        assert "bodytrack" in text
+
+    def test_empty_states_rejected(self, xu3, power_estimator):
+        with pytest.raises(ConfigurationError):
+            evaluate_accuracy(
+                xu3,
+                lambda: make_benchmark("SW", n_units=10),
+                "swaptions",
+                PerformanceEstimator(),
+                power_estimator,
+                states=(),
+            )

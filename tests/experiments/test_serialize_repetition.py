@@ -1,0 +1,155 @@
+"""Tests for result serialization and seed-repetition statistics."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig5_1 import PerfWattComparison
+from repro.experiments.fig5_3 import DistanceSweep
+from repro.experiments.metrics import AppRunMetrics, RunMetrics
+from repro.experiments.repetition import (
+    Spread,
+    compare_with_spread,
+    repeat_single,
+    significantly_better,
+    spread_of,
+)
+from repro.experiments.runner import RunShape
+from repro.experiments.serialize import (
+    comparison_to_dict,
+    dump_json,
+    load_json,
+    run_metrics_from_dict,
+    run_metrics_to_dict,
+    sweep_to_dict,
+)
+
+
+def _metrics(version="hars-e", perf=0.9, power=2.0):
+    return RunMetrics(
+        version=version,
+        apps=(
+            AppRunMetrics(
+                app_name="a",
+                heartbeats=40,
+                overall_rate=1.2,
+                mean_normalized_perf=perf,
+                target_min=0.9,
+                target_avg=1.0,
+                target_max=1.1,
+            ),
+        ),
+        elapsed_s=100.0,
+        avg_power_w=power,
+        manager_overhead_s=1.5,
+        final_state="0B@800+4L@1100",
+    )
+
+
+class TestRunMetricsRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = _metrics()
+        restored = run_metrics_from_dict(run_metrics_to_dict(original))
+        assert restored == original
+        assert restored.perf_per_watt == original.perf_per_watt
+
+    def test_missing_field_rejected(self):
+        data = run_metrics_to_dict(_metrics())
+        del data["avg_power_w"]
+        with pytest.raises(ConfigurationError):
+            run_metrics_from_dict(data)
+
+    def test_json_serializable(self):
+        json.dumps(run_metrics_to_dict(_metrics()))
+
+
+class TestComparisonSerialization:
+    def test_comparison_dict(self):
+        cmp = PerfWattComparison(
+            target_fraction=0.5, versions=("baseline", "hars-e")
+        )
+        cmp.normalized["SW"] = {"baseline": 1.0, "hars-e": 2.5}
+        cmp.raw["SW"] = {
+            "baseline": _metrics("baseline", 1.0, 6.0),
+            "hars-e": _metrics("hars-e"),
+        }
+        data = comparison_to_dict(cmp)
+        assert data["kind"] == "perf-watt-comparison"
+        assert data["normalized"]["SW"]["hars-e"] == 2.5
+        assert data["geomean"]["hars-e"] == pytest.approx(2.5)
+        json.dumps(data)
+
+    def test_sweep_dict(self):
+        sweep = DistanceSweep(distances=(1, 3))
+        sweep.efficiency[0.5] = {1: 1.0, 3: 1.2}
+        sweep.cpu_percent[0.5] = {1: 0.5, 3: 0.8}
+        data = sweep_to_dict(sweep)
+        assert data["efficiency"]["0.5"][3] == 1.2
+        json.dumps(data)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "result.json")
+        dump_json({"kind": "test", "x": 1}, path)
+        assert load_json(path)["x"] == 1
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = str(tmp_path / "foreign.json")
+        with open(path, "w") as handle:
+            json.dump([1, 2, 3], handle)
+        with pytest.raises(ConfigurationError):
+            load_json(path)
+
+
+class TestSpread:
+    def test_spread_of_constant(self):
+        spread = spread_of([2.0, 2.0, 2.0])
+        assert spread.mean == 2.0
+        assert spread.std == 0.0
+        assert spread.ci95_half_width == 0.0
+
+    def test_spread_of_values(self):
+        spread = spread_of([1.0, 2.0, 3.0])
+        assert spread.mean == 2.0
+        assert spread.std == pytest.approx(1.0)
+        assert spread.ci95_half_width == pytest.approx(1.96 / 3**0.5)
+
+    def test_single_value(self):
+        spread = spread_of([5.0])
+        assert spread.n == 1 and spread.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spread_of([])
+
+    def test_significantly_better(self):
+        a = Spread(mean=3.0, std=0.1, n=10)
+        b = Spread(mean=1.0, std=0.1, n=10)
+        assert significantly_better(a, b)
+        assert not significantly_better(b, a)
+        overlapping = Spread(mean=2.95, std=1.0, n=4)
+        assert not significantly_better(a, overlapping)
+
+    def test_summary_format(self):
+        assert "±" in Spread(mean=1.0, std=0.2, n=4).summary()
+
+
+class TestRepetition:
+    def test_repeat_single_over_seeds(self, xu3):
+        shape = RunShape("fluidanimate", n_units=40)
+        spread, values = repeat_single("hars-e", shape, seeds=(0, 1, 2), spec=xu3)
+        assert spread.n == 3
+        assert len(values) == 3
+        # Seeded noise makes runs differ, but not wildly.
+        assert spread.std / spread.mean < 0.2
+
+    def test_compare_with_spread_separates_versions(self, xu3):
+        shape = RunShape("fluidanimate", n_units=40)
+        spreads = compare_with_spread(
+            ("baseline", "hars-e"), shape, seeds=(0, 1), spec=xu3
+        )
+        assert significantly_better(spreads["hars-e"], spreads["baseline"])
+
+    def test_needs_seeds(self, xu3):
+        with pytest.raises(ConfigurationError):
+            repeat_single("baseline", RunShape("swaptions", n_units=10), ())

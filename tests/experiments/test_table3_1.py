@@ -1,0 +1,52 @@
+"""Tests for the Table 3.1 regeneration module."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.table3_1 import build_table, regime_of, render_table
+
+
+class TestRegimes:
+    def test_regime_boundaries_for_paper_platform(self):
+        # C_B = C_L = 4, r = 1.5: knees at 4, 6, 10.
+        assert regime_of(4, 4, 4, 1.5) == "T <= C_B"
+        assert regime_of(5, 4, 4, 1.5) == "C_B < T <= r*C_B"
+        assert regime_of(6, 4, 4, 1.5) == "C_B < T <= r*C_B"
+        assert regime_of(7, 4, 4, 1.5) == "r*C_B < T <= r*C_B + C_L"
+        assert regime_of(10, 4, 4, 1.5) == "r*C_B < T <= r*C_B + C_L"
+        assert regime_of(11, 4, 4, 1.5) == "r*C_B + C_L < T"
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ConfigurationError):
+            regime_of(0, 4, 4, 1.5)
+
+
+class TestBuildTable:
+    def test_rows_for_every_thread_count(self):
+        rows = build_table(max_threads=16)
+        assert len(rows) == 16
+        assert [r.n_threads for r in rows] == list(range(1, 17))
+
+    def test_paper_eight_thread_row(self):
+        rows = build_table()
+        row = rows[7]  # T = 8
+        assert row.assignment.t_big == 6
+        assert row.assignment.t_little == 2
+        assert row.assignment.used_big == 4
+        assert row.assignment.used_little == 2
+
+    def test_regimes_are_monotone(self):
+        rows = build_table(max_threads=16)
+        order = [
+            "T <= C_B",
+            "C_B < T <= r*C_B",
+            "r*C_B < T <= r*C_B + C_L",
+            "r*C_B + C_L < T",
+        ]
+        indices = [order.index(r.regime) for r in rows]
+        assert indices == sorted(indices)
+
+    def test_render_contains_all_columns(self):
+        text = render_table(build_table(max_threads=4))
+        assert "T_B" in text and "C_L,U" in text
+        assert len(text.splitlines()) == 6  # header + rule + 4 rows

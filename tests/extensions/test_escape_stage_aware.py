@@ -1,0 +1,86 @@
+"""Unit tests for the stuck detector, full-space escape and stage-aware split."""
+
+import pytest
+
+from repro.core.state import SystemState
+from repro.errors import ConfigurationError, SchedulingError
+from repro.extensions.escape import StuckDetector, full_space
+from repro.extensions.stage_aware import stage_aware_split
+
+
+class TestFullSpace:
+    def test_covers_entire_space(self, xu3):
+        space = full_space(xu3)
+        assert space.m >= 4 and space.n >= 4
+        # Max Manhattan distance across the XU3 space is 4+4+8+5 = 21.
+        assert space.d >= 21
+
+
+class TestStuckDetector:
+    def test_fires_after_threshold_fruitless_periods(self):
+        detector = StuckDetector(threshold=3)
+        state = SystemState(1, 1, 800, 800)
+        assert not detector.note_out_of_window(state)
+        assert not detector.note_out_of_window(state)
+        assert detector.note_out_of_window(state)
+
+    def test_state_change_resets(self):
+        detector = StuckDetector(threshold=2)
+        a = SystemState(1, 1, 800, 800)
+        b = SystemState(2, 1, 800, 800)
+        assert not detector.note_out_of_window(a)
+        assert not detector.note_out_of_window(b)  # moved: streak restarts
+        assert detector.note_out_of_window(b)
+
+    def test_in_window_resets(self):
+        detector = StuckDetector(threshold=2)
+        state = SystemState(1, 1, 800, 800)
+        detector.note_out_of_window(state)
+        detector.note_in_window(state)
+        assert not detector.note_out_of_window(state)
+
+    def test_fires_once_per_episode(self):
+        detector = StuckDetector(threshold=2)
+        state = SystemState(1, 1, 800, 800)
+        detector.note_out_of_window(state)
+        assert detector.note_out_of_window(state)
+        # Counter reset: needs a fresh streak to fire again.
+        assert not detector.note_out_of_window(state)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StuckDetector(threshold=0)
+
+
+class TestStageAwareSplit:
+    def test_total_big_count_exact(self):
+        stages = [0] + [1] * 8 + [2] * 8 + [3] * 8 + [4] * 8 + [5]
+        for t_big in range(len(stages) + 1):
+            flags = stage_aware_split(stages, t_big)
+            assert sum(flags) == t_big
+
+    def test_each_stage_gets_proportional_share(self):
+        stages = [0] * 4 + [1] * 4  # two equal stages
+        flags = stage_aware_split(stages, t_big=4)
+        big_in_stage0 = sum(flags[:4])
+        big_in_stage1 = sum(flags[4:])
+        assert big_in_stage0 == big_in_stage1 == 2
+
+    def test_uneven_stages_within_one_thread_of_proportional(self):
+        stages = [0] * 2 + [1] * 6
+        flags = stage_aware_split(stages, t_big=4)
+        big_stage0 = sum(flags[:2])
+        big_stage1 = sum(flags[2:])
+        assert abs(big_stage0 - 2 * 4 / 8) <= 1
+        assert abs(big_stage1 - 6 * 4 / 8) <= 1
+
+    def test_all_or_none(self):
+        stages = [0, 0, 1, 1]
+        assert stage_aware_split(stages, 0) == [False] * 4
+        assert stage_aware_split(stages, 4) == [True] * 4
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            stage_aware_split([], 0)
+        with pytest.raises(SchedulingError):
+            stage_aware_split([0, 1], 3)

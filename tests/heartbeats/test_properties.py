@@ -1,0 +1,64 @@
+"""Property tests for heartbeat rates and targets (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heartbeats.record import HeartbeatLog
+from repro.heartbeats.targets import PerformanceTarget, Satisfaction
+
+_INTERVALS = st.lists(
+    st.floats(min_value=0.01, max_value=5.0), min_size=2, max_size=40
+)
+
+
+@given(intervals=_INTERVALS)
+def test_window_rate_bounded_by_extreme_intervals(intervals):
+    log = HeartbeatLog("p")
+    t = 0.0
+    log.emit(t)
+    for gap in intervals:
+        t += gap
+        log.emit(t)
+    window = len(intervals)
+    rate = log.window_rate(window)
+    assert rate is not None
+    # The windowed rate is the harmonic mean of the interval rates, so it
+    # lies between the slowest and fastest instantaneous rates.
+    assert 1.0 / max(intervals) - 1e-9 <= rate <= 1.0 / min(intervals) + 1e-9
+
+
+@given(intervals=_INTERVALS)
+def test_uniform_intervals_give_exact_rate(intervals):
+    gap = intervals[0]
+    log = HeartbeatLog("p")
+    for i in range(10):
+        log.emit(i * gap)
+    assert log.window_rate(5) == pytest.approx(1.0 / gap)
+    assert log.overall_rate() == pytest.approx(1.0 / gap)
+
+
+@given(
+    max_rate=st.floats(min_value=0.1, max_value=100.0),
+    fraction=st.floats(min_value=0.1, max_value=1.0),
+    tolerance=st.floats(min_value=0.0, max_value=0.09),
+    rate=st.floats(min_value=0.0, max_value=200.0),
+)
+@settings(max_examples=100)
+def test_target_classification_is_consistent(max_rate, fraction, tolerance, rate):
+    if tolerance >= fraction:
+        return
+    target = PerformanceTarget.fraction_of(max_rate, fraction, tolerance)
+    satisfaction = target.classify(rate)
+    norm = target.normalized_performance(rate)
+    assert 0.0 <= norm <= 1.0
+    if satisfaction is Satisfaction.OVERPERF:
+        assert norm == 1.0
+        assert rate > target.max_rate
+    if satisfaction is Satisfaction.UNDERPERF:
+        assert rate < target.min_rate
+    # The adaptation trigger fires outside the window and only there.
+    in_window = target.min_rate <= rate <= target.max_rate
+    if in_window:
+        assert satisfaction is Satisfaction.ACHIEVE
+        assert not target.out_of_window(rate)

@@ -1,0 +1,85 @@
+"""Unit tests for heartbeat records and logs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.heartbeats.record import HeartbeatLog
+
+
+def _emit_at(log, times):
+    for t in times:
+        log.emit(t)
+
+
+class TestEmission:
+    def test_indices_count_from_zero(self):
+        log = HeartbeatLog("app")
+        beats = [log.emit(t) for t in (0.1, 0.2, 0.3)]
+        assert [b.index for b in beats] == [0, 1, 2]
+
+    def test_time_must_not_go_backwards(self):
+        log = HeartbeatLog("app")
+        log.emit(1.0)
+        with pytest.raises(ConfigurationError):
+            log.emit(0.5)
+
+    def test_simultaneous_beats_allowed(self):
+        # Several work units can finish within one tick.
+        log = HeartbeatLog("app")
+        log.emit(1.0)
+        log.emit(1.0)
+        assert len(log) == 2
+
+    def test_last_and_len(self):
+        log = HeartbeatLog("app")
+        assert log.last is None
+        log.emit(0.5, tag="warmup")
+        assert log.last.index == 0
+        assert log.last.tag == "warmup"
+        assert len(log) == 1
+
+    def test_beats_view_is_immutable_tuple(self):
+        log = HeartbeatLog("app")
+        log.emit(0.1)
+        assert isinstance(log.beats, tuple)
+
+
+class TestRates:
+    def test_window_rate_needs_window_plus_one_beats(self):
+        log = HeartbeatLog("app")
+        _emit_at(log, [0.0, 1.0, 2.0])
+        assert log.window_rate(3) is None
+        assert log.window_rate(2) == pytest.approx(1.0)
+
+    def test_window_rate_uses_trailing_window(self):
+        log = HeartbeatLog("app")
+        _emit_at(log, [0.0, 10.0, 10.5, 11.0])  # slow start, fast tail
+        assert log.window_rate(2) == pytest.approx(2.0)
+
+    def test_window_rate_zero_span_is_none(self):
+        log = HeartbeatLog("app")
+        _emit_at(log, [1.0, 1.0])
+        assert log.window_rate(1) is None
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatLog("app").window_rate(0)
+
+    def test_overall_rate(self):
+        log = HeartbeatLog("app")
+        _emit_at(log, [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert log.overall_rate() == pytest.approx(1.0)
+
+    def test_overall_rate_too_short_is_none(self):
+        log = HeartbeatLog("app")
+        assert log.overall_rate() is None
+        log.emit(1.0)
+        assert log.overall_rate() is None
+
+    def test_rate_series_indices_and_values(self):
+        log = HeartbeatLog("app")
+        _emit_at(log, [0.0, 0.5, 1.0, 1.5])
+        series = log.rate_series(2)
+        assert [i for i, _ in series] == [2, 3]
+        for _, rate in series:
+            assert rate == pytest.approx(2.0)

@@ -1,0 +1,130 @@
+"""Conservation and determinism invariants of the simulation engine."""
+
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.core.manager import HarsManager
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import HARS_E
+from repro.heartbeats.targets import PerformanceTarget
+from repro.platform.cluster import BIG, LITTLE
+from repro.sim.engine import Simulation
+from repro.sim.process import SimApp
+from repro.workloads.base import WorkloadTraits
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.parsec import make_benchmark
+from repro.workloads.phases import ConstantProfile, NoisyProfile
+
+
+def _app(name="w", n_units=30, unit_work=4.0, sigma=0.0, n_threads=8):
+    profile = ConstantProfile(unit_work)
+    if sigma:
+        profile = NoisyProfile(profile, sigma=sigma)
+    model = DataParallelWorkload(
+        WorkloadTraits(name=name, big_little_ratio=1.5),
+        n_threads,
+        profile,
+        n_units,
+    )
+    return SimApp(name, model, PerformanceTarget(0.45, 0.5, 0.55))
+
+
+class TestWorkConservation:
+    def test_completed_work_matches_profile(self, xu3):
+        """Total work executed equals the sum of the unit sizes."""
+        sim = Simulation(xu3)
+        app = sim.add_app(_app(n_units=20, unit_work=4.0))
+        sim.run(until_s=200)
+        # Completion time × aggregate delivered capacity ≥ total work,
+        # and exactly n_units heartbeats fired.
+        assert len(app.log) == 20
+
+    def test_energy_equals_power_integral(self, xu3):
+        sim = Simulation(xu3)
+        sim.add_app(_app())
+        sim.run(until_s=100)
+        sensor = sim.sensor
+        assert sensor.energy_j("total") == pytest.approx(
+            sensor.average_power_w("total") * sensor.elapsed_s
+        )
+        assert sensor.energy_j("total") == pytest.approx(
+            sensor.energy_j(BIG)
+            + sensor.energy_j(LITTLE)
+            + sensor.energy_j("board")
+        )
+
+    def test_throughput_never_exceeds_platform_capacity(self, xu3):
+        """An app cannot complete work faster than every core at maximum
+        frequency could deliver it."""
+        sim = Simulation(xu3)
+        app = sim.add_app(_app(n_units=25, unit_work=4.0))
+        elapsed = sim.run(until_s=200)
+        model = app.model
+        max_speed_big = model.thread_speed(BIG, xu3.big.core_type, 1600)
+        max_speed_little = model.thread_speed(LITTLE, xu3.little.core_type, 1300)
+        capacity = 4 * max_speed_big + 4 * max_speed_little
+        total_work = 25 * 4.0
+        assert total_work <= capacity * elapsed * 1.001
+
+
+class TestDeterminism:
+    def _run_fingerprint(self, seed=7):
+        spec_sim = Simulation.__module__  # silence lint unused
+        from repro.platform.spec import odroid_xu3
+
+        spec = odroid_xu3()
+        sim = Simulation(spec)
+        model = make_benchmark("fluidanimate", n_units=40)
+        model.reset(seed)
+        app = sim.add_app(
+            SimApp("fl", model, PerformanceTarget(0.9, 1.0, 1.1))
+        )
+        manager = HarsManager(
+            "fl", HARS_E, PerformanceEstimator(), calibrate(spec)
+        )
+        sim.add_controller(manager)
+        sim.run(until_s=300)
+        return (
+            tuple(round(b.time_s, 9) for b in app.log.beats),
+            round(sim.sensor.energy_j(), 9),
+            manager.state,
+            manager.states_explored_total,
+        )
+
+    def test_identical_seeds_identical_runs(self):
+        assert self._run_fingerprint(seed=3) == self._run_fingerprint(seed=3)
+
+    def test_different_seeds_differ(self):
+        a = self._run_fingerprint(seed=3)
+        b = self._run_fingerprint(seed=4)
+        assert a[0] != b[0]
+
+
+class TestThreeApps:
+    def test_mp_hars_with_three_apps(self, xu3, power_estimator):
+        """MP-HARS generalizes beyond the paper's two-app cases."""
+        from repro.mphars.manager import MpHarsManager
+
+        sim = Simulation(xu3)
+        apps = [
+            sim.add_app(
+                _app(name=f"a{i}", n_units=30, unit_work=6.0)
+            )
+            for i in range(3)
+        ]
+        manager = MpHarsManager(
+            HARS_E, PerformanceEstimator(), power_estimator
+        )
+        sim.add_controller(manager)
+        sim.run(until_s=900)
+        for app in apps:
+            assert app.is_done()
+        # Ownership stayed disjoint across all three.
+        for slot in range(4):
+            big_owners = sum(
+                manager._apps[f"a{i}"].use_b_core[slot] for i in range(3)
+            )
+            little_owners = sum(
+                manager._apps[f"a{i}"].use_l_core[slot] for i in range(3)
+            )
+            assert big_owners <= 1 and little_owners <= 1

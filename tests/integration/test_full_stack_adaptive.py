@@ -1,0 +1,131 @@
+"""Full-stack scenario tests combining several subsystems at once."""
+
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import HARS_E
+from repro.extensions.adaptive_manager import AdaptiveHarsManager
+from repro.extensions.kalman import RatePredictor
+from repro.extensions.ratio_learning import OnlineRatioLearner
+from repro.heartbeats.targets import PerformanceTarget
+from repro.sim.engine import Simulation
+from repro.sim.process import SimApp
+from repro.workloads.base import WorkloadTraits
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.extra import make_extra_benchmark
+from repro.workloads.phases import (
+    ConstantProfile,
+    NoisyProfile,
+    StepProfile,
+    record_profile,
+)
+
+
+class TestTraceReplayUnderHars:
+    def test_recorded_trace_reproduces_the_noisy_run(self, xu3, power_estimator):
+        """Record a noisy profile into a trace and replay it: the replay
+        run is identical to the original, seed-independent."""
+        noisy = NoisyProfile(
+            StepProfile(segments=((20, 5.0), (20, 7.0))), sigma=0.1
+        )
+        trace = record_profile(noisy, n_units=40, seed=11)
+
+        def run(profile, seed):
+            sim = Simulation(xu3)
+            model = DataParallelWorkload(
+                WorkloadTraits(name="t", big_little_ratio=1.5),
+                8,
+                profile,
+                40,
+            )
+            model.reset(seed)
+            app = sim.add_app(
+                SimApp("t", model, PerformanceTarget(0.45, 0.5, 0.55))
+            )
+            sim.add_controller(
+                AdaptiveHarsManager(
+                    "t", HARS_E, PerformanceEstimator(), power_estimator
+                )
+            )
+            sim.run(until_s=600)
+            return tuple(b.time_s for b in app.log.beats)
+
+        original = run(noisy, seed=11)
+        replayed_any_seed = run(trace, seed=999)
+        assert original == replayed_any_seed
+
+
+class TestExtensionsOnExtraWorkloads:
+    def test_x264_stage_aware_beats_plain_on_uneven_pipeline(
+        self, xu3, power_estimator
+    ):
+        """x264's stage widths (1/14/4) are exactly the case ID-based
+        interleaving misjudges and stage-aware placement fixes."""
+        from repro.core.state import SystemState
+        from repro.core.policy import HARS_EI
+
+        state = SystemState(2, 4, 1600, 1200)
+        target = PerformanceTarget(0.01, 50.0, 60.0)  # pin the state
+
+        def rate(policy, stage_aware):
+            sim = Simulation(xu3)
+            model = make_extra_benchmark("x264", n_units=80)
+            app = sim.add_app(SimApp("x", model, target))
+            sim.add_controller(
+                AdaptiveHarsManager(
+                    "x",
+                    policy,
+                    PerformanceEstimator(),
+                    power_estimator,
+                    initial_state=state,
+                    stage_aware=stage_aware,
+                )
+            )
+            sim.run(until_s=400)
+            result = app.log.overall_rate()
+            assert result is not None
+            return result
+
+        interleaved = rate(HARS_EI, stage_aware=False)
+        stage_aware = rate(HARS_E, stage_aware=True)
+        # Stage-aware is at least as good as ID-interleaving here.
+        assert stage_aware >= 0.97 * interleaved
+
+    def test_adaptive_manager_full_stack_on_canneal(
+        self, xu3, power_estimator
+    ):
+        """Every extension enabled at once on an annealing-profile
+        workload: the run completes and holds its target."""
+        sim = Simulation(xu3)
+        model = make_extra_benchmark("canneal", n_units=60)
+        # Probe max rate quickly via a baseline run.
+        probe = Simulation(xu3)
+        probe_app = probe.add_app(
+            SimApp(
+                "c",
+                make_extra_benchmark("canneal", n_units=30),
+                PerformanceTarget(1.0, 1.0, 1.0),
+            )
+        )
+        probe.run(until_s=120)
+        target = PerformanceTarget.fraction_of(
+            probe_app.log.overall_rate(), 0.5
+        )
+        app = sim.add_app(SimApp("c", model, target))
+        from repro.extensions.escape import StuckDetector
+
+        manager = AdaptiveHarsManager(
+            "c",
+            HARS_E,
+            PerformanceEstimator(),
+            power_estimator,
+            predictor=RatePredictor(),
+            ratio_learner=OnlineRatioLearner(),
+            stuck_detector=StuckDetector(),
+        )
+        sim.add_controller(manager)
+        sim.run(until_s=600)
+        assert app.is_done()
+        assert app.monitor.mean_normalized_performance() > 0.75
+        assert sim.sensor.average_power_w() < 4.0

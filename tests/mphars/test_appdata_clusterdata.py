@@ -1,0 +1,76 @@
+"""Unit tests for the Table 4.1 / 4.2 data structures."""
+
+import pytest
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.mphars.appdata import AppData
+from repro.mphars.clusterdata import ClusterData
+
+
+class TestAppData:
+    def _data(self):
+        return AppData(name="a", n_big_slots=4, n_little_slots=4)
+
+    def test_initial_state(self):
+        data = self._data()
+        assert data.owned_big == 0 and data.owned_little == 0
+        assert data.freezing_cnt_b == 0 and data.freezing_cnt_l == 0
+        assert not data.uses_cluster("big")
+        assert not data.uses_cluster("little")
+
+    def test_request_counts_computes_dec_fields(self):
+        data = self._data()
+        data.use_b_core[0] = data.use_b_core[1] = True
+        data.request_counts(new_big=1, new_little=2)
+        assert data.dec_big_core_cnt == 1  # owned 2, wants 1
+        assert data.dec_little_core_cnt == 0
+        assert data.nprocs_b == 1 and data.nprocs_l == 2
+
+    def test_request_counts_validates(self):
+        data = self._data()
+        with pytest.raises(AllocationError):
+            data.request_counts(5, 0)
+        with pytest.raises(AllocationError):
+            data.request_counts(0, -1)
+
+    def test_tick_freezing_counts(self):
+        data = self._data()
+        data.freezing_cnt_b = 2
+        data.tick_freezing_counts()
+        data.tick_freezing_counts()
+        data.tick_freezing_counts()  # must not underflow
+        assert data.freezing_cnt_b == 0
+        assert data.freezing_cnt_l == 0
+
+    def test_uses_cluster_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._data().uses_cluster("gpu")
+
+
+class TestClusterData:
+    def _cluster(self):
+        return ClusterData(name="big", n_cores=4, first_core_id=4)
+
+    def test_all_cores_start_free(self):
+        cluster = self._cluster()
+        assert cluster.free_count == 4
+        assert cluster.free_slots() == (0, 1, 2, 3)
+
+    def test_mark_and_free_count(self):
+        cluster = self._cluster()
+        cluster.mark(1, free=False)
+        cluster.mark(3, free=False)
+        assert cluster.free_count == 2
+        assert cluster.free_slots() == (0, 2)
+
+    def test_global_core_id_uses_first_core_id(self):
+        cluster = self._cluster()
+        assert cluster.global_core_id(0) == 4
+        assert cluster.global_core_id(3) == 7
+
+    def test_slot_bounds(self):
+        cluster = self._cluster()
+        with pytest.raises(AllocationError):
+            cluster.global_core_id(4)
+        with pytest.raises(AllocationError):
+            cluster.mark(-1, free=True)

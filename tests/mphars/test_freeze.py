@@ -1,0 +1,72 @@
+"""Unit tests for the Table 4.3 decision table and freeze helpers."""
+
+import itertools
+
+import pytest
+
+from repro.heartbeats.targets import Satisfaction
+from repro.mphars.freeze import (
+    FreezeDecision,
+    StateDecision,
+    decide,
+    worst_satisfaction,
+)
+
+UNDER = Satisfaction.UNDERPERF
+ACHIEVE = Satisfaction.ACHIEVE
+OVER = Satisfaction.OVERPERF
+
+
+class TestDecisionTable:
+    def test_table_is_total(self):
+        for app, others, frozen in itertools.product(
+            (UNDER, ACHIEVE, OVER), (UNDER, ACHIEVE, OVER), (True, False)
+        ):
+            state, freeze = decide(app, others, frozen)
+            assert isinstance(state, StateDecision)
+            assert isinstance(freeze, FreezeDecision)
+
+    def test_underperformer_always_allowed_to_increase(self):
+        for others in (UNDER, ACHIEVE, OVER):
+            assert decide(UNDER, others, False)[0] is StateDecision.INC
+            assert decide(UNDER, others, True)[0] is StateDecision.INC
+
+    def test_underperformer_unfreezes_frozen_cluster(self):
+        for others in (UNDER, ACHIEVE, OVER):
+            assert decide(UNDER, others, True)[1] is FreezeDecision.UNFREEZE
+            assert decide(UNDER, others, False)[1] is FreezeDecision.KEEP
+
+    def test_achieving_app_keeps_everything(self):
+        for others in (UNDER, ACHIEVE, OVER):
+            for frozen in (True, False):
+                assert decide(ACHIEVE, others, frozen) == (
+                    StateDecision.KEEP,
+                    FreezeDecision.KEEP,
+                )
+
+    def test_decrease_requires_unanimous_overperformance(self):
+        # The only DEC cell: overperformer, all others overperforming,
+        # cluster not frozen — and it triggers a freeze.
+        assert decide(OVER, OVER, False) == (
+            StateDecision.DEC,
+            FreezeDecision.FREEZE,
+        )
+        assert decide(OVER, ACHIEVE, False)[0] is StateDecision.KEEP
+        assert decide(OVER, UNDER, False)[0] is StateDecision.KEEP
+
+    def test_frozen_cluster_blocks_decrease(self):
+        assert decide(OVER, OVER, True)[0] is not StateDecision.DEC
+
+
+class TestWorstSatisfaction:
+    def test_underperformer_dominates(self):
+        assert worst_satisfaction([OVER, UNDER, ACHIEVE]) is UNDER
+
+    def test_achieve_beats_over(self):
+        assert worst_satisfaction([OVER, ACHIEVE]) is ACHIEVE
+
+    def test_empty_defaults_to_overperf(self):
+        assert worst_satisfaction([]) is OVER
+
+    def test_single(self):
+        assert worst_satisfaction([OVER]) is OVER

@@ -1,0 +1,29 @@
+"""Unit tests for MP-HARS manager internals (frequency gating, state
+synthesis) without full simulations."""
+
+import pytest
+
+from repro.core.state import SystemState
+from repro.mphars.freeze import StateDecision
+from repro.mphars.manager import _freq_allowed
+
+
+class TestFreqAllowed:
+    def test_unconstrained(self):
+        assert _freq_allowed(None, 800, 1600)
+        assert _freq_allowed(None, 1600, 800)
+
+    def test_keep_requires_equality(self):
+        assert _freq_allowed(StateDecision.KEEP, 1000, 1000)
+        assert not _freq_allowed(StateDecision.KEEP, 1100, 1000)
+        assert not _freq_allowed(StateDecision.KEEP, 900, 1000)
+
+    def test_inc_allows_equal_or_higher(self):
+        assert _freq_allowed(StateDecision.INC, 1000, 1000)
+        assert _freq_allowed(StateDecision.INC, 1200, 1000)
+        assert not _freq_allowed(StateDecision.INC, 800, 1000)
+
+    def test_dec_allows_equal_or_lower(self):
+        assert _freq_allowed(StateDecision.DEC, 1000, 1000)
+        assert _freq_allowed(StateDecision.DEC, 800, 1000)
+        assert not _freq_allowed(StateDecision.DEC, 1200, 1000)

@@ -1,0 +1,145 @@
+"""Unit and property tests for Algorithm 4 core allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.mphars.appdata import AppData
+from repro.mphars.clusterdata import ClusterData
+from repro.mphars.partition import get_allocatable_core_set, release_all
+
+
+def _world():
+    big = ClusterData(name="big", n_cores=4, first_core_id=4)
+    little = ClusterData(name="little", n_cores=4, first_core_id=0)
+    return big, little
+
+
+def _app(name="a"):
+    return AppData(name=name, n_big_slots=4, n_little_slots=4)
+
+
+class TestAllocation:
+    def test_first_allocation_takes_free_cores(self):
+        big, little = _world()
+        app = _app()
+        app.request_counts(2, 1)
+        mask = get_allocatable_core_set(app, big, little)
+        assert mask == frozenset({4, 5, 0})
+        assert big.free_count == 2 and little.free_count == 3
+        assert app.owned_big == 2 and app.owned_little == 1
+
+    def test_growth_keeps_existing_cores(self):
+        big, little = _world()
+        app = _app()
+        app.request_counts(1, 0)
+        first = get_allocatable_core_set(app, big, little)
+        app.request_counts(3, 0)
+        second = get_allocatable_core_set(app, big, little)
+        assert first <= second  # no migration of the original core
+
+    def test_shrink_frees_cores(self):
+        big, little = _world()
+        app = _app()
+        app.request_counts(3, 2)
+        get_allocatable_core_set(app, big, little)
+        app.request_counts(1, 0)
+        mask = get_allocatable_core_set(app, big, little)
+        assert len(mask) == 1
+        assert big.free_count == 3 and little.free_count == 4
+
+    def test_two_apps_never_share_cores(self):
+        big, little = _world()
+        first, second = _app("a"), _app("b")
+        first.request_counts(2, 2)
+        mask_a = get_allocatable_core_set(first, big, little)
+        second.request_counts(2, 2)
+        mask_b = get_allocatable_core_set(second, big, little)
+        assert not mask_a & mask_b
+
+    def test_paper_example_free_core_usage(self):
+        """Section 4.1.3's example: app A holds big 0–1; app B asking for
+        big cores gets big 2–3 (the free cores), not A's."""
+        big, little = _world()
+        app_a, app_b = _app("A"), _app("B")
+        app_a.request_counts(2, 0)
+        mask_a = get_allocatable_core_set(app_a, big, little)
+        app_b.request_counts(2, 0)
+        mask_b = get_allocatable_core_set(app_b, big, little)
+        assert mask_a == frozenset({4, 5})
+        assert mask_b == frozenset({6, 7})
+
+    def test_over_allocation_raises(self):
+        big, little = _world()
+        first, second = _app("a"), _app("b")
+        first.request_counts(3, 0)
+        get_allocatable_core_set(first, big, little)
+        second.request_counts(2, 0)
+        with pytest.raises(AllocationError):
+            get_allocatable_core_set(second, big, little)
+
+    def test_release_all(self):
+        big, little = _world()
+        app = _app()
+        app.request_counts(4, 4)
+        get_allocatable_core_set(app, big, little)
+        release_all(app, big, little)
+        assert big.free_count == 4 and little.free_count == 4
+        assert app.owned_big == 0 and app.owned_little == 0
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # app index
+            st.integers(min_value=0, max_value=4),  # big request
+            st.integers(min_value=0, max_value=4),  # little request
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=60)
+def test_partition_invariants_under_request_sequences(requests):
+    """Ownership stays disjoint and conserved across arbitrary request
+    sequences (requests that exceed free capacity are rejected without
+    corrupting state)."""
+    big, little = _world()
+    apps = [_app(f"a{i}") for i in range(3)]
+    for index, want_big, want_little in requests:
+        app = apps[index]
+        before = (
+            [list(a.use_b_core) for a in apps],
+            [list(a.use_l_core) for a in apps],
+            list(big.free_core),
+            list(little.free_core),
+        )
+        free_big = big.free_count + app.owned_big
+        free_little = little.free_count + app.owned_little
+        app.request_counts(want_big, want_little)
+        if want_big > free_big or want_little > free_little:
+            with pytest.raises(AllocationError):
+                get_allocatable_core_set(app, big, little)
+            # Roll back for the next iteration (the manager's search
+            # bounds candidates so this never happens in production).
+            for a, b_cores, l_cores in zip(apps, before[0], before[1]):
+                a.use_b_core[:] = b_cores
+                a.use_l_core[:] = l_cores
+                a.nprocs_b = sum(b_cores)
+                a.nprocs_l = sum(l_cores)
+                a.dec_big_core_cnt = 0
+                a.dec_little_core_cnt = 0
+            big.free_core[:] = before[2]
+            little.free_core[:] = before[3]
+            continue
+        mask = get_allocatable_core_set(app, big, little)
+        assert len(mask) == want_big + want_little
+
+        # Invariant: per-slot ownership is exclusive and matches the
+        # cluster free list exactly.
+        for cluster, attr in ((big, "use_b_core"), (little, "use_l_core")):
+            for slot in range(cluster.n_cores):
+                owners = sum(getattr(a, attr)[slot] for a in apps)
+                assert owners in (0, 1)
+                assert cluster.free_core[slot] == (owners == 0)

@@ -1,0 +1,111 @@
+"""Unit tests for the perf-score ordering and incremental stepping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import SystemState, max_state
+from repro.mphars.perfscore import (
+    ScoreOrderedStates,
+    incremental_step,
+    perf_score,
+)
+from repro.platform.spec import odroid_xu3
+
+_SPEC = odroid_xu3()
+
+
+class TestPerfScore:
+    def test_formula(self):
+        # perfScore = C_B·r0·(f_B/f0) + C_L·(f_L/f0)
+        state = SystemState(4, 4, 1600, 1300)
+        assert perf_score(state) == pytest.approx(4 * 1.5 * 1.6 + 4 * 1.3)
+
+    def test_monotone_in_every_component(self):
+        base = SystemState(2, 2, 1200, 1000)
+        for richer in (
+            SystemState(3, 2, 1200, 1000),
+            SystemState(2, 3, 1200, 1000),
+            SystemState(2, 2, 1300, 1000),
+            SystemState(2, 2, 1200, 1100),
+        ):
+            assert perf_score(richer) > perf_score(base)
+
+
+class TestScoreOrderedStates:
+    def test_covers_full_space(self, xu3):
+        states = ScoreOrderedStates(xu3)
+        assert len(states) == xu3.state_space_size()
+
+    def test_top_is_max_state(self, xu3):
+        assert ScoreOrderedStates(xu3).top == max_state(xu3)
+
+    def test_step_up_increases_score_minimally(self, xu3):
+        states = ScoreOrderedStates(xu3)
+        current = SystemState(2, 2, 1200, 1000)
+        up = states.step_up(current)
+        assert states.score_of(up) > states.score_of(current)
+
+    def test_step_down_decreases_score(self, xu3):
+        states = ScoreOrderedStates(xu3)
+        current = SystemState(2, 2, 1200, 1000)
+        down = states.step_down(current)
+        assert states.score_of(down) < states.score_of(current)
+
+    def test_edges_return_none(self, xu3):
+        states = ScoreOrderedStates(xu3)
+        assert states.step_up(max_state(xu3)) is None
+        bottom = SystemState(0, 1, 800, 800)
+        assert states.step_down(bottom) is None
+
+
+class TestIncrementalStep:
+    def test_step_changes_exactly_one_component(self, xu3):
+        current = SystemState(2, 2, 1200, 1000)
+        for increase in (True, False):
+            nxt = incremental_step(xu3, current, increase)
+            assert current.manhattan_distance(nxt, xu3) == 1
+
+    def test_step_direction(self, xu3):
+        current = SystemState(2, 2, 1200, 1000)
+        up = incremental_step(xu3, current, increase=True)
+        down = incremental_step(xu3, current, increase=False)
+        assert perf_score(up) > perf_score(current) > perf_score(down)
+
+    def test_smallest_move_chosen(self, xu3):
+        """From the max state the cheapest decrease is one little-freq
+        step (Δscore = 4·0.1 = 0.4), cheaper than any big-side move."""
+        down = incremental_step(xu3, max_state(xu3), increase=False)
+        assert down == SystemState(4, 4, 1600, 1200)
+
+    def test_edges_return_none(self, xu3):
+        assert incremental_step(xu3, max_state(xu3), increase=True) is None
+        bottom = SystemState(0, 1, 800, 800)
+        # From the bottom there is still a decrease available only if a
+        # component can drop; (0,1,800,800) can't.
+        assert incremental_step(xu3, bottom, increase=False) is None
+
+
+@given(
+    cb=st.integers(min_value=0, max_value=4),
+    cl=st.integers(min_value=0, max_value=4),
+    ifb=st.integers(min_value=0, max_value=8),
+    ifl=st.integers(min_value=0, max_value=5),
+    increase=st.booleans(),
+)
+@settings(max_examples=60)
+def test_incremental_step_properties(cb, cl, ifb, ifl, increase):
+    if cb == 0 and cl == 0:
+        return
+    current = SystemState(
+        cb, cl, _SPEC.big.frequencies_mhz[ifb], _SPEC.little.frequencies_mhz[ifl]
+    )
+    nxt = incremental_step(_SPEC, current, increase)
+    if nxt is None:
+        return
+    nxt.validate(_SPEC)
+    assert current.manhattan_distance(nxt, _SPEC) == 1
+    if increase:
+        assert perf_score(nxt) > perf_score(current)
+    else:
+        assert perf_score(nxt) < perf_score(current)

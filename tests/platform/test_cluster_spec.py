@@ -1,0 +1,108 @@
+"""Unit tests for cluster and platform specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FrequencyError, PlatformError
+from repro.platform.cluster import BIG, LITTLE, ClusterSpec
+from repro.platform.core_types import cortex_a7, cortex_a15
+from repro.platform.spec import (
+    PlatformSpec,
+    frequency_tables,
+    odroid_xu3,
+    small_test_platform,
+)
+
+
+class TestClusterSpec:
+    def test_core_ids_are_contiguous(self, xu3):
+        assert xu3.little.core_ids == (0, 1, 2, 3)
+        assert xu3.big.core_ids == (4, 5, 6, 7)
+
+    def test_freq_index_round_trip(self, xu3):
+        for cluster in xu3.clusters:
+            for index, freq in enumerate(cluster.frequencies_mhz):
+                assert cluster.freq_index(freq) == index
+                assert cluster.freq_at_index(index) == freq
+
+    def test_freq_index_unknown_raises(self, xu3):
+        with pytest.raises(FrequencyError):
+            xu3.big.freq_index(1234)
+
+    def test_freq_at_index_out_of_range_raises(self, xu3):
+        with pytest.raises(FrequencyError):
+            xu3.big.freq_at_index(99)
+        with pytest.raises(FrequencyError):
+            xu3.big.freq_at_index(-1)
+
+    def test_clamp_freq_rounds_to_nearest(self, xu3):
+        assert xu3.big.clamp_freq(1240) == 1200
+        assert xu3.big.clamp_freq(1260) == 1300
+        assert xu3.big.clamp_freq(100) == 800
+        assert xu3.big.clamp_freq(9999) == 1600
+
+    def test_contains_core(self, xu3):
+        assert xu3.big.contains_core(4)
+        assert not xu3.big.contains_core(3)
+        assert xu3.little.contains_core(0)
+        assert not xu3.little.contains_core(7)
+
+    def test_bad_cluster_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSpec(
+                name="medium",
+                core_type=cortex_a7(),
+                n_cores=4,
+                first_core_id=0,
+            )
+
+
+class TestPlatformSpec:
+    def test_xu3_shape(self, xu3):
+        assert xu3.n_cores == 8
+        assert xu3.all_core_ids == tuple(range(8))
+        assert xu3.big.max_freq_mhz == 1600
+        assert xu3.little.max_freq_mhz == 1300
+
+    def test_cluster_lookup(self, xu3):
+        assert xu3.cluster(BIG) is xu3.big
+        assert xu3.cluster(LITTLE) is xu3.little
+        with pytest.raises(PlatformError):
+            xu3.cluster("gpu")
+
+    def test_cluster_of_core(self, xu3):
+        assert xu3.cluster_of(0).name == LITTLE
+        assert xu3.cluster_of(7).name == BIG
+        with pytest.raises(PlatformError):
+            xu3.cluster_of(8)
+
+    def test_overlapping_core_ids_rejected(self):
+        little = ClusterSpec(
+            name=LITTLE, core_type=cortex_a7(), n_cores=4, first_core_id=0
+        )
+        big = ClusterSpec(
+            name=BIG, core_type=cortex_a15(), n_cores=4, first_core_id=2
+        )
+        with pytest.raises(ConfigurationError):
+            PlatformSpec(name="bad", big=big, little=little)
+
+    def test_state_space_size_matches_iteration(self, small_spec):
+        states = list(small_spec.iter_states())
+        assert len(states) == small_spec.state_space_size()
+        assert len(states) == len(set(states))
+
+    def test_state_space_excludes_zero_core_state(self, small_spec):
+        for c_big, c_little, _, _ in small_spec.iter_states():
+            assert c_big + c_little >= 1
+
+    def test_xu3_state_space_size(self, xu3):
+        # (5*5 - 1) core-count combos × 9 big freqs × 6 little freqs.
+        assert xu3.state_space_size() == 24 * 9 * 6
+
+    def test_frequency_tables_helper(self, xu3):
+        tables = frequency_tables(xu3)
+        assert tables[BIG][0] == 800 and tables[BIG][-1] == 1600
+        assert tables[LITTLE][-1] == 1300
+
+    def test_small_platform_is_smaller(self, small_spec):
+        assert small_spec.n_cores == 4
+        assert small_spec.state_space_size() < odroid_xu3().state_space_size()

@@ -1,0 +1,152 @@
+"""Unit tests for core-type specifications."""
+
+import pytest
+
+from repro.errors import ConfigurationError, FrequencyError
+from repro.platform.core_types import (
+    BASELINE_FREQ_MHZ,
+    CoreTypeSpec,
+    cortex_a7,
+    cortex_a15,
+)
+
+
+class TestFactories:
+    def test_a15_is_out_of_order_three_wide(self):
+        big = cortex_a15()
+        assert big.pipeline == "out-of-order"
+        assert big.issue_width == 3
+
+    def test_a7_is_in_order_two_wide(self):
+        little = cortex_a7()
+        assert little.pipeline == "in-order"
+        assert little.issue_width == 2
+
+    def test_issue_width_ratio_matches_paper_r0(self):
+        # The paper derives r0 = 3/2 from the issue widths.
+        assert cortex_a15().issue_width / cortex_a7().issue_width == 1.5
+
+    def test_speed_ratio_at_f0_is_r0(self):
+        assert cortex_a15().speed_at_f0 / cortex_a7().speed_at_f0 == 1.5
+
+    def test_frequency_ranges(self):
+        assert cortex_a15().frequencies_mhz == tuple(range(800, 1601, 100))
+        assert cortex_a7().frequencies_mhz == tuple(range(800, 1301, 100))
+
+
+class TestVoltageTable:
+    def test_voltage_monotonic_in_frequency(self):
+        for core in (cortex_a15(), cortex_a7()):
+            freqs = core.frequencies_mhz
+            volts = [core.voltage_at(f) for f in freqs]
+            assert volts == sorted(volts)
+
+    def test_voltage_at_unknown_frequency_raises(self):
+        with pytest.raises(FrequencyError):
+            cortex_a15().voltage_at(850)
+
+    def test_big_reaches_higher_voltage_than_little(self):
+        big, little = cortex_a15(), cortex_a7()
+        assert big.voltage_at(1600) > little.voltage_at(1300)
+
+
+class TestComputeSpeed:
+    def test_speed_at_baseline_frequency_is_base(self):
+        big = cortex_a15()
+        assert big.compute_speed(BASELINE_FREQ_MHZ) == pytest.approx(
+            big.speed_at_f0
+        )
+
+    def test_speed_scales_linearly_when_compute_bound(self):
+        big = cortex_a15()
+        assert big.compute_speed(1600) == pytest.approx(
+            big.speed_at_f0 * 1.6
+        )
+
+    def test_memory_intensity_damps_frequency_scaling(self):
+        big = cortex_a15()
+        gain_pure = big.compute_speed(1600) / big.compute_speed(800)
+        gain_mem = big.compute_speed(1600, 0.5) / big.compute_speed(800, 0.5)
+        assert gain_mem < gain_pure
+
+    def test_speed_monotonic_in_frequency(self):
+        little = cortex_a7()
+        speeds = [little.compute_speed(f, 0.3) for f in little.frequencies_mhz]
+        assert speeds == sorted(speeds)
+
+    def test_invalid_mem_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cortex_a15().compute_speed(800, 1.0)
+        with pytest.raises(ConfigurationError):
+            cortex_a15().compute_speed(800, -0.1)
+
+
+class TestPower:
+    def test_dynamic_power_grows_with_frequency(self):
+        big = cortex_a15()
+        powers = [big.dynamic_power(f, 1.0) for f in big.frequencies_mhz]
+        assert powers == sorted(powers)
+        assert powers[0] < powers[-1]
+
+    def test_dynamic_power_proportional_to_activity(self):
+        big = cortex_a15()
+        assert big.dynamic_power(1200, 0.5) == pytest.approx(
+            big.dynamic_power(1200, 1.0) / 2
+        )
+
+    def test_dynamic_power_superlinear_in_frequency(self):
+        # V rises with f, so P ~ V²f grows faster than f.
+        big = cortex_a15()
+        ratio = big.dynamic_power(1600, 1.0) / big.dynamic_power(800, 1.0)
+        assert ratio > 1600 / 800
+
+    def test_big_core_hungrier_than_little(self):
+        assert cortex_a15().dynamic_power(1300, 1.0) > cortex_a7().dynamic_power(
+            1300, 1.0
+        )
+
+    def test_leakage_positive_and_scales_with_voltage(self):
+        big = cortex_a15()
+        assert 0 < big.leakage_power(800) < big.leakage_power(1600)
+
+    def test_negative_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cortex_a15().dynamic_power(800, -0.5)
+
+
+class TestValidation:
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreTypeSpec(
+                name="x",
+                pipeline="in-order",
+                issue_width=1,
+                speed_at_f0=0.0,
+                voltage_table={1000: 1.0},
+                dynamic_capacitance_w=0.1,
+                leakage_w_per_volt=0.01,
+            )
+
+    def test_empty_voltage_table_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreTypeSpec(
+                name="x",
+                pipeline="in-order",
+                issue_width=1,
+                speed_at_f0=1.0,
+                voltage_table={},
+                dynamic_capacitance_w=0.1,
+                leakage_w_per_volt=0.01,
+            )
+
+    def test_bad_pipeline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreTypeSpec(
+                name="x",
+                pipeline="superscalar",
+                issue_width=1,
+                speed_at_f0=1.0,
+                voltage_table={1000: 1.0},
+                dynamic_capacitance_w=0.1,
+                leakage_w_per_volt=0.01,
+            )

@@ -1,0 +1,140 @@
+"""Unit tests for the ground-truth power model and the power sensor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.machine import Machine
+from repro.platform.power import IDLE, CoreActivity, PowerModel
+from repro.platform.sensor import DEFAULT_SAMPLE_PERIOD_S, PowerSensor
+
+
+@pytest.fixture
+def machine(xu3):
+    return Machine(xu3)
+
+
+@pytest.fixture
+def model(xu3):
+    return PowerModel(xu3)
+
+
+def _full_load(core_ids, activity=1.0):
+    return {c: CoreActivity(utilization=1.0, activity_factor=activity) for c in core_ids}
+
+
+class TestPowerModel:
+    def test_idle_platform_draws_little_power(self, model, machine):
+        watts = model.platform_power(machine, {})
+        assert 0 < watts["total"] < 2.5
+        assert watts["total"] == pytest.approx(
+            watts[BIG] + watts[LITTLE] + watts["board"]
+        )
+
+    def test_big_cluster_dominates_at_full_load(self, model, machine):
+        watts = model.platform_power(machine, _full_load(range(8)))
+        assert watts[BIG] > 4 * watts[LITTLE]
+
+    def test_big_cluster_full_load_near_5_5w(self, model, machine):
+        # Calibration anchor from the XU3's measured envelope.
+        watts = model.platform_power(machine, _full_load((4, 5, 6, 7)))
+        assert 4.5 < watts[BIG] < 7.0
+
+    def test_little_cluster_full_load_under_1_2w(self, model, machine):
+        watts = model.platform_power(machine, _full_load((0, 1, 2, 3)))
+        assert 0.4 < watts[LITTLE] < 1.2
+
+    def test_power_monotonic_in_utilization(self, model, machine):
+        powers = []
+        for util in (0.25, 0.5, 0.75, 1.0):
+            acts = {4: CoreActivity(utilization=util)}
+            powers.append(model.platform_power(machine, acts)[BIG])
+        assert powers == sorted(powers)
+        assert powers[0] < powers[-1]
+
+    def test_power_monotonic_in_frequency(self, model, machine):
+        powers = []
+        for freq in machine.spec.big.frequencies_mhz:
+            machine.set_freq_mhz(BIG, freq)
+            powers.append(
+                model.platform_power(machine, _full_load((4, 5, 6, 7)))[BIG]
+            )
+        assert powers == sorted(powers)
+
+    def test_activity_factor_scales_dynamic_power(self, model, machine):
+        busy = model.platform_power(machine, _full_load((4,), activity=1.0))
+        calm = model.platform_power(machine, _full_load((4,), activity=0.5))
+        assert calm[BIG] < busy[BIG]
+
+    def test_offline_cores_draw_nothing(self, model, machine):
+        for core in range(4, 8):
+            machine.set_core_online(core, False)
+        watts = model.platform_power(machine, {})
+        assert watts[BIG] == 0.0
+
+    def test_idle_constant(self):
+        assert IDLE.utilization == 0.0
+
+    def test_invalid_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoreActivity(utilization=1.5)
+        with pytest.raises(ConfigurationError):
+            CoreActivity(utilization=0.5, activity_factor=0.0)
+
+
+class TestPowerSensor:
+    def _watts(self, total=2.0):
+        return {BIG: total - 0.7, LITTLE: 0.45, "board": 0.25, "total": total}
+
+    def test_energy_integration(self):
+        sensor = PowerSensor()
+        for _ in range(100):
+            sensor.record(0.01, self._watts(3.0))
+        assert sensor.elapsed_s == pytest.approx(1.0)
+        assert sensor.energy_j() == pytest.approx(3.0)
+        assert sensor.average_power_w() == pytest.approx(3.0)
+
+    def test_sample_period_matches_paper(self):
+        assert DEFAULT_SAMPLE_PERIOD_S == pytest.approx(0.263808)
+
+    def test_samples_captured_at_period(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        for _ in range(100):
+            sensor.record(0.01, self._watts())
+        assert len(sensor.samples) == 10
+        assert sensor.samples[0].time_s == pytest.approx(0.1)
+
+    def test_sampled_average_matches_constant_power(self):
+        sensor = PowerSensor(sample_period_s=0.05)
+        for _ in range(50):
+            sensor.record(0.01, self._watts(2.5))
+        assert sensor.sampled_average_w() == pytest.approx(2.5)
+
+    def test_average_before_any_record_raises(self):
+        with pytest.raises(ConfigurationError):
+            PowerSensor().average_power_w()
+
+    def test_missing_channel_rejected(self):
+        sensor = PowerSensor()
+        with pytest.raises(ConfigurationError):
+            sensor.record(0.01, {"total": 1.0})
+
+    def test_unknown_channel_query_rejected(self):
+        sensor = PowerSensor()
+        sensor.record(0.01, self._watts())
+        with pytest.raises(ConfigurationError):
+            sensor.energy_j("gpu")
+
+    def test_reset_clears_state(self):
+        sensor = PowerSensor()
+        sensor.record(0.5, self._watts())
+        sensor.reset()
+        assert sensor.elapsed_s == 0.0
+        assert not sensor.samples
+        assert sensor.energy_j() == 0.0
+
+    def test_per_channel_energy(self):
+        sensor = PowerSensor()
+        sensor.record(2.0, self._watts(2.0))
+        assert sensor.energy_j(BIG) == pytest.approx(2.6)
+        assert sensor.energy_j(LITTLE) == pytest.approx(0.9)

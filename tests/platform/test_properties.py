@@ -1,0 +1,67 @@
+"""Property-based tests for the platform model (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.core_types import cortex_a7, cortex_a15
+from repro.platform.machine import Machine
+from repro.platform.power import CoreActivity, PowerModel
+from repro.platform.spec import odroid_xu3
+
+_SPEC = odroid_xu3()
+_BIG_FREQS = st.sampled_from(_SPEC.big.frequencies_mhz)
+_LITTLE_FREQS = st.sampled_from(_SPEC.little.frequencies_mhz)
+_UTIL = st.floats(min_value=0.0, max_value=1.0)
+_MI = st.floats(min_value=0.0, max_value=0.95)
+
+
+@given(freq=_BIG_FREQS, mi=_MI)
+def test_speed_interpolates_between_compute_bound_and_base(freq, mi):
+    # The memory-bound time fraction does not scale with frequency, so
+    # speed(f, mi) always lies between the compute-bound speed at f and
+    # the speed at the baseline frequency.
+    big = cortex_a15()
+    speed = big.compute_speed(freq, mi)
+    bounds = sorted((big.compute_speed(freq, 0.0), big.speed_at_f0))
+    assert bounds[0] - 1e-12 <= speed <= bounds[1] + 1e-12
+
+
+@given(freq=_BIG_FREQS, mi=_MI)
+def test_big_faster_than_little_at_equal_conditions(freq, mi):
+    if freq not in cortex_a7().frequencies_mhz:
+        return
+    assert cortex_a15().compute_speed(freq, mi) > cortex_a7().compute_speed(
+        freq, mi
+    )
+
+
+@given(
+    f_big=_BIG_FREQS,
+    f_little=_LITTLE_FREQS,
+    utils=st.lists(_UTIL, min_size=8, max_size=8),
+)
+@settings(max_examples=50)
+def test_platform_power_positive_and_additive(f_big, f_little, utils):
+    machine = Machine(_SPEC)
+    machine.set_freq_mhz(BIG, f_big)
+    machine.set_freq_mhz(LITTLE, f_little)
+    activities = {
+        core: CoreActivity(utilization=util)
+        for core, util in enumerate(utils)
+    }
+    watts = PowerModel(_SPEC).platform_power(machine, activities)
+    assert watts["total"] > 0
+    assert watts["total"] == watts[BIG] + watts[LITTLE] + watts["board"]
+
+
+@given(f_big=_BIG_FREQS, util_a=_UTIL, util_b=_UTIL)
+@settings(max_examples=50)
+def test_power_monotonic_in_any_core_utilization(f_big, util_a, util_b):
+    lo, hi = sorted((util_a, util_b))
+    machine = Machine(_SPEC)
+    machine.set_freq_mhz(BIG, f_big)
+    model = PowerModel(_SPEC)
+    p_lo = model.platform_power(machine, {4: CoreActivity(utilization=lo)})
+    p_hi = model.platform_power(machine, {4: CoreActivity(utilization=hi)})
+    assert p_hi[BIG] >= p_lo[BIG] - 1e-12

@@ -1,0 +1,57 @@
+"""Unit tests for cpuset/topology helpers."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.cluster import BIG, LITTLE
+from repro.platform.topology import (
+    cluster_mask,
+    count_by_cluster,
+    describe,
+    first_n,
+    full_mask,
+    make_mask,
+    split_mask,
+)
+
+
+class TestMasks:
+    def test_full_mask(self, xu3):
+        assert full_mask(xu3) == frozenset(range(8))
+
+    def test_cluster_masks_partition_platform(self, xu3):
+        big = cluster_mask(xu3, BIG)
+        little = cluster_mask(xu3, LITTLE)
+        assert big | little == full_mask(xu3)
+        assert not big & little
+
+    def test_make_mask_validates(self, xu3):
+        assert make_mask([0, 5], xu3) == frozenset({0, 5})
+        with pytest.raises(PlatformError):
+            make_mask([0, 9], xu3)
+
+    def test_split_mask(self, xu3):
+        big, little = split_mask(frozenset({0, 1, 4, 6}), xu3)
+        assert big == (4, 6)
+        assert little == (0, 1)
+
+    def test_count_by_cluster(self, xu3):
+        assert count_by_cluster(frozenset({2, 3, 7}), xu3) == (1, 2)
+
+    def test_describe(self, xu3):
+        assert describe(frozenset({0, 4}), xu3) == "big[4]+little[0]"
+
+
+class TestFirstN:
+    def test_first_n_returns_lowest_ids(self, xu3):
+        assert first_n(xu3, BIG, 2) == (4, 5)
+        assert first_n(xu3, LITTLE, 3) == (0, 1, 2)
+
+    def test_first_zero_is_empty(self, xu3):
+        assert first_n(xu3, BIG, 0) == ()
+
+    def test_first_n_over_capacity_raises(self, xu3):
+        with pytest.raises(PlatformError):
+            first_n(xu3, LITTLE, 5)
+        with pytest.raises(PlatformError):
+            first_n(xu3, BIG, -1)

@@ -1,0 +1,75 @@
+"""Unit tests for the clock and thread primitives."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import SimClock
+from repro.sim.thread import INITIAL_LOAD, LOAD_TIME_CONSTANT_S, SimThread
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_s == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(0.5)
+        clock.advance(0.25)
+        assert clock.now_s == pytest.approx(0.75)
+
+    def test_cannot_go_backwards(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-0.1)
+        with pytest.raises(SimulationError):
+            SimClock().advance(0.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(2.0)
+        clock.reset()
+        assert clock.now_s == 0.0
+
+
+class TestSimThread:
+    def test_new_threads_start_heavy(self):
+        thread = SimThread(app_name="a", local_index=0)
+        assert thread.load == INITIAL_LOAD == 1.0
+
+    def test_load_decays_when_idle(self):
+        thread = SimThread(app_name="a", local_index=0)
+        thread.update_load(demand=False, dt_s=LOAD_TIME_CONSTANT_S)
+        assert thread.load == pytest.approx(math.exp(-1.0))
+
+    def test_load_recovers_when_busy(self):
+        thread = SimThread(app_name="a", local_index=0, load=0.0)
+        for _ in range(100):
+            thread.update_load(demand=True, dt_s=0.01)
+        assert thread.load > 0.6
+
+    def test_load_stays_in_unit_interval(self):
+        thread = SimThread(app_name="a", local_index=0)
+        for demanded in (True, False) * 50:
+            thread.update_load(demanded, dt_s=0.01)
+            assert 0.0 <= thread.load <= 1.0
+
+    def test_update_needs_positive_dt(self):
+        thread = SimThread(app_name="a", local_index=0)
+        with pytest.raises(SimulationError):
+            thread.update_load(True, dt_s=0.0)
+
+    def test_affinity_set_and_clear(self):
+        thread = SimThread(app_name="a", local_index=0)
+        thread.set_affinity(frozenset({1, 2}))
+        assert thread.affinity == frozenset({1, 2})
+        thread.set_affinity(None)
+        assert thread.affinity is None
+
+    def test_empty_affinity_rejected(self):
+        thread = SimThread(app_name="a", local_index=0)
+        with pytest.raises(SimulationError):
+            thread.set_affinity(frozenset())
+
+    def test_key(self):
+        assert SimThread(app_name="app", local_index=3).key() == "app/t3"

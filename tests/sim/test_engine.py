@@ -1,0 +1,198 @@
+"""Unit and behavioural tests for the simulation engine."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.heartbeats.targets import PerformanceTarget
+from repro.platform.cluster import BIG, LITTLE
+from repro.sim.controller import Controller
+from repro.sim.engine import Simulation
+from repro.sim.process import SimApp
+from repro.workloads.base import WorkloadTraits
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.microbench import MicrobenchWorkload
+from repro.workloads.phases import ConstantProfile
+
+
+def _dp_app(name="app", n_threads=4, n_units=10, unit_work=2.0, ratio=1.5):
+    traits = WorkloadTraits(name=name, big_little_ratio=ratio)
+    model = DataParallelWorkload(
+        traits, n_threads, ConstantProfile(unit_work), n_units
+    )
+    target = PerformanceTarget(0.5, 1.0, 1.5)
+    return SimApp(name, model, target)
+
+
+class TestSetup:
+    def test_duplicate_app_names_rejected(self, xu3):
+        sim = Simulation(xu3)
+        sim.add_app(_dp_app("a"))
+        with pytest.raises(ConfigurationError):
+            sim.add_app(_dp_app("a"))
+
+    def test_run_without_apps_raises(self, xu3):
+        with pytest.raises(SimulationError):
+            Simulation(xu3).run()
+
+    def test_endless_workload_needs_horizon(self, xu3):
+        sim = Simulation(xu3)
+        app = SimApp(
+            "spin",
+            MicrobenchWorkload(n_threads=1),
+            PerformanceTarget(1.0, 1.0, 1.0),
+        )
+        sim.add_app(app)
+        with pytest.raises(SimulationError):
+            sim.run()
+        assert sim.run(until_s=0.1) == pytest.approx(0.1)
+
+    def test_app_lookup(self, xu3):
+        sim = Simulation(xu3)
+        app = sim.add_app(_dp_app("x"))
+        assert sim.app("x") is app
+        with pytest.raises(ConfigurationError):
+            sim.app("y")
+
+    def test_bad_tick_rejected(self, xu3):
+        with pytest.raises(ConfigurationError):
+            Simulation(xu3, tick_s=0.0)
+
+
+class TestExecution:
+    def test_run_completes_workload(self, xu3):
+        sim = Simulation(xu3)
+        app = sim.add_app(_dp_app(n_units=20))
+        end = sim.run(until_s=100)
+        assert app.is_done()
+        assert len(app.log) == 20
+        assert end < 100
+
+    def test_heartbeat_times_monotonic(self, xu3):
+        sim = Simulation(xu3)
+        app = sim.add_app(_dp_app(n_units=15))
+        sim.run(until_s=100)
+        times = [b.time_s for b in app.log.beats]
+        assert times == sorted(times)
+
+    def test_rate_scales_with_frequency(self, xu3):
+        def rate_at(freq):
+            sim = Simulation(xu3)
+            app = sim.add_app(_dp_app(n_units=30, ratio=1.5))
+            app.set_cpuset(frozenset({4, 5, 6, 7}))
+            sim.machine.set_freq_mhz(BIG, freq)
+            sim.run(until_s=200)
+            return app.log.overall_rate()
+
+        assert rate_at(1600) == pytest.approx(2 * rate_at(800), rel=0.05)
+
+    def test_power_recorded_during_run(self, xu3):
+        sim = Simulation(xu3)
+        sim.add_app(_dp_app(n_units=10))
+        sim.run(until_s=100)
+        assert sim.sensor.average_power_w() > 0
+        assert sim.sensor.elapsed_s == pytest.approx(sim.clock.now_s)
+
+    def test_busy_platform_draws_more_than_idle(self, xu3):
+        busy = Simulation(xu3)
+        busy.add_app(_dp_app(n_units=20))
+        busy.run(until_s=100)
+
+        idle = Simulation(xu3)
+        idle.add_app(
+            SimApp(
+                "idle",
+                MicrobenchWorkload(n_threads=1, duty=0.01),
+                PerformanceTarget(1.0, 1.0, 1.0),
+            )
+        )
+        idle.run(until_s=5)
+        assert busy.sensor.average_power_w() > idle.sensor.average_power_w()
+
+    def test_trace_recorded_per_heartbeat(self, xu3):
+        sim = Simulation(xu3)
+        app = sim.add_app(_dp_app(n_units=12))
+        sim.run(until_s=100)
+        points = sim.trace.points("app")
+        assert len(points) == 12
+        assert points[-1].hb_index == 11
+        assert points[0].big_freq_mhz == 1600
+
+    def test_pinned_app_uses_only_allowed_cores(self, xu3):
+        sim = Simulation(xu3)
+        app = sim.add_app(_dp_app(n_units=15))
+        for thread in app.threads:
+            thread.set_affinity(frozenset({0, 1}))
+        sim.run(until_s=200)
+        assert set(app.cores_in_use()) <= {0, 1}
+
+
+class TestRedistribution:
+    def test_blocked_thread_time_flows_to_co_tenant(self, xu3):
+        """Two threads pinned to one core: one blocks immediately (its
+        barrier share is tiny), the other should receive nearly the whole
+        core — the multi-round grant loop at work."""
+        # One spinning thread and one nearly-idle duty-cycled thread.
+        spin = SimApp(
+            "spin",
+            MicrobenchWorkload(n_threads=1, duty=1.0),
+            PerformanceTarget(1.0, 1.0, 1.0),
+        )
+        light = SimApp(
+            "light",
+            MicrobenchWorkload(n_threads=1, duty=0.05),
+            PerformanceTarget(1.0, 1.0, 1.0),
+        )
+        sim = Simulation(xu3)
+        sim.add_app(spin)
+        sim.add_app(light)
+        spin.threads[0].set_affinity(frozenset({4}))
+        light.threads[0].set_affinity(frozenset({4}))
+        sim.run(until_s=2.0)
+        speed = spin.model.thread_speed(
+            BIG, xu3.big.core_type, xu3.big.max_freq_mhz
+        )
+        # Without redistribution the spinner gets 50%; with it, ~95%.
+        utilization = spin.model.work_done / (speed * 2.0)
+        assert utilization > 0.85
+
+
+class TestControllerHooks:
+    def test_hooks_fire(self, xu3):
+        events = []
+
+        class Probe(Controller):
+            def on_start(self, sim):
+                events.append("start")
+
+            def on_tick(self, sim):
+                if len(events) < 3:
+                    events.append("tick")
+
+            def on_heartbeat(self, sim, app, heartbeat):
+                events.append(f"hb{heartbeat.index}")
+
+        sim = Simulation(xu3)
+        sim.add_app(_dp_app(n_units=2))
+        sim.add_controller(Probe())
+        sim.run(until_s=50)
+        assert events[0] == "start"
+        assert "hb0" in events and "hb1" in events
+
+    def test_controller_allocation_feeds_trace(self, xu3):
+        class FixedAllocation(Controller):
+            def current_allocation(self, app_name):
+                return (2, 1)
+
+        sim = Simulation(xu3)
+        sim.add_app(_dp_app(n_units=5))
+        sim.add_controller(FixedAllocation())
+        sim.run(until_s=50)
+        point = sim.trace.points("app")[0]
+        assert (point.big_cores, point.little_cores) == (2, 1)
+
+    def test_cannot_add_controller_after_start(self, xu3):
+        sim = Simulation(xu3)
+        sim.add_app(_dp_app(n_units=2))
+        sim.step()
+        with pytest.raises(SimulationError):
+            sim.add_controller(Controller())

@@ -1,0 +1,56 @@
+"""Property/robustness tests of the engine across configurations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.heartbeats.targets import PerformanceTarget
+from repro.platform.spec import odroid_xu3
+from repro.sim.engine import Simulation
+from repro.sim.process import SimApp
+from repro.workloads.base import WorkloadTraits
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.phases import ConstantProfile
+
+_SPEC = odroid_xu3()
+
+
+def _run(n_threads, n_units, unit_work, tick_s=0.01):
+    sim = Simulation(_SPEC, tick_s=tick_s)
+    model = DataParallelWorkload(
+        WorkloadTraits(name="w"), n_threads, ConstantProfile(unit_work), n_units
+    )
+    app = sim.add_app(SimApp("w", model, PerformanceTarget(1.0, 1.0, 1.0)))
+    elapsed = sim.run(until_s=600)
+    return app, elapsed, sim
+
+
+@given(
+    n_threads=st.integers(min_value=1, max_value=12),
+    n_units=st.integers(min_value=1, max_value=15),
+    unit_work=st.floats(min_value=0.5, max_value=8.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_every_heartbeat_is_emitted_exactly_once(n_threads, n_units, unit_work):
+    app, elapsed, _ = _run(n_threads, n_units, unit_work)
+    assert app.is_done()
+    assert len(app.log) == n_units
+    assert elapsed < 600
+
+
+class TestTickInvariance:
+    @pytest.mark.parametrize("tick_s", [0.005, 0.01, 0.02])
+    def test_rate_stable_across_tick_sizes(self, tick_s):
+        app, _, _ = _run(8, 30, 4.0, tick_s=tick_s)
+        reference_app, _, _ = _run(8, 30, 4.0, tick_s=0.01)
+        assert app.log.overall_rate() == pytest.approx(
+            reference_app.log.overall_rate(), rel=0.03
+        )
+
+    @pytest.mark.parametrize("tick_s", [0.005, 0.02])
+    def test_energy_stable_across_tick_sizes(self, tick_s):
+        _, _, sim = _run(8, 30, 4.0, tick_s=tick_s)
+        _, _, reference = _run(8, 30, 4.0, tick_s=0.01)
+        assert sim.sensor.energy_j() == pytest.approx(
+            reference.sensor.energy_j(), rel=0.05
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for the SimApp process wrapper."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.heartbeats.targets import PerformanceTarget
+from repro.sim.process import SimApp
+from repro.workloads.base import WorkloadTraits
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.phases import ConstantProfile
+
+
+def _app(n_threads=4, cpuset=None):
+    model = DataParallelWorkload(
+        WorkloadTraits(name="t"), n_threads, ConstantProfile(1.0), 5
+    )
+    return SimApp("t", model, PerformanceTarget(1.0, 1.0, 1.0), cpuset=cpuset)
+
+
+class TestConstruction:
+    def test_one_sim_thread_per_model_thread(self):
+        app = _app(n_threads=6)
+        assert app.n_threads == 6
+        assert [t.local_index for t in app.threads] == list(range(6))
+
+    def test_needs_a_name(self):
+        model = DataParallelWorkload(
+            WorkloadTraits(name="t"), 1, ConstantProfile(1.0), 1
+        )
+        with pytest.raises(ConfigurationError):
+            SimApp("", model, PerformanceTarget(1.0, 1.0, 1.0))
+
+    def test_empty_cpuset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _app(cpuset=frozenset())
+
+
+class TestAllowedCores:
+    def test_unrestricted_thread_gets_platform(self):
+        app = _app()
+        allowed = app.allowed_cores(app.threads[0], tuple(range(8)))
+        assert allowed == frozenset(range(8))
+
+    def test_cpuset_restricts(self):
+        app = _app(cpuset=frozenset({0, 1}))
+        allowed = app.allowed_cores(app.threads[0], tuple(range(8)))
+        assert allowed == frozenset({0, 1})
+
+    def test_affinity_intersects_cpuset(self):
+        app = _app(cpuset=frozenset({0, 1, 2}))
+        app.threads[0].set_affinity(frozenset({2, 3}))
+        allowed = app.allowed_cores(app.threads[0], tuple(range(8)))
+        assert allowed == frozenset({2})
+
+    def test_empty_intersection_raises(self):
+        app = _app(cpuset=frozenset({0}))
+        app.threads[0].set_affinity(frozenset({5}))
+        with pytest.raises(ConfigurationError):
+            app.allowed_cores(app.threads[0], tuple(range(8)))
+
+    def test_offline_cores_excluded(self):
+        app = _app()
+        allowed = app.allowed_cores(app.threads[0], (0, 1))
+        assert allowed == frozenset({0, 1})
+
+
+class TestAffinityManagement:
+    def test_clear_affinities(self):
+        app = _app()
+        for thread in app.threads:
+            thread.set_affinity(frozenset({0}))
+        app.clear_affinities()
+        assert all(t.affinity is None for t in app.threads)
+
+    def test_set_cpuset_validation(self):
+        app = _app()
+        app.set_cpuset(frozenset({3}))
+        assert app.cpuset == frozenset({3})
+        with pytest.raises(ConfigurationError):
+            app.set_cpuset(frozenset())
+        app.set_cpuset(None)
+        assert app.cpuset is None
+
+    def test_cores_in_use(self):
+        app = _app()
+        app.threads[0].current_core = 4
+        app.threads[1].current_core = 4
+        app.threads[2].current_core = 1
+        assert app.cores_in_use() == (1, 4)

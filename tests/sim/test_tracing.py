@@ -1,0 +1,43 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.tracing import TracePoint, TraceRecorder
+
+
+def _point(index, rate=1.0, big=2, little=1):
+    return TracePoint(
+        time_s=float(index),
+        hb_index=index,
+        rate=rate,
+        big_cores=big,
+        little_cores=little,
+        big_freq_mhz=1000,
+        little_freq_mhz=900,
+    )
+
+
+class TestTraceRecorder:
+    def test_points_per_app(self):
+        trace = TraceRecorder()
+        trace.record("a", _point(0))
+        trace.record("a", _point(1))
+        trace.record("b", _point(0))
+        assert len(trace.points("a")) == 2
+        assert len(trace.points("b")) == 1
+        assert trace.app_names == ("a", "b")
+        assert len(trace) == 3
+
+    def test_unknown_app_is_empty(self):
+        assert TraceRecorder().points("nope") == ()
+
+    def test_series_extraction(self):
+        trace = TraceRecorder()
+        trace.record("a", _point(0, rate=2.0))
+        trace.record("a", _point(1, rate=3.0))
+        assert trace.series("a", "rate") == [(0, 2.0), (1, 3.0)]
+        assert trace.series("a", "big_cores") == [(0, 2.0), (1, 2.0)]
+
+    def test_series_skips_none_rates(self):
+        trace = TraceRecorder()
+        trace.record("a", _point(0, rate=None))
+        trace.record("a", _point(1, rate=1.5))
+        assert trace.series("a", "rate") == [(1, 1.5)]

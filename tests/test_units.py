@@ -1,0 +1,91 @@
+"""Unit tests for shared unit helpers and the error hierarchy."""
+
+import math
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import ConfigurationError, ReproError
+from repro.units import (
+    clamp,
+    frange,
+    geometric_mean,
+    ghz,
+    mean,
+    mhz_to_ghz,
+    msec,
+    usec,
+)
+
+
+class TestConversions:
+    def test_ghz_round_trip(self):
+        assert ghz(1.6) == 1600
+        assert mhz_to_ghz(1600) == pytest.approx(1.6)
+
+    def test_time_helpers(self):
+        assert usec(263_808) == pytest.approx(0.263808)
+        assert msec(10) == pytest.approx(0.01)
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_edges(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_reversed_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            clamp(0.5, 1.0, 0.0)
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_geometric_mean_validates(self):
+        with pytest.raises(ConfigurationError):
+            geometric_mean([])
+        with pytest.raises(ConfigurationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_arithmetic_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ConfigurationError):
+            mean([])
+
+    def test_geometric_below_arithmetic(self):
+        values = [1.0, 2.0, 9.0]
+        assert geometric_mean(values) < mean(values)
+
+
+class TestFrange:
+    def test_simple_range(self):
+        assert list(frange(0.0, 1.0, 0.25)) == pytest.approx(
+            [0.0, 0.25, 0.5, 0.75, 1.0]
+        )
+
+    def test_robust_to_float_error(self):
+        values = list(frange(0.8, 1.6, 0.1))
+        assert len(values) == 9
+        assert values[-1] == pytest.approx(1.6)
+
+    def test_bad_step(self):
+        with pytest.raises(ConfigurationError):
+            list(frange(0.0, 1.0, 0.0))
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not ReproError:
+                    assert issubclass(obj, ReproError), name
+
+    def test_catchable_at_the_root(self):
+        with pytest.raises(ReproError):
+            raise errors.FrequencyError("nope")

@@ -1,0 +1,95 @@
+"""Tests for the extra (beyond-the-paper) workload presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.dataparallel import DataParallelWorkload
+from repro.workloads.extra import EXTRA_BENCHMARKS, make_extra_benchmark
+from repro.workloads.parsec import BENCHMARKS
+from repro.workloads.pipeline import PipelineWorkload
+
+
+class TestCatalog:
+    def test_presets_exist(self):
+        assert set(EXTRA_BENCHMARKS) == {"streamcluster", "canneal", "x264"}
+
+    def test_no_overlap_with_paper_set(self):
+        assert not set(EXTRA_BENCHMARKS) & set(BENCHMARKS)
+
+    def test_instantiation(self):
+        for name in EXTRA_BENCHMARKS:
+            model = make_extra_benchmark(name, n_units=10)
+            assert model.total_heartbeats() == 10
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_extra_benchmark("raytrace")
+
+    def test_bad_units_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_extra_benchmark("canneal", n_units=0)
+
+
+class TestShapes:
+    def test_streamcluster_is_most_memory_bound(self):
+        model = make_extra_benchmark("streamcluster", n_units=5)
+        assert model.traits.mem_intensity > 0.5
+        assert isinstance(model, DataParallelWorkload)
+
+    def test_canneal_annealing_schedule_decreases(self):
+        model = make_extra_benchmark("canneal", n_units=100)
+        early = model.profile.work(5)
+        late = model.profile.work(95)
+        assert early > late
+
+    def test_x264_stage_widths_are_uneven(self):
+        model = make_extra_benchmark("x264", n_units=10, n_threads=8)
+        assert isinstance(model, PipelineWorkload)
+        widths = [s.n_threads for s in model.stages]
+        assert widths == [1, 14, 4]
+        assert model.n_threads == 19
+
+    def test_x264_needs_two_threads(self):
+        with pytest.raises(ConfigurationError):
+            make_extra_benchmark("x264", n_units=5, n_threads=1)
+
+
+class TestUnderHars:
+    def test_streamcluster_adapts_wide_and_slow(self, xu3, power_estimator):
+        """Memory-bound work gets little from frequency: HARS should
+        settle at the bottom of a frequency range."""
+        from repro.core.manager import HarsManager
+        from repro.core.perf_estimator import PerformanceEstimator
+        from repro.core.policy import HARS_E
+        from repro.heartbeats.targets import PerformanceTarget
+        from repro.sim.engine import Simulation
+        from repro.sim.process import SimApp
+
+        sim = Simulation(xu3)
+        model = make_extra_benchmark("streamcluster", n_units=60)
+        # Max-rate probe then 50% target, as the runner would do.
+        probe = Simulation(xu3)
+        probe_app = probe.add_app(
+            SimApp(
+                "sc",
+                make_extra_benchmark("streamcluster", n_units=40),
+                PerformanceTarget(1.0, 1.0, 1.0),
+            )
+        )
+        probe.run(until_s=300)
+        target = PerformanceTarget.fraction_of(
+            probe_app.log.overall_rate(), 0.5
+        )
+        app = sim.add_app(SimApp("sc", model, target))
+        manager = HarsManager(
+            "sc", HARS_E, PerformanceEstimator(), power_estimator
+        )
+        sim.add_controller(manager)
+        sim.run(until_s=600)
+        assert app.monitor.mean_normalized_performance() > 0.8
+        # Whatever cluster it uses runs below the top frequency.
+        state = manager.state
+        if state.c_big:
+            assert state.f_big_mhz < 1600
+        if state.c_little:
+            assert state.f_little_mhz <= 1300

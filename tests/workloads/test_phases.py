@@ -1,0 +1,141 @@
+"""Unit tests for work profiles."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.phases import (
+    ConstantProfile,
+    NoisyProfile,
+    SinusoidProfile,
+    StepProfile,
+    describe_profile,
+)
+
+
+class TestConstantProfile:
+    def test_constant(self):
+        profile = ConstantProfile(2.5)
+        assert profile.work(0) == profile.work(100) == 2.5
+
+    def test_mean(self):
+        assert ConstantProfile(3.0).mean_work(10) == pytest.approx(3.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantProfile(0.0)
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ConfigurationError):
+            ConstantProfile(1.0).work(-1)
+
+
+class TestStepProfile:
+    def test_segments(self):
+        profile = StepProfile(segments=((2, 1.0), (3, 2.0)))
+        assert [profile.work(i) for i in range(5)] == [1, 1, 2, 2, 2]
+
+    def test_past_end_repeats_last(self):
+        profile = StepProfile(segments=((1, 1.0), (1, 4.0)))
+        assert profile.work(99) == 4.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            StepProfile(segments=())
+
+    def test_rejects_bad_segment(self):
+        with pytest.raises(ConfigurationError):
+            StepProfile(segments=((0, 1.0),))
+
+
+class TestSinusoidProfile:
+    def test_oscillates_around_base(self):
+        profile = SinusoidProfile(base_work=2.0, amplitude=0.5, period_units=8)
+        values = [profile.work(i) for i in range(8)]
+        assert max(values) == pytest.approx(2.5)
+        assert min(values) == pytest.approx(1.5)
+        assert profile.work(0) == pytest.approx(2.0)
+
+    def test_periodicity(self):
+        profile = SinusoidProfile(base_work=1.0, amplitude=0.3, period_units=10)
+        assert profile.work(3) == pytest.approx(profile.work(13))
+
+    def test_amplitude_must_leave_work_positive(self):
+        with pytest.raises(ConfigurationError):
+            SinusoidProfile(base_work=1.0, amplitude=1.0, period_units=10)
+
+
+class TestNoisyProfile:
+    def test_deterministic_per_seed_and_index(self):
+        profile = NoisyProfile(ConstantProfile(1.0), sigma=0.1)
+        assert profile.work(5, seed=42) == profile.work(5, seed=42)
+
+    def test_different_seeds_differ(self):
+        profile = NoisyProfile(ConstantProfile(1.0), sigma=0.1)
+        assert profile.work(5, seed=1) != profile.work(5, seed=2)
+
+    def test_zero_sigma_is_identity(self):
+        profile = NoisyProfile(ConstantProfile(1.0), sigma=0.0)
+        assert profile.work(7) == 1.0
+
+    def test_sigma_bounds(self):
+        with pytest.raises(ConfigurationError):
+            NoisyProfile(ConstantProfile(1.0), sigma=0.5)
+
+
+@given(
+    sigma=st.floats(min_value=0.0, max_value=0.4),
+    index=st.integers(min_value=0, max_value=10_000),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_noisy_work_always_positive(sigma, index, seed):
+    profile = NoisyProfile(ConstantProfile(1.0), sigma=sigma)
+    assert profile.work(index, seed) > 0
+
+
+def test_describe_profile():
+    stats = describe_profile(StepProfile(segments=((2, 1.0), (2, 3.0))), 4)
+    assert stats["mean"] == pytest.approx(2.0)
+    assert stats["min"] == 1.0 and stats["max"] == 3.0
+    assert stats["cov"] > 0
+
+
+class TestTraceProfile:
+    def test_replays_recorded_sizes(self):
+        from repro.workloads.phases import TraceProfile
+
+        profile = TraceProfile(sizes=(1.0, 2.0, 3.0))
+        assert [profile.work(i) for i in range(3)] == [1.0, 2.0, 3.0]
+
+    def test_wraps_past_the_end(self):
+        from repro.workloads.phases import TraceProfile
+
+        profile = TraceProfile(sizes=(1.0, 2.0))
+        assert profile.work(5) == 2.0
+
+    def test_record_profile_materializes(self):
+        from repro.workloads.phases import NoisyProfile, record_profile
+
+        noisy = NoisyProfile(ConstantProfile(1.0), sigma=0.2)
+        trace = record_profile(noisy, n_units=10, seed=3)
+        for i in range(10):
+            assert trace.work(i) == noisy.work(i, seed=3)
+
+    def test_recorded_trace_is_seed_independent(self):
+        from repro.workloads.phases import NoisyProfile, record_profile
+
+        noisy = NoisyProfile(ConstantProfile(1.0), sigma=0.2)
+        trace = record_profile(noisy, n_units=5, seed=3)
+        # Replay ignores the seed: it is already materialized.
+        assert trace.work(2, seed=99) == trace.work(2, seed=0)
+
+    def test_validation(self):
+        from repro.workloads.phases import TraceProfile, record_profile
+
+        with pytest.raises(ConfigurationError):
+            TraceProfile(sizes=())
+        with pytest.raises(ConfigurationError):
+            TraceProfile(sizes=(1.0, -1.0))
+        with pytest.raises(ConfigurationError):
+            record_profile(ConstantProfile(1.0), n_units=0)
