@@ -61,6 +61,7 @@ class Simulation:
         self.clock = SimClock()
         self.scheduler: Scheduler = scheduler or GtsScheduler()
         self.apps: List[SimApp] = []
+        self._apps_by_name: Dict[str, SimApp] = {}
         self.controllers: List[Controller] = []
         self.trace = TraceRecorder()
         #: Per-core utilization of the most recent tick (0..1), the
@@ -74,9 +75,10 @@ class Simulation:
         """Register an application before the run starts."""
         if self._started:
             raise SimulationError("cannot add apps after the run started")
-        if any(existing.name == app.name for existing in self.apps):
+        if app.name in self._apps_by_name:
             raise ConfigurationError(f"duplicate app name {app.name!r}")
         self.apps.append(app)
+        self._apps_by_name[app.name] = app
         return app
 
     def add_controller(self, controller: Controller) -> Controller:
@@ -87,11 +89,11 @@ class Simulation:
         return controller
 
     def app(self, name: str) -> SimApp:
-        """Look up a registered application by name."""
-        for candidate in self.apps:
-            if candidate.name == name:
-                return candidate
-        raise ConfigurationError(f"unknown app {name!r}")
+        """Look up a registered application by name (O(1))."""
+        try:
+            return self._apps_by_name[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown app {name!r}") from None
 
     # -- run loop --------------------------------------------------------------
 
