@@ -1,0 +1,82 @@
+"""Kernel refactor overhead: fast profile + estimation cache vs seed.
+
+The PR 1 refactor must be a pure speedup: the array-based engine
+profile, the GTS partition cache, and the kernel's memoizing estimation
+layer may not change a single float of any experiment metric.  This
+benchmark runs the same Figure 5.1-style HARS-E run twice —
+
+* **new**: the default configuration (``profile="fast"``, cached
+  estimates);
+* **old**: the pre-refactor behaviour (``profile="legacy"``, raw
+  estimators) — the seed engine's dict-based tick loop and uncached
+  Algorithm 2 sweeps;
+
+— and asserts (a) byte-identical metrics and traces, and (b) at least a
+2x wall-clock speedup.
+"""
+
+import dataclasses
+import time
+
+from conftest import bench_units, run_once
+
+from repro.core.calibration import calibrate
+from repro.experiments.runner import RunShape, measure_max_rate, run_single
+from repro.platform.spec import odroid_xu3
+
+#: Timed repetitions per configuration (best-of, to shed scheduler noise).
+REPEATS = 3
+
+
+def _snapshot(outcome):
+    """Everything observable from a run, in comparable form."""
+    return (
+        dataclasses.asdict(outcome.metrics),
+        tuple(
+            (name, outcome.trace.points(name))
+            for name in sorted(outcome.trace.app_names)
+        ),
+    )
+
+
+def _timed_run(shape, spec, **kwargs):
+    best = float("inf")
+    outcome = None
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        outcome = run_single("hars-e", shape, spec=spec, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return _snapshot(outcome), best
+
+
+def _compare(units):
+    spec = odroid_xu3()
+    shape = RunShape(benchmark="swaptions", n_units=units)
+    # Warm the shared memoizations (baseline max-rate, calibration) so
+    # neither configuration pays them inside the timed region.
+    measure_max_rate(spec, shape)
+    calibrate(spec)
+    old_kwargs = dict(profile="legacy", cache_estimates=False)
+    run_single("hars-e", shape, spec=spec)  # warmup (imports, allocs)
+    run_single("hars-e", shape, spec=spec, **old_kwargs)
+    new_snap, new_s = _timed_run(shape, spec)
+    old_snap, old_s = _timed_run(shape, spec, **old_kwargs)
+    return new_snap, new_s, old_snap, old_s
+
+
+def test_kernel_overhead(benchmark):
+    units = bench_units() or 400
+    new_snap, new_s, old_snap, old_s = run_once(benchmark, _compare, units)
+    speedup = old_s / new_s
+    print()
+    print(
+        f"HARS-E swaptions x{units}: "
+        f"new {new_s:.2f}s, old {old_s:.2f}s, speedup {speedup:.2f}x"
+    )
+    # The refactor must never change results — bit-identical metrics
+    # AND traces, not approximately equal.
+    assert new_snap == old_snap
+    assert speedup >= 2.0, (
+        f"kernel refactor must be >= 2x over the pre-refactor engine, "
+        f"got {speedup:.2f}x"
+    )

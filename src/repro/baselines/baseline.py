@@ -21,7 +21,7 @@ class BaselineController(Controller):
     """Max cores, max frequency, pure GTS scheduling."""
 
     def on_start(self, sim: "Simulation") -> None:
-        sim.dvfs.set_max()
+        sim.actuator.set_max_frequencies()
         for app in sim.apps:
-            app.clear_affinities()
-            app.set_cpuset(None)
+            sim.actuator.clear_affinities(app)
+            sim.actuator.set_cpuset(app, None)

@@ -296,15 +296,19 @@ class StaticOptimalController(Controller):
 
     def on_start(self, sim: "Simulation") -> None:
         self.state.validate(sim.spec)
-        sim.dvfs.set_frequency(BIG, self.state.f_big_mhz)
-        sim.dvfs.set_frequency(LITTLE, self.state.f_little_mhz)
+        actuator = sim.actuator
+        actuator.set_frequency(BIG, self.state.f_big_mhz)
+        actuator.set_frequency(LITTLE, self.state.f_little_mhz)
         app = sim.app(self.app_name)
-        app.clear_affinities()
+        actuator.clear_affinities(app)
         cpuset = frozenset(
             first_n(sim.spec, BIG, self.state.c_big)
             + first_n(sim.spec, LITTLE, self.state.c_little)
         )
-        app.set_cpuset(cpuset)
+        actuator.set_cpuset(app, cpuset)
+        actuator.announce(
+            app.name, self.state, self.state.c_big, self.state.c_little
+        )
 
     def current_allocation(self, app_name: str) -> Optional[Tuple[int, int]]:
         if app_name != self.app_name:

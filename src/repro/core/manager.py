@@ -1,12 +1,14 @@
 """The HARS runtime manager (the paper's Algorithm 1).
 
-The manager is a :class:`~repro.sim.controller.Controller`: it receives
-the application's heartbeats, checks every adaptation period whether the
-windowed rate left the target window, and if so invokes the search
-function and applies the chosen state — cluster frequencies through the
-DVFS controller, thread placement through the chunk/interleaving
-scheduler — exactly the user-level control surface the paper's prototype
-uses on Linux (no kernel modification).
+The manager is a :class:`~repro.sim.controller.Controller` and a thin
+façade over the kernel's MAPE-K control plane
+(:mod:`repro.kernel.mape`): every adaptation period the Monitor samples
+the windowed heartbeat rate, the Analyzer classifies it against the
+target window, the Planner runs the Algorithm 2 neighbourhood search
+over the cached estimation layer, and the Executor applies the chosen
+state — cluster frequencies and thread placement — through the
+actuation façade, exactly the user-level control surface the paper's
+prototype uses on Linux (no kernel modification).
 
 Search overhead is metered: each estimated candidate costs
 ``state_eval_cost_s`` of manager CPU time, which Figure 5.3(b) reports as
@@ -20,11 +22,19 @@ from typing import TYPE_CHECKING, Optional, Tuple
 from repro.core.perf_estimator import PerformanceEstimator
 from repro.core.policy import HarsPolicy
 from repro.core.power_estimator import PowerEstimator
-from repro.core.schedulers import apply_assignment
-from repro.core.search import get_next_sys_state
 from repro.core.state import SystemState, max_state
 from repro.errors import ConfigurationError
 from repro.heartbeats.record import Heartbeat
+from repro.kernel.estimation import EstimationLayer
+from repro.kernel.mape import (
+    Analyzer,
+    CycleContext,
+    Executor,
+    Knowledge,
+    MapeLoop,
+    Monitor,
+    SearchPlanner,
+)
 from repro.platform.cluster import BIG, LITTLE
 from repro.platform.topology import first_n
 from repro.sim.controller import Controller
@@ -50,7 +60,7 @@ DEFAULT_POLL_COST_S = 3e-3
 
 
 class HarsManager(Controller):
-    """Single-application HARS (Algorithms 1 + 2)."""
+    """Single-application HARS (Algorithms 1 + 2) over MAPE-K."""
 
     def __init__(
         self,
@@ -62,6 +72,7 @@ class HarsManager(Controller):
         state_eval_cost_s: float = DEFAULT_STATE_EVAL_COST_S,
         poll_cost_s: float = DEFAULT_POLL_COST_S,
         initial_state: Optional[SystemState] = None,
+        cache_estimates: bool = True,
     ):
         if adapt_every < 1:
             raise ConfigurationError("adapt_every must be >= 1")
@@ -71,22 +82,90 @@ class HarsManager(Controller):
             raise ConfigurationError("poll_cost_s must be >= 0")
         self.app_name = app_name
         self.policy = policy
-        self.perf_estimator = perf_estimator
-        self.power_estimator = power_estimator
-        self.adapt_every = adapt_every
         self.state_eval_cost_s = state_eval_cost_s
         self.poll_cost_s = poll_cost_s
-        self.heartbeats_polled = 0
         self._initial_state = initial_state
-        self._state: Optional[SystemState] = None
         self._used: Tuple[int, int] = (0, 0)
         self._assignment = None  # ThreadAssignment actually applied
-        self.states_explored_total = 0
-        self.adaptations = 0
+        self.knowledge = Knowledge(
+            EstimationLayer(
+                perf_estimator, power_estimator, cached=cache_estimates
+            )
+        )
+        self.mape = MapeLoop(
+            knowledge=self.knowledge,
+            monitor=self._build_monitor(adapt_every),
+            analyzer=Analyzer(),
+            planner=self._build_planner(),
+            executor=Executor(self._execute_plan),
+            updaters=self._build_updaters(),
+        )
+
+    # -- MAPE-K wiring (extension points for subclasses) -----------------------
+
+    def _build_monitor(self, adapt_every: int) -> Monitor:
+        return Monitor(adapt_every)
+
+    def _build_planner(self) -> SearchPlanner:
+        return SearchPlanner(self.policy)
+
+    def _build_updaters(self) -> tuple:
+        return ()
+
+    def _execute_plan(
+        self, sim: "Simulation", ctx: CycleContext, state: SystemState
+    ) -> None:
+        # Indirect through the attribute so tests can wrap ``_apply``.
+        self._apply(sim, state)
+
+    # -- compatibility façade --------------------------------------------------
+
+    @property
+    def perf_estimator(self):
+        """The (cached) performance estimator the search consults."""
+        return self.knowledge.estimation.perf
+
+    @perf_estimator.setter
+    def perf_estimator(self, estimator: PerformanceEstimator) -> None:
+        self.knowledge.estimation.set_perf_estimator(estimator)
+
+    @property
+    def power_estimator(self):
+        """The (cached) power estimator the search consults."""
+        return self.knowledge.estimation.power
+
+    @power_estimator.setter
+    def power_estimator(self, estimator: PowerEstimator) -> None:
+        self.knowledge.estimation.set_power_estimator(estimator)
+
+    @property
+    def adapt_every(self) -> int:
+        return self.mape.monitor.adapt_every
+
+    @adapt_every.setter
+    def adapt_every(self, value: int) -> None:
+        self.mape.monitor.adapt_every = value
+
+    @property
+    def heartbeats_polled(self) -> int:
+        return self.mape.monitor.polled
+
+    @property
+    def states_explored_total(self) -> int:
+        return self.knowledge.states_explored
+
+    @property
+    def adaptations(self) -> int:
+        return self.knowledge.adaptations
+
+    @property
+    def _state(self) -> Optional[SystemState]:
+        return self.knowledge.state_of(self.app_name)
 
     # -- Controller hooks ------------------------------------------------------
 
     def on_start(self, sim: "Simulation") -> None:
+        self.knowledge.bind(sim.spec)
         state = self._initial_state or max_state(sim.spec)
         state.validate(sim.spec)
         self._apply(sim, state)
@@ -96,30 +175,9 @@ class HarsManager(Controller):
     ) -> None:
         if app.name != self.app_name:
             return
-        self.heartbeats_polled += 1
-        if heartbeat.index == 0 or heartbeat.index % self.adapt_every != 0:
-            return
-        rate = app.monitor.current_rate()
-        if rate is None or self._state is None:
-            return
-        target = app.target
-        if not target.out_of_window(rate):
-            return
-        space = self.policy.space_for(target.classify(rate))
-        result = get_next_sys_state(
-            spec=sim.spec,
-            current=self._state,
-            observed_rate=rate,
-            n_threads=app.n_threads,
-            target=target,
-            space=space,
-            perf_estimator=self.perf_estimator,
-            power_estimator=self.power_estimator,
-        )
-        self.states_explored_total += result.states_explored
-        if result.state != self._state:
-            self.adaptations += 1
-            self._apply(sim, result.state)
+        if self.knowledge.spec is None:
+            self.knowledge.bind(sim.spec)
+        self.mape.on_heartbeat(sim, app, heartbeat)
 
     def current_allocation(self, app_name: str) -> Optional[Tuple[int, int]]:
         if app_name != self.app_name:
@@ -137,23 +195,27 @@ class HarsManager(Controller):
     @property
     def state(self) -> Optional[SystemState]:
         """The system state currently applied."""
-        return self._state
+        return self.knowledge.state_of(self.app_name)
 
     def _apply(self, sim: "Simulation", state: SystemState) -> None:
         """``setSysStateAndScheduleThreads``: DVFS + thread pinning."""
         app = sim.app(self.app_name)
-        sim.dvfs.set_frequency(BIG, state.f_big_mhz)
-        sim.dvfs.set_frequency(LITTLE, state.f_little_mhz)
+        actuator = sim.actuator
+        actuator.set_frequency(BIG, state.f_big_mhz)
+        actuator.set_frequency(LITTLE, state.f_little_mhz)
         estimate = self.perf_estimator.estimate(state, app.n_threads)
         assignment = estimate.assignment
         big_ids = first_n(sim.spec, BIG, assignment.used_big)
         little_ids = first_n(sim.spec, LITTLE, assignment.used_little)
-        apply_assignment(
+        actuator.place(
             app, assignment, big_ids, little_ids, self.policy.scheduler
         )
-        self._state = state
+        self.knowledge.set_state(app.name, state)
         self._used = (assignment.used_big, assignment.used_little)
         self._assignment = assignment
+        actuator.announce(
+            app.name, state, assignment.used_big, assignment.used_little
+        )
 
     def cpu_utilization_percent(self, elapsed_s: float) -> float:
         """Manager overhead as a percentage of one core (Fig 5.3b)."""

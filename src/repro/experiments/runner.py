@@ -113,19 +113,29 @@ def run_single(
     version: str,
     shape: RunShape,
     spec: Optional[PlatformSpec] = None,
+    profile: str = "fast",
+    cache_estimates: bool = True,
 ) -> RunOutcome:
-    """Run one benchmark under one version and collect metrics."""
+    """Run one benchmark under one version and collect metrics.
+
+    ``profile`` selects the engine execution profile (see
+    :class:`~repro.sim.engine.Simulation`) and ``cache_estimates``
+    the kernel's estimation cache; both knobs change speed only, never
+    results, so only benchmarks pass non-defaults.
+    """
     spec = spec or odroid_xu3()
     max_rate = measure_max_rate(spec, shape)
     target = PerformanceTarget.fraction_of(
         max_rate, shape.target_fraction, shape.tolerance
     )
-    sim = Simulation(spec, tick_s=shape.tick_s)
+    sim = Simulation(spec, tick_s=shape.tick_s, profile=profile)
     model = make_benchmark(shape.benchmark, shape.n_units, shape.n_threads)
     model.reset(shape.seed)
     app = sim.add_app(SimApp(shape.benchmark, model, target))
     controllers = attach_single_app_version(
-        sim, app, version, adapt_every=shape.adapt_every
+        sim, app, version,
+        adapt_every=shape.adapt_every,
+        cache_estimates=cache_estimates,
     )
     elapsed = sim.run(
         until_s=_safety_horizon(
@@ -144,6 +154,8 @@ def run_multi(
     version: str,
     shapes: List[RunShape],
     spec: Optional[PlatformSpec] = None,
+    profile: str = "fast",
+    cache_estimates: bool = True,
 ) -> RunOutcome:
     """Run several applications concurrently under one multi-app version.
 
@@ -157,7 +169,7 @@ def run_multi(
     spec = spec or odroid_xu3()
     tick_s = shapes[0].tick_s
     adapt_every = shapes[0].adapt_every
-    sim = Simulation(spec, tick_s=tick_s)
+    sim = Simulation(spec, tick_s=tick_s, profile=profile)
     apps: List[SimApp] = []
     slowest_floor = float("inf")
     total_beats = 0
@@ -172,7 +184,9 @@ def run_multi(
         apps.append(sim.add_app(SimApp(name, model, target)))
         slowest_floor = min(slowest_floor, target.min_rate / 4)
         total_beats = max(total_beats, model.total_heartbeats())
-    controllers = attach_multi_app_version(sim, version, adapt_every=adapt_every)
+    controllers = attach_multi_app_version(
+        sim, version, adapt_every=adapt_every, cache_estimates=cache_estimates
+    )
     elapsed = sim.run(
         until_s=2 * _safety_horizon(total_beats, rate_floor=slowest_floor)
     )

@@ -1,0 +1,103 @@
+"""Actuation façade.
+
+Execute stages act on the platform only through this object — cluster
+DVFS, per-app cpusets, and thread placement.  Besides giving every
+manager one narrow write-path (instead of reaching into ``sim.dvfs``
+and ``apply_assignment`` directly), the façade is where applied states
+are announced on the kernel bus as
+:class:`~repro.kernel.bus.StateApplied`, which is what feeds the trace
+recorder.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, FrozenSet, Optional, Sequence
+
+from repro.kernel.bus import StateApplied
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.assignment import ThreadAssignment
+    from repro.core.state import SystemState
+    from repro.sim.engine import Simulation
+    from repro.sim.process import SimApp
+
+
+class Actuator:
+    """The kernel's write-path to DVFS and thread placement."""
+
+    def __init__(self, sim: "Simulation"):
+        self._sim = sim
+
+    # -- DVFS ----------------------------------------------------------------
+
+    def set_frequency(self, cluster_name: str, freq_mhz: int) -> None:
+        """Set one cluster's frequency (must be an operating point)."""
+        self._sim.dvfs.set_frequency(cluster_name, freq_mhz)
+
+    def set_max_frequencies(self) -> None:
+        """Pin both clusters to their maximum operating point."""
+        self._sim.dvfs.set_max()
+
+    def set_min_frequencies(self) -> None:
+        """Pin both clusters to their minimum operating point."""
+        self._sim.dvfs.set_min()
+
+    # -- thread placement ----------------------------------------------------
+
+    def set_cpuset(
+        self, app: "SimApp", cpuset: Optional[FrozenSet[int]]
+    ) -> None:
+        """Restrict an app to a core set (``None`` = all cores)."""
+        app.set_cpuset(cpuset)
+
+    def clear_affinities(self, app: "SimApp") -> None:
+        """Unpin all of an app's threads (back to pure GTS)."""
+        app.clear_affinities()
+
+    def place(
+        self,
+        app: "SimApp",
+        assignment: "ThreadAssignment",
+        big_core_ids: Sequence[int],
+        little_core_ids: Sequence[int],
+        policy: str,
+    ) -> None:
+        """Pin an app's threads per a Table 3.1 assignment."""
+        # Imported here: the kernel sits below repro.core in the layer
+        # stack, and a module-level import would be circular.
+        from repro.core.schedulers import apply_assignment
+
+        apply_assignment(app, assignment, big_core_ids, little_core_ids, policy)
+
+    def place_stage_aware(
+        self,
+        app: "SimApp",
+        assignment: "ThreadAssignment",
+        big_core_ids: Sequence[int],
+        little_core_ids: Sequence[int],
+    ) -> None:
+        """Pin an app's threads splitting each pipeline stage T_B:T_L."""
+        from repro.extensions.stage_aware import apply_stage_aware_assignment
+
+        apply_stage_aware_assignment(
+            app, app.model, assignment, big_core_ids, little_core_ids
+        )
+
+    # -- announcements -------------------------------------------------------
+
+    def announce(
+        self,
+        app_name: str,
+        state: SystemState,
+        big_cores: int,
+        little_cores: int,
+    ) -> None:
+        """Publish ``StateApplied`` for an allocation just applied."""
+        self._sim.bus.publish(
+            StateApplied(
+                app_name=app_name,
+                state=state,
+                big_cores=big_cores,
+                little_cores=little_cores,
+            )
+        )

@@ -1,0 +1,157 @@
+"""Cached estimation layer.
+
+Algorithm 2 sweeps a neighbourhood of candidate states every adaptation
+period, and consecutive periods sweep heavily-overlapping
+neighbourhoods, so the same ``(state, n_threads)`` estimates are
+recomputed over and over.  This layer memoizes them.
+
+Caching is *exact*: the wrappers store the object the inner estimator
+returned, so a cached lookup yields bit-identical floats to an uncached
+call — determinism of every experiment metric is preserved.  The one
+reformulation is ``estimate_rate``, which is recomputed from the two
+cached capacities with the same expression the inner estimator uses
+(``observed · cap_candidate / cap_current``), again bit-identical.
+
+Swapping an estimator (online ratio learning refits r0; a recalibration
+refits the power coefficients) invalidates the corresponding cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.core.perf_estimator import PerformanceEstimate, PerformanceEstimator
+from repro.core.power_estimator import PowerEstimator
+from repro.core.state import SystemState
+from repro.errors import EstimationError
+
+
+class CachedPerformanceEstimator:
+    """Memoizing wrapper around a :class:`PerformanceEstimator`."""
+
+    def __init__(self, inner: PerformanceEstimator):
+        self.inner = inner
+        self._cache: Dict[Tuple[SystemState, int], PerformanceEstimate] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def estimate(
+        self, state: SystemState, n_threads: int
+    ) -> PerformanceEstimate:
+        key = (state, n_threads)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.inner.estimate(state, n_threads)
+        self._cache[key] = result
+        return result
+
+    def estimate_rate(
+        self,
+        candidate: SystemState,
+        current: SystemState,
+        observed_rate: float,
+        n_threads: int,
+    ) -> float:
+        if observed_rate <= 0:
+            raise EstimationError("observed rate must be positive")
+        cap_candidate = self.estimate(candidate, n_threads).capacity
+        cap_current = self.estimate(current, n_threads).capacity
+        return observed_rate * cap_candidate / cap_current
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __getattr__(self, name: str) -> Any:
+        # Everything else (r0, per_core_speeds, …) passes through.
+        return getattr(self.inner, name)
+
+
+class CachedPowerEstimator:
+    """Memoizing wrapper around a :class:`PowerEstimator`.
+
+    The power estimate depends on the state and on the performance
+    estimate's used-core counts and utilizations, so the key captures
+    exactly those inputs.
+    """
+
+    def __init__(self, inner: PowerEstimator):
+        self.inner = inner
+        self._cache: Dict[Tuple, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def estimate(self, state: SystemState, perf: PerformanceEstimate) -> float:
+        key = (
+            state,
+            perf.assignment.used_big,
+            perf.assignment.used_little,
+            perf.util_big,
+            perf.util_little,
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        self.misses += 1
+        result = self.inner.estimate(state, perf)
+        self._cache[key] = result
+        return result
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+
+class EstimationLayer:
+    """The kernel's estimation layer: both cached estimators plus the
+    swap/invalidation protocol the Knowledge-update plugins use."""
+
+    def __init__(
+        self,
+        perf_estimator: PerformanceEstimator,
+        power_estimator: PowerEstimator,
+        cached: bool = True,
+    ):
+        #: ``cached=False`` exposes the raw estimators — the
+        #: pre-refactor behaviour, kept for overhead benchmarking.
+        self.cached = cached
+        self.perf = (
+            CachedPerformanceEstimator(perf_estimator)
+            if cached
+            else perf_estimator
+        )
+        self.power = (
+            CachedPowerEstimator(power_estimator) if cached else power_estimator
+        )
+
+    def set_perf_estimator(self, estimator: PerformanceEstimator) -> None:
+        """Replace the performance model (e.g. a refit r0) — the old
+        cache entries no longer describe it, so they are dropped."""
+        self.perf = (
+            CachedPerformanceEstimator(estimator) if self.cached else estimator
+        )
+
+    def set_power_estimator(self, estimator: PowerEstimator) -> None:
+        """Replace the power model (e.g. after recalibration)."""
+        self.power = (
+            CachedPowerEstimator(estimator) if self.cached else estimator
+        )
+
+    def invalidate(self) -> None:
+        """Drop every cached estimate, keeping the current models."""
+        if self.cached:
+            self.perf.clear()
+            self.power.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "perf_hits": getattr(self.perf, "hits", 0),
+            "perf_misses": getattr(self.perf, "misses", 0),
+            "power_hits": getattr(self.power, "hits", 0),
+            "power_misses": getattr(self.power, "misses", 0),
+        }

@@ -1,0 +1,342 @@
+"""MAPE-K control plane.
+
+One adaptation cycle of every HARS-family manager decomposes into the
+classic Monitor → Analyze → Plan → Execute stages over a shared
+:class:`Knowledge` store:
+
+* **Monitor** — polls the heartbeat stream, samples the windowed rate
+  at adaptation-period boundaries, and optionally filters it (the
+  Kalman :class:`~repro.extensions.kalman.RatePredictor` plugs in
+  here).
+* **Analyze** — classifies the rate against the app's target window.
+* **Plan** — Algorithm 2 neighbourhood search over the cached
+  estimation layer.  Policies (HARS-I/E/EI search spaces), the
+  local-optimum escape detector, and MP-HARS's partition/freeze
+  candidate filter are all Plan-stage plugins.
+* **Execute** — applies the planned state through the actuation
+  façade; the concrete apply function is supplied by the manager
+  (chunk/interleaved placement, stage-aware placement, or MP-HARS's
+  partitioned placement).
+
+The **K** — :class:`Knowledge` — holds what stages share: the platform
+spec, the estimation layer, per-app applied states/assignments, and the
+exploration/adaptation counters.  Managers remain thin façades that
+keep their public constructors and attributes, delegating the loop to
+:class:`MapeLoop`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.core.search import get_next_sys_state
+from repro.core.state import SystemState
+from repro.heartbeats.record import Heartbeat
+from repro.heartbeats.targets import Satisfaction
+from repro.kernel.estimation import EstimationLayer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.assignment import ThreadAssignment
+    from repro.core.policy import HarsPolicy, SearchSpace
+    from repro.platform.spec import PlatformSpec
+    from repro.sim.engine import Simulation
+    from repro.sim.process import SimApp
+
+
+class Knowledge:
+    """The K of MAPE-K: state the four stages share."""
+
+    def __init__(self, estimation: EstimationLayer):
+        self.spec: Optional["PlatformSpec"] = None
+        self.estimation = estimation
+        self.states_explored = 0
+        self.adaptations = 0
+        #: Manager-specific knowledge (MP-HARS keeps its per-app
+        #: partition data and per-cluster bookkeeping here).
+        self.domain: Dict[str, Any] = {}
+        self._states: Dict[str, SystemState] = {}
+        self._assignments: Dict[str, "ThreadAssignment"] = {}
+
+    def bind(self, spec: "PlatformSpec") -> None:
+        """Attach the platform spec (known once the sim starts)."""
+        self.spec = spec
+
+    def state_of(self, app_name: str) -> Optional[SystemState]:
+        return self._states.get(app_name)
+
+    def set_state(self, app_name: str, state: Optional[SystemState]) -> None:
+        if state is None:
+            self._states.pop(app_name, None)
+        else:
+            self._states[app_name] = state
+
+    def assignment_of(self, app_name: str) -> Optional["ThreadAssignment"]:
+        return self._assignments.get(app_name)
+
+    def set_assignment(
+        self, app_name: str, assignment: Optional["ThreadAssignment"]
+    ) -> None:
+        if assignment is None:
+            self._assignments.pop(app_name, None)
+        else:
+            self._assignments[app_name] = assignment
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Monitor output: one adaptation-boundary rate sample."""
+
+    app_name: str
+    heartbeat_index: int
+    raw_rate: float
+    rate: float  # filtered (== raw_rate without a rate filter)
+
+
+@dataclass(frozen=True)
+class Analysis:
+    """Analyzer output: the rate classified against the target."""
+
+    satisfaction: Satisfaction
+    out_of_window: bool
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Planner output: the chosen state plus search accounting."""
+
+    state: SystemState
+    states_explored: int
+    escaped: bool = False
+
+
+@dataclass
+class CycleContext:
+    """Everything one MAPE cycle accumulates; handed to Execute."""
+
+    app: "SimApp"
+    current: SystemState
+    observation: Observation
+    analysis: Analysis
+    plan: Optional[PlanResult] = None
+    adapted: bool = False
+    #: Scratch space plan-stage plugins use to pass data to Execute
+    #: (e.g. MP-HARS's per-cluster frequency decisions).
+    notes: Dict[str, Any] = field(default_factory=dict)
+
+
+class Monitor:
+    """M: heartbeat polling and boundary-rate sampling.
+
+    ``sensors`` run on *every* heartbeat (MP-HARS drains freeze counts
+    and records last-seen rates here); ``rate_filter`` smooths the
+    boundary sample (the Kalman predictor).
+    """
+
+    def __init__(
+        self,
+        adapt_every: int,
+        rate_filter: Optional[Any] = None,
+        sensors: Sequence[Callable[["SimApp", Heartbeat], None]] = (),
+    ):
+        self.adapt_every = adapt_every
+        self.rate_filter = rate_filter
+        self.sensors = list(sensors)
+        self.polled = 0
+
+    def observe(
+        self, app: "SimApp", heartbeat: Heartbeat
+    ) -> Optional[Observation]:
+        for sensor in self.sensors:
+            sensor(app, heartbeat)
+        self.polled += 1
+        if heartbeat.index == 0 or heartbeat.index % self.adapt_every != 0:
+            return None
+        raw = app.monitor.current_rate()
+        if raw is None:
+            return None
+        rate = self.rate_filter.observe(raw) if self.rate_filter else raw
+        return Observation(
+            app_name=app.name,
+            heartbeat_index=heartbeat.index,
+            raw_rate=raw,
+            rate=rate,
+        )
+
+
+class Analyzer:
+    """A: classify an observed rate against the performance target."""
+
+    def analyze(self, rate: float, target: Any) -> Analysis:
+        return Analysis(
+            satisfaction=target.classify(rate),
+            out_of_window=target.out_of_window(rate),
+        )
+
+
+class SearchPlanner:
+    """P: Algorithm 2 over the cached estimation layer.
+
+    Plugins:
+
+    * ``policy`` — supplies the over/underperformance search spaces
+      (HARS-I/E/EI are just different policies).
+    * ``escape`` — an object with ``note_in_window(state)`` /
+      ``note_out_of_window(state) -> bool``; when the latter trips,
+      the search widens to ``escape_space(spec)``.
+    * ``constraint`` — called with the cycle context, returns a
+      candidate filter (MP-HARS's partition/freeze gating).
+    """
+
+    def __init__(
+        self,
+        policy: "HarsPolicy",
+        escape: Optional[Any] = None,
+        escape_space: Optional[Callable[["PlatformSpec"], "SearchSpace"]] = None,
+        constraint: Optional[
+            Callable[[CycleContext], Callable[[SystemState, SystemState], bool]]
+        ] = None,
+    ):
+        self.policy = policy
+        self.escape = escape
+        self.escape_space = escape_space
+        self.constraint = constraint
+        self.escapes = 0
+
+    def notify_in_window(self, current: SystemState) -> None:
+        if self.escape is not None:
+            self.escape.note_in_window(current)
+
+    def plan(self, knowledge: Knowledge, ctx: CycleContext) -> PlanResult:
+        space = self.policy.space_for(ctx.analysis.satisfaction)
+        escaped = False
+        if (
+            self.escape is not None
+            and self.escape.note_out_of_window(ctx.current)
+            and self.escape_space is not None
+        ):
+            space = self.escape_space(knowledge.spec)
+            escaped = True
+            self.escapes += 1
+        candidate_filter = (
+            self.constraint(ctx) if self.constraint is not None else None
+        )
+        result = get_next_sys_state(
+            spec=knowledge.spec,
+            current=ctx.current,
+            observed_rate=ctx.observation.rate,
+            n_threads=ctx.app.n_threads,
+            target=ctx.app.target,
+            space=space,
+            perf_estimator=knowledge.estimation.perf,
+            power_estimator=knowledge.estimation.power,
+            candidate_filter=candidate_filter,
+        )
+        return PlanResult(
+            state=result.state,
+            states_explored=result.states_explored,
+            escaped=escaped,
+        )
+
+
+class Executor:
+    """E: hand the planned state to the manager's apply function.
+
+    The apply function receives ``(sim, ctx, state)`` and is expected
+    to act only through ``sim.actuator``.
+    """
+
+    def __init__(
+        self,
+        apply_fn: Callable[["Simulation", CycleContext, SystemState], None],
+    ):
+        self.apply_fn = apply_fn
+
+    def execute(
+        self, sim: "Simulation", ctx: CycleContext, state: SystemState
+    ) -> None:
+        self.apply_fn(sim, ctx, state)
+
+
+class MapeLoop:
+    """Orchestrates one Monitor → Analyze → Plan → Execute cycle.
+
+    ``updaters`` run between Monitor and Analyze on every boundary
+    observation and may rewrite Knowledge (online ratio learning swaps
+    the performance estimator here).  ``current_state_fn`` overrides
+    where the cycle's notion of "current state" comes from (MP-HARS
+    derives it from partition ownership); the default reads the
+    Knowledge store.  With ``always_execute`` the Execute stage runs
+    even when the plan equals the current state (MP-HARS re-applies to
+    refresh partitions); ``count_adaptations`` controls whether the
+    loop increments ``knowledge.adaptations`` on a state change
+    (managers that meter adaptation themselves switch it off).
+    """
+
+    def __init__(
+        self,
+        knowledge: Knowledge,
+        monitor: Monitor,
+        analyzer: Analyzer,
+        planner: SearchPlanner,
+        executor: Executor,
+        updaters: Iterable[Any] = (),
+        current_state_fn: Optional[
+            Callable[["Simulation", "SimApp"], Optional[SystemState]]
+        ] = None,
+        always_execute: bool = False,
+        count_adaptations: bool = True,
+    ):
+        self.knowledge = knowledge
+        self.monitor = monitor
+        self.analyzer = analyzer
+        self.planner = planner
+        self.executor = executor
+        self.updaters = list(updaters)
+        self.current_state_fn = current_state_fn
+        self.always_execute = always_execute
+        self.count_adaptations = count_adaptations
+
+    def on_heartbeat(
+        self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat
+    ) -> Optional[CycleContext]:
+        """Run one cycle; returns the context if Plan ran, else None."""
+        observation = self.monitor.observe(app, heartbeat)
+        if observation is None:
+            return None
+        if self.current_state_fn is not None:
+            current = self.current_state_fn(sim, app)
+        else:
+            current = self.knowledge.state_of(app.name)
+        if current is None:
+            return None
+        for updater in self.updaters:
+            updater.update(self.knowledge, app, current, observation)
+        analysis = self.analyzer.analyze(observation.rate, app.target)
+        if not analysis.out_of_window:
+            self.planner.notify_in_window(current)
+            return None
+        ctx = CycleContext(
+            app=app,
+            current=current,
+            observation=observation,
+            analysis=analysis,
+        )
+        plan = self.planner.plan(self.knowledge, ctx)
+        ctx.plan = plan
+        self.knowledge.states_explored += plan.states_explored
+        ctx.adapted = plan.state != current
+        if ctx.adapted and self.count_adaptations:
+            self.knowledge.adaptations += 1
+        if ctx.adapted or self.always_execute:
+            self.executor.execute(sim, ctx, plan.state)
+        return ctx

@@ -63,7 +63,7 @@ class ConsIController(Controller):
     def on_start(self, sim: "Simulation") -> None:
         self._states = ScoreOrderedStates(sim.spec, r0=self.r0)
         for app in sim.apps:
-            app.clear_affinities()
+            sim.actuator.clear_affinities(app)
             self._freeze_left[app.name] = 0
             self._last_rate[app.name] = None
         self._apply(sim, self._states.top)
@@ -158,12 +158,14 @@ class ConsIController(Controller):
 
     def _apply(self, sim: "Simulation", state: SystemState) -> None:
         state.validate(sim.spec)
-        sim.dvfs.set_frequency(BIG, state.f_big_mhz)
-        sim.dvfs.set_frequency(LITTLE, state.f_little_mhz)
+        actuator = sim.actuator
+        actuator.set_frequency(BIG, state.f_big_mhz)
+        actuator.set_frequency(LITTLE, state.f_little_mhz)
         enabled = frozenset(
             first_n(sim.spec, BIG, state.c_big)
             + first_n(sim.spec, LITTLE, state.c_little)
         )
         for app in sim.apps:
-            app.set_cpuset(enabled)
+            actuator.set_cpuset(app, enabled)
+            actuator.announce(app.name, state, state.c_big, state.c_little)
         self._current = state

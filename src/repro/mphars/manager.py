@@ -1,19 +1,25 @@
 """The MP-HARS runtime manager (the paper's Algorithm 3).
 
-MP-HARS manages several self-adaptive applications at once by combining
-the single-application HARS machinery (estimators, search, thread
-assignment) with two multi-application modules:
+MP-HARS manages several self-adaptive applications at once by running
+the kernel's MAPE-K loop (:mod:`repro.kernel.mape`) per application and
+plugging two multi-application modules into its stages:
 
 * **resource partitioning** — each application owns a disjoint set of
-  cores (Algorithm 4 in :mod:`repro.mphars.partition`); the search may
-  only grow an application's core counts into the *free* pool, never into
-  a co-runner's cores;
-* **interference-aware adaptation** — cluster frequencies are shared, so
-  shared-cluster moves are gated by Table 4.3
-  (:mod:`repro.mphars.freeze`): an application that is the sole user of a
-  cluster controls its frequency freely; otherwise the decision table
+  cores (Algorithm 4 in :mod:`repro.mphars.partition`); a Plan-stage
+  candidate filter only lets the search grow an application's core
+  counts into the *free* pool, never into a co-runner's cores;
+* **interference-aware adaptation** — cluster frequencies are shared,
+  so the same filter gates shared-cluster moves by Table 4.3
+  (:mod:`repro.mphars.freeze`): an application that is the sole user of
+  a cluster controls its frequency freely; otherwise the decision table
   restricts the direction, and decreases set freezing counts on every
   affected application and freeze the cluster.
+
+The Monitor stage carries a per-heartbeat sensor (Algorithm 3 lines
+8–15: drain freezing counts, record last-seen rates); the Execute stage
+re-applies unconditionally to refresh partitions; finished applications
+release their partitions when the engine announces
+:class:`~repro.kernel.bus.AppFinished`.
 
 Applications that have not yet adapted (no heartbeats yet — e.g.
 blackscholes in its serial input phase) own no cores and run on whatever
@@ -24,17 +30,26 @@ all little cores taken and must settle for big cores (Section 5.2.2).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.core.perf_estimator import PerformanceEstimator
 from repro.core.policy import HarsPolicy
 from repro.core.power_estimator import PowerEstimator
-from repro.core.schedulers import apply_assignment
-from repro.core.search import get_next_sys_state
 from repro.core.state import SystemState
 from repro.errors import ConfigurationError
 from repro.heartbeats.record import Heartbeat
 from repro.heartbeats.targets import Satisfaction
+from repro.kernel.bus import AppFinished
+from repro.kernel.estimation import EstimationLayer
+from repro.kernel.mape import (
+    Analyzer,
+    CycleContext,
+    Executor,
+    Knowledge,
+    MapeLoop,
+    Monitor,
+    SearchPlanner,
+)
 from repro.mphars.appdata import AppData
 from repro.mphars.clusterdata import ClusterData
 from repro.mphars.freeze import (
@@ -70,15 +85,13 @@ class MpHarsManager(Controller):
         adapt_every: int = 5,
         freeze_beats: int = DEFAULT_FREEZE_BEATS,
         state_eval_cost_s: float = DEFAULT_STATE_EVAL_COST_S,
+        cache_estimates: bool = True,
     ):
         if adapt_every < 1:
             raise ConfigurationError("adapt_every must be >= 1")
         if freeze_beats < 1:
             raise ConfigurationError("freeze_beats must be >= 1")
         self.policy = policy
-        self.perf_estimator = perf_estimator
-        self.power_estimator = power_estimator
-        self.adapt_every = adapt_every
         self.freeze_beats = freeze_beats
         self.state_eval_cost_s = state_eval_cost_s
         self._apps: Dict[str, AppData] = {}
@@ -86,28 +99,91 @@ class MpHarsManager(Controller):
         self._clusters: Dict[str, ClusterData] = {}
         self._released: Dict[str, bool] = {}
         self._targets: Dict[str, object] = {}
-        self.states_explored_total = 0
-        self.adaptations = 0
+        self.knowledge = Knowledge(
+            EstimationLayer(
+                perf_estimator, power_estimator, cached=cache_estimates
+            )
+        )
+        # The shared partition/freeze bookkeeping is MAPE-K domain
+        # knowledge: Plan (candidate filter) and Execute both read it.
+        self.knowledge.domain["apps"] = self._apps
+        self.knowledge.domain["clusters"] = self._clusters
+        self.mape = MapeLoop(
+            knowledge=self.knowledge,
+            monitor=Monitor(adapt_every, sensors=(self._sense,)),
+            analyzer=Analyzer(),
+            planner=SearchPlanner(self.policy, constraint=self._constraint),
+            executor=Executor(self._execute_plan),
+            current_state_fn=self._current_state_of,
+            always_execute=True,
+            count_adaptations=False,
+        )
+
+    # -- compatibility façade ---------------------------------------------------
+
+    @property
+    def perf_estimator(self):
+        return self.knowledge.estimation.perf
+
+    @perf_estimator.setter
+    def perf_estimator(self, estimator: PerformanceEstimator) -> None:
+        self.knowledge.estimation.set_perf_estimator(estimator)
+
+    @property
+    def power_estimator(self):
+        return self.knowledge.estimation.power
+
+    @power_estimator.setter
+    def power_estimator(self, estimator: PowerEstimator) -> None:
+        self.knowledge.estimation.set_power_estimator(estimator)
+
+    @property
+    def adapt_every(self) -> int:
+        return self.mape.monitor.adapt_every
+
+    @adapt_every.setter
+    def adapt_every(self, value: int) -> None:
+        self.mape.monitor.adapt_every = value
+
+    @property
+    def states_explored_total(self) -> int:
+        return self.knowledge.states_explored
+
+    @property
+    def adaptations(self) -> int:
+        return self.knowledge.adaptations
 
     # -- Controller hooks -------------------------------------------------------
 
+    def attach(self, sim: "Simulation") -> None:
+        super().attach(sim)
+        # Finished apps release their partition as soon as the engine
+        # announces completion (previously polled every tick).
+        sim.bus.subscribe(
+            AppFinished, lambda event: self._on_app_finished(sim, event)
+        )
+
     def on_start(self, sim: "Simulation") -> None:
         spec = sim.spec
-        self._clusters = {
-            BIG: ClusterData(
-                name=BIG,
-                n_cores=spec.big.n_cores,
-                first_core_id=spec.big.first_core_id,
-                freq_mhz=spec.big.max_freq_mhz,
-            ),
-            LITTLE: ClusterData(
-                name=LITTLE,
-                n_cores=spec.little.n_cores,
-                first_core_id=spec.little.first_core_id,
-                freq_mhz=spec.little.max_freq_mhz,
-            ),
-        }
-        sim.dvfs.set_max()
+        self.knowledge.bind(spec)
+        self._clusters.clear()
+        self._clusters.update(
+            {
+                BIG: ClusterData(
+                    name=BIG,
+                    n_cores=spec.big.n_cores,
+                    first_core_id=spec.big.first_core_id,
+                    freq_mhz=spec.big.max_freq_mhz,
+                ),
+                LITTLE: ClusterData(
+                    name=LITTLE,
+                    n_cores=spec.little.n_cores,
+                    first_core_id=spec.little.first_core_id,
+                    freq_mhz=spec.little.max_freq_mhz,
+                ),
+            }
+        )
+        sim.actuator.set_max_frequencies()
         for app in sim.apps:
             self._apps[app.name] = AppData(
                 name=app.name,
@@ -117,37 +193,15 @@ class MpHarsManager(Controller):
             self._last_rate[app.name] = None
             self._released[app.name] = False
             self._targets[app.name] = app.target
-            app.clear_affinities()
+            sim.actuator.clear_affinities(app)
         self._refresh_unpartitioned_cpusets(sim)
-
-    def on_tick(self, sim: "Simulation") -> None:
-        for app in sim.apps:
-            data = self._apps.get(app.name)
-            if data is None:
-                continue
-            if app.is_done() and not self._released[app.name]:
-                release_all(data, self._clusters[BIG], self._clusters[LITTLE])
-                self._released[app.name] = True
-                self._refresh_unpartitioned_cpusets(sim)
 
     def on_heartbeat(
         self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat
     ) -> None:
-        data = self._apps.get(app.name)
-        if data is None:
+        if app.name not in self._apps:
             return
-        # Algorithm 3 lines 8–15: drain freezing counts, refresh flags.
-        data.tick_freezing_counts()
-        self._refresh_frozen_flags()
-        rate = app.monitor.current_rate()
-        if rate is not None:
-            self._last_rate[app.name] = rate
-            data.heartbeat_rate = rate
-        if heartbeat.index == 0 or heartbeat.index % self.adapt_every != 0:
-            return
-        if rate is None or not app.target.out_of_window(rate):
-            return
-        self._adapt(sim, app, data, rate)
+        self.mape.on_heartbeat(sim, app, heartbeat)
 
     def current_allocation(self, app_name: str) -> Optional[Tuple[int, int]]:
         data = self._apps.get(app_name)
@@ -158,17 +212,40 @@ class MpHarsManager(Controller):
     def cpu_overhead_seconds(self) -> float:
         return self.states_explored_total * self.state_eval_cost_s
 
-    # -- adaptation --------------------------------------------------------------
+    # -- MAPE-K stages -----------------------------------------------------------
 
-    def _adapt(
-        self, sim: "Simulation", app: "SimApp", data: AppData, rate: float
-    ) -> None:
-        satisfaction = app.target.classify(rate)
-        current = self._current_state(sim, app, data)
+    def _sense(self, app: "SimApp", heartbeat: Heartbeat) -> None:
+        """Per-heartbeat sensor (Algorithm 3 lines 8–15): drain freezing
+        counts, refresh flags, record the last-seen rate."""
+        data = self._apps[app.name]
+        data.tick_freezing_counts()
+        self._refresh_frozen_flags()
+        rate = app.monitor.current_rate()
+        if rate is not None:
+            self._last_rate[app.name] = rate
+            data.heartbeat_rate = rate
+
+    def _current_state_of(
+        self, sim: "Simulation", app: "SimApp"
+    ) -> SystemState:
+        return self._current_state(sim, app, self._apps[app.name])
+
+    def _constraint(
+        self, ctx: CycleContext
+    ) -> Callable[[SystemState, SystemState], bool]:
+        """Plan-stage candidate filter: partition + Table 4.3 gating.
+
+        Also computes the per-cluster frequency decisions (which may
+        unfreeze a drained cluster as a side effect) and stashes them in
+        the cycle context for the Execute stage.
+        """
+        data = self._apps[ctx.app.name]
+        satisfaction = ctx.analysis.satisfaction
         decisions = {
             cluster: self._cluster_decision(cluster, data, satisfaction)
             for cluster in (BIG, LITTLE)
         }
+        ctx.notes["decisions"] = decisions
         free_big = self._clusters[BIG].free_count
         free_little = self._clusters[LITTLE].free_count
 
@@ -185,20 +262,17 @@ class MpHarsManager(Controller):
                 decisions[LITTLE], candidate.f_little_mhz, cur.f_little_mhz
             )
 
-        space = self.policy.space_for(satisfaction)
-        result = get_next_sys_state(
-            spec=sim.spec,
-            current=current,
-            observed_rate=rate,
-            n_threads=app.n_threads,
-            target=app.target,
-            space=space,
-            perf_estimator=self.perf_estimator,
-            power_estimator=self.power_estimator,
-            candidate_filter=candidate_ok,
+        return candidate_ok
+
+    def _execute_plan(
+        self, sim: "Simulation", ctx: CycleContext, state: SystemState
+    ) -> None:
+        app = ctx.app
+        data = self._apps[app.name]
+        self._apply(
+            sim, app, data, state, ctx.analysis.satisfaction,
+            ctx.notes["decisions"],
         )
-        self.states_explored_total += result.states_explored
-        self._apply(sim, app, data, result.state, satisfaction, decisions)
         data.adaptation_index = app.log.last.index if app.log.last else -1
 
     def _current_state(
@@ -267,6 +341,7 @@ class MpHarsManager(Controller):
         decisions: Dict[str, Optional[StateDecision]],
     ) -> None:
         """``setSysStateAndScheduleThreads`` with partitioned cores."""
+        actuator = sim.actuator
         changed = False
         # Core ownership via Algorithm 4.
         if (state.c_big, state.c_little) != (data.owned_big, data.owned_little):
@@ -285,7 +360,7 @@ class MpHarsManager(Controller):
             old_freq = sim.machine.freq_mhz(cluster)
             if new_freq == old_freq:
                 continue
-            sim.dvfs.set_frequency(cluster, new_freq)
+            actuator.set_frequency(cluster, new_freq)
             self._clusters[cluster].freq_mhz = new_freq
             changed = True
             if new_freq < old_freq:
@@ -304,13 +379,14 @@ class MpHarsManager(Controller):
             for slot, used in enumerate(data.use_l_core)
             if used
         )[: assignment.used_little]
-        app.set_cpuset(None)
-        apply_assignment(
+        actuator.set_cpuset(app, None)
+        actuator.place(
             app, assignment, big_ids, little_ids, self.policy.scheduler
         )
         data.desired_state = state
         if changed:
-            self.adaptations += 1
+            self.knowledge.adaptations += 1
+        actuator.announce(app.name, state, data.owned_big, data.owned_little)
         self._refresh_unpartitioned_cpusets(sim)
 
     # -- freezing ------------------------------------------------------------------
@@ -343,6 +419,16 @@ class MpHarsManager(Controller):
             data.freezing_cnt_l > 0 for data in self._apps.values()
         )
 
+    # -- partition release --------------------------------------------------------
+
+    def _on_app_finished(self, sim: "Simulation", event: AppFinished) -> None:
+        data = self._apps.get(event.app_name)
+        if data is None or self._released.get(event.app_name):
+            return
+        release_all(data, self._clusters[BIG], self._clusters[LITTLE])
+        self._released[event.app_name] = True
+        self._refresh_unpartitioned_cpusets(sim)
+
     # -- unpartitioned apps -----------------------------------------------------------
 
     def _refresh_unpartitioned_cpusets(self, sim: "Simulation") -> None:
@@ -358,7 +444,7 @@ class MpHarsManager(Controller):
                 continue
             if app.is_done():
                 continue
-            app.set_cpuset(free_ids if free_ids else None)
+            sim.actuator.set_cpuset(app, free_ids if free_ids else None)
 
 
 def _freq_allowed(

@@ -45,6 +45,10 @@ class Machine:
             for cluster in spec.clusters
             for core_id in cluster.core_ids
         }
+        # Online-set cache: hotplug is rare, online_core_ids() is per
+        # tick.  The cached tuples are stable objects, which lets the
+        # scheduler validate its own caches by identity.
+        self._online_cache: Dict[str | None, Tuple[int, ...]] = {}
 
     # -- frequency control (per-cluster DVFS) -----------------------------
 
@@ -73,6 +77,9 @@ class Machine:
 
     def online_core_ids(self, cluster_name: str | None = None) -> Tuple[int, ...]:
         """Online core ids, optionally restricted to one cluster."""
+        cached = self._online_cache.get(cluster_name)
+        if cached is not None:
+            return cached
         ids: List[int] = []
         for core in self.cores.values():
             if not core.online:
@@ -80,7 +87,9 @@ class Machine:
             if cluster_name is not None and core.cluster_name != cluster_name:
                 continue
             ids.append(core.core_id)
-        return tuple(sorted(ids))
+        result = tuple(sorted(ids))
+        self._online_cache[cluster_name] = result
+        return result
 
     def set_core_online(self, core_id: int, online: bool) -> None:
         """Hot(un)plug a core.
@@ -91,6 +100,7 @@ class Machine:
         if core_id not in self.cores:
             raise PlatformError(f"unknown core id {core_id}")
         self.cores[core_id].online = online
+        self._online_cache.clear()
 
     # -- convenience -------------------------------------------------------
 

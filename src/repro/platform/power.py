@@ -20,7 +20,7 @@ residual activity).  Board power is a constant added on top.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.platform.cluster import BIG, LITTLE, ClusterSpec
@@ -63,6 +63,27 @@ class PowerModel:
 
     def __init__(self, spec: PlatformSpec):
         self.spec = spec
+        # (cluster name, freq) -> (dynamic coefficient, leakage watts):
+        # both depend only on the operating point, and DVFS tables are a
+        # dozen entries, so the cache is tiny and hits every tick.
+        self._coeff_cache: Dict[Tuple[str, int], Tuple[float, float]] = {}
+
+    def _coefficients(
+        self, cluster: ClusterSpec, freq_mhz: int
+    ) -> Tuple[float, float]:
+        key = (cluster.name, freq_mhz)
+        cached = self._coeff_cache.get(key)
+        if cached is None:
+            core_type = cluster.core_type
+            # Matches CoreType.dynamic_power's evaluation order exactly:
+            # C · (V/V_ref)² · (f/f0) is its left-associated prefix, so
+            # coefficient · activity is bit-identical to the direct call.
+            cached = (
+                core_type.dynamic_power(freq_mhz, 1.0),
+                core_type.leakage_power(freq_mhz),
+            )
+            self._coeff_cache[key] = cached
+        return cached
 
     def cluster_power(
         self,
@@ -105,6 +126,51 @@ class PowerModel:
                 activities,
                 machine.online_core_ids(cluster.name),
             )
+        readings["board"] = self.spec.board_power_w
+        readings["total"] = readings[BIG] + readings[LITTLE] + readings["board"]
+        return readings
+
+    def platform_power_arrays(
+        self,
+        machine: Machine,
+        busy_s: Sequence[float],
+        busy_activity: Sequence[float],
+        dt: float,
+    ) -> Dict[str, float]:
+        """Array-indexed equivalent of :meth:`platform_power`.
+
+        ``busy_s[core_id]`` / ``busy_activity[core_id]`` are the tick's
+        per-core busy seconds and busy·activity sums (zero for idle
+        cores); utilization and activity factors are derived here the
+        same way the engine derives them for :class:`CoreActivity`, so
+        the result is bit-identical to :meth:`platform_power` — minus
+        the per-core object construction and voltage lookups.
+        """
+        readings: Dict[str, float] = {}
+        for cluster in self.spec.clusters:
+            online = machine.online_core_ids(cluster.name)
+            idle_activity = cluster.core_type.idle_activity
+            dyn_coeff, leak_w = self._coefficients(
+                cluster, machine.freq_mhz(cluster.name)
+            )
+            total = cluster.uncore_power_w if online else 0.0
+            for core_id in online:
+                core_busy = busy_s[core_id]
+                if core_busy > 0:
+                    util = core_busy / dt
+                    if util > 1.0:
+                        util = 1.0
+                    activity = busy_activity[core_id] / core_busy
+                    if activity > 1.0:
+                        activity = 1.0
+                    effective = util * activity
+                    if effective < idle_activity:
+                        effective = idle_activity
+                else:
+                    effective = idle_activity
+                total += dyn_coeff * effective
+                total += leak_w
+            readings[cluster.name] = total
         readings["board"] = self.spec.board_power_w
         readings["total"] = readings[BIG] + readings[LITTLE] + readings["board"]
         return readings

@@ -18,7 +18,7 @@ left and the class degrades to a within-set load balancer.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, List, Tuple
 
 from repro.errors import SchedulingError
 from repro.platform.cluster import BIG, LITTLE
@@ -42,10 +42,16 @@ class GtsScheduler(Scheduler):
         self,
         up_threshold: float = UP_MIGRATION_THRESHOLD,
         down_threshold: float = DOWN_MIGRATION_THRESHOLD,
+        cache_partitions: bool = False,
     ):
         validate_thresholds(up_threshold, down_threshold)
         self.up_threshold = up_threshold
         self.down_threshold = down_threshold
+        #: Memoize each thread's allowed-core big/little partition.  The
+        #: partition depends only on (affinity, cpuset, online set); all
+        #: three are replaced wholesale when they change, so cache
+        #: entries validate by object identity.
+        self.cache_partitions = cache_partitions
 
     #: Floor weight so even a freshly-idle thread occupies queue space.
     MIN_TASK_WEIGHT = 0.1
@@ -58,21 +64,74 @@ class GtsScheduler(Scheduler):
         # not stuck sharing a core with another heavy one while light
         # threads underuse a neighbour.
         load_counts: Dict[int, float] = {core: 0.0 for core in online}
+        use_cache = self.cache_partitions
+        min_weight = self.MIN_TASK_WEIGHT
 
         for app in sim.apps:
             if app.is_done():
                 continue
+            cpuset = app.cpuset
+            model = app.model
             for thread in app.threads:
-                if not app.model.wants_cpu(thread.local_index):
+                if not model.wants_cpu(thread.local_index):
                     continue
-                allowed = app.allowed_cores(thread, online)
-                core = self._pick_core(sim, thread, allowed, load_counts)
-                placement.setdefault(core, []).append(thread)
-                load_counts[core] += max(thread.load, self.MIN_TASK_WEIGHT)
+                if use_cache:
+                    entry = thread._gts_entry
+                    if (
+                        entry is None
+                        or entry[0] is not thread.affinity
+                        or entry[1] is not cpuset
+                        or entry[2] is not online
+                    ):
+                        big_cores, little_cores = self._partition(
+                            sim, app.allowed_cores(thread, online)
+                        )
+                        # A fully-pinned thread (HARS placement) has one
+                        # allowed core: the pick is forced, so the hot
+                        # path can skip the balancer entirely.
+                        single = (
+                            (big_cores or little_cores)[0]
+                            if len(big_cores) + len(little_cores) == 1
+                            else None
+                        )
+                        entry = (
+                            thread.affinity,
+                            cpuset,
+                            online,
+                            big_cores,
+                            little_cores,
+                            single,
+                        )
+                        thread._gts_entry = entry
+                    core = entry[5]
+                    if core is None:
+                        core = self._pick_partitioned(
+                            sim, thread, entry[3], entry[4], load_counts
+                        )
+                else:
+                    allowed = app.allowed_cores(thread, online)
+                    core = self._pick_core(sim, thread, allowed, load_counts)
+                if core in placement:
+                    placement[core].append(thread)
+                else:
+                    placement[core] = [thread]
+                load = thread.load
+                load_counts[core] += load if load > min_weight else min_weight
                 thread.current_core = core
         return placement
 
     # -- internals -----------------------------------------------------------
+
+    def _partition(
+        self, sim: "Simulation", allowed: frozenset
+    ) -> Tuple[List[int], List[int]]:
+        big_cores = sorted(
+            c for c in allowed if sim.machine.spec.big.contains_core(c)
+        )
+        little_cores = sorted(
+            c for c in allowed if sim.machine.spec.little.contains_core(c)
+        )
+        return big_cores, little_cores
 
     def _pick_core(
         self,
@@ -81,12 +140,19 @@ class GtsScheduler(Scheduler):
         allowed: frozenset,
         load_counts: Dict[int, int],
     ) -> int:
-        big_cores = sorted(
-            c for c in allowed if sim.machine.spec.big.contains_core(c)
+        big_cores, little_cores = self._partition(sim, allowed)
+        return self._pick_partitioned(
+            sim, thread, big_cores, little_cores, load_counts
         )
-        little_cores = sorted(
-            c for c in allowed if sim.machine.spec.little.contains_core(c)
-        )
+
+    def _pick_partitioned(
+        self,
+        sim: "Simulation",
+        thread: SimThread,
+        big_cores: List[int],
+        little_cores: List[int],
+        load_counts: Dict[int, float],
+    ) -> int:
         if not big_cores and not little_cores:
             raise SchedulingError(f"{thread.key()}: no allowed online cores")
 
@@ -102,13 +168,19 @@ class GtsScheduler(Scheduler):
 
         # A small stickiness bonus keeps a thread on its current core
         # unless another core is meaningfully lighter (migration cost).
-        return min(
-            candidates,
-            key=lambda c: (
-                load_counts[c] - (0.05 if c == thread.current_core else 0.0),
-                c,
-            ),
+        # Manual min over the ascending candidate list: ties keep the
+        # lowest core id, exactly the tuple-key min it replaces.
+        current_core = thread.current_core
+        best = candidates[0]
+        best_score = (
+            load_counts[best] - 0.05 if best == current_core else load_counts[best]
         )
+        for c in candidates[1:]:
+            score = load_counts[c] - 0.05 if c == current_core else load_counts[c]
+            if score < best_score:
+                best = c
+                best_score = score
+        return best
 
     def _current_cluster(self, sim: "Simulation", thread: SimThread) -> str:
         if thread.current_core is None:

@@ -1,9 +1,19 @@
 """Controller protocol — how runtime systems plug into the engine.
 
-HARS, MP-HARS, CONS-I and the static baselines are all *controllers*: the
-engine calls them every tick and at every heartbeat, and they act on the
-platform through the DVFS controller and thread affinities — the same
-control surface a user-level runtime has on the real board.
+HARS, MP-HARS, CONS-I and the static baselines are all *controllers*:
+they attach to the engine's kernel event bus, observe ticks and
+heartbeats through it, and act on the platform through the actuation
+façade — the same control surface a user-level runtime has on the real
+board.
+
+The classic ``on_tick``/``on_heartbeat`` hook methods remain the
+programming model (and the public API tests exercise); the base
+:meth:`Controller.attach` bridges whichever hooks a subclass overrides
+onto :class:`~repro.kernel.bus.TickStart` /
+:class:`~repro.kernel.bus.HeartbeatEmitted` subscriptions.  Controllers
+needing more (e.g. MP-HARS reclaiming partitions on
+:class:`~repro.kernel.bus.AppFinished`) override ``attach`` and add
+their own subscriptions.
 """
 
 from __future__ import annotations
@@ -11,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.heartbeats.record import Heartbeat
+from repro.kernel.bus import HeartbeatEmitted, TickStart
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulation
@@ -19,6 +30,26 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class Controller:
     """Base controller; all hooks are optional no-ops."""
+
+    def attach(self, sim: "Simulation") -> None:
+        """Subscribe this controller's hooks on the simulation's bus.
+
+        Only hooks a subclass actually overrides are bridged, so a
+        frequency governor costs nothing per heartbeat and a heartbeat
+        manager costs nothing per tick.
+        """
+        cls = type(self)
+        if cls.on_tick is not Controller.on_tick:
+            sim.bus.subscribe(
+                TickStart, lambda event: self.on_tick(sim)
+            )
+        if cls.on_heartbeat is not Controller.on_heartbeat:
+            sim.bus.subscribe(
+                HeartbeatEmitted,
+                lambda event: self.on_heartbeat(
+                    sim, event.app, event.heartbeat
+                ),
+            )
 
     def on_start(self, sim: "Simulation") -> None:
         """Called once before the first tick (initial state setup)."""

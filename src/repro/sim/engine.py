@@ -2,25 +2,53 @@
 
 Each tick (default 10 ms of simulated time) the engine:
 
-1. runs every controller's ``on_tick`` hook (runtime managers adapt here),
+1. publishes :class:`~repro.kernel.bus.TickStart` on the kernel bus
+   (runtime managers adapt here),
 2. asks the OS scheduler model for a placement (core → threads),
 3. divides each core's tick capacity fairly among its threads and grants
    the resulting work budget to the workload models,
-4. collects per-thread consumption back, emits heartbeats, and fires
-   controllers' ``on_heartbeat`` hooks,
-5. evaluates the ground-truth power model from per-core utilization and
-   feeds the power sensor, and
-6. updates each thread's load-tracking signal for the GTS model.
+4. collects per-thread consumption back, emits heartbeats, and publishes
+   :class:`~repro.kernel.bus.HeartbeatEmitted` per heartbeat,
+5. evaluates the ground-truth power model from per-core utilization,
+   feeds the power sensor, and publishes
+   :class:`~repro.kernel.bus.PowerSample`,
+6. publishes :class:`~repro.kernel.bus.AppFinished` for apps that just
+   consumed their last work unit, and
+7. updates each thread's load-tracking signal for the GTS model.
+
+Controllers attach through bus subscriptions
+(:meth:`~repro.sim.controller.Controller.attach`); the engine never
+calls their hooks directly after ``on_start``.
+
+Two execution profiles produce byte-identical metrics:
+
+* ``"fast"`` (default) — preallocated per-thread/per-core arrays, one
+  thread-speed evaluation per (app, cluster, round), coefficient-cached
+  power integration.
+* ``"legacy"`` — the original dict-per-tick implementation, kept
+  verbatim as the reference for ``benchmarks/bench_kernel_overhead.py``.
 
 The engine is deterministic: all randomness lives inside seeded workload
-profiles.
+profiles, and bus dispatch order is fixed by (priority, subscription
+order).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import math
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.kernel.actuation import Actuator
+from repro.kernel.bus import (
+    AppFinished,
+    EventBus,
+    HeartbeatEmitted,
+    LATE,
+    PowerSample,
+    StateApplied,
+    TickStart,
+)
 from repro.platform.cluster import BIG, LITTLE
 from repro.platform.dvfs import DvfsController
 from repro.platform.machine import Machine
@@ -32,6 +60,7 @@ from repro.sched.gts import GtsScheduler
 from repro.sim.clock import SimClock
 from repro.sim.controller import Controller
 from repro.sim.process import SimApp
+from repro.sim.thread import LOAD_TIME_CONSTANT_S
 from repro.sim.tracing import TracePoint, TraceRecorder
 
 #: Default tick length (10 ms), far below the 263.8 ms sensor period.
@@ -39,6 +68,9 @@ DEFAULT_TICK_S = 0.01
 
 #: Hard cap on ticks per run — guards against runaway configurations.
 MAX_TICKS = 2_000_000
+
+#: Valid execution profiles.
+PROFILES = ("fast", "legacy")
 
 
 class Simulation:
@@ -49,25 +81,47 @@ class Simulation:
         spec: PlatformSpec,
         tick_s: float = DEFAULT_TICK_S,
         scheduler: Optional[Scheduler] = None,
+        profile: str = "fast",
     ):
         if tick_s <= 0:
             raise ConfigurationError("tick must be positive")
+        if profile not in PROFILES:
+            raise ConfigurationError(
+                f"unknown profile {profile!r}; valid: {PROFILES}"
+            )
         self.spec = spec
         self.tick_s = tick_s
+        self.profile = profile
         self.machine = Machine(spec)
         self.dvfs = DvfsController(self.machine)
         self.power_model = PowerModel(spec)
         self.sensor = PowerSensor()
         self.clock = SimClock()
-        self.scheduler: Scheduler = scheduler or GtsScheduler()
+        self.scheduler: Scheduler = scheduler or GtsScheduler(
+            cache_partitions=(profile == "fast")
+        )
         self.apps: List[SimApp] = []
         self._apps_by_name: Dict[str, SimApp] = {}
         self.controllers: List[Controller] = []
+        self.bus = EventBus()
+        self.actuator = Actuator(self)
         self.trace = TraceRecorder()
         #: Per-core utilization of the most recent tick (0..1), the
         #: signal utilization-driven governors (ondemand) consume.
         self.last_core_utilization: Dict[int, float] = {}
         self._started = False
+        self._ticked = False
+        self._finished: Set[str] = set()
+        #: app name -> (big, little) from the latest ``StateApplied``.
+        self._trace_allocations: Dict[str, Tuple[int, int]] = {}
+        self.bus.subscribe(StateApplied, self._trace_on_state_applied)
+        # LATE: the trace must observe the allocation managers applied
+        # *during* the heartbeat it records.
+        self.bus.subscribe(
+            HeartbeatEmitted, self._trace_on_heartbeat, priority=LATE
+        )
+        # Lazily-built fast-profile runtime index (first step).
+        self._slots: Optional[List] = None
 
     # -- setup ---------------------------------------------------------------
 
@@ -82,10 +136,11 @@ class Simulation:
         return app
 
     def add_controller(self, controller: Controller) -> Controller:
-        """Register a runtime-system controller."""
+        """Register a runtime-system controller (attaches it to the bus)."""
         if self._started:
             raise SimulationError("cannot add controllers after the run started")
         self.controllers.append(controller)
+        controller.attach(self)
         return controller
 
     def app(self, name: str) -> SimApp:
@@ -135,30 +190,280 @@ class Simulation:
             for controller in self.controllers:
                 controller.on_start(self)
         dt = self.tick_s
-        for controller in self.controllers:
-            controller.on_tick(self)
+        bus = self.bus
+        # Hot path: probe the handler table directly rather than
+        # through subscriber_count() — three calls per tick add up.
+        handlers = bus._handlers
+        if handlers.get(TickStart):
+            bus.publish(TickStart(time_s=self.clock.now_s))
 
         placement = self.scheduler.place(self)
-        busy, busy_activity, demand = self._execute_tick(placement, dt)
-        self._integrate_power(busy, busy_activity, dt)
-
-        for app in self.apps:
-            for thread in app.threads:
-                thread.update_load(
-                    demand.get((app.name, thread.local_index), 0.0), dt
-                )
+        if self.profile == "fast":
+            if self._slots is None:
+                self._build_runtime_index()
+            touched = self._execute_tick_fast(placement, dt)
+            self._integrate_power_fast(touched, dt)
+            self._publish_finished(dt)
+            decay = self._load_decay
+            gain = self._load_gain
+            demand = self._arr_demand
+            for slot, thread in enumerate(self._slots):
+                thread.load = thread.load * decay + demand[slot] * gain
+        else:
+            busy, busy_activity, demand_map = self._execute_tick(placement, dt)
+            self._integrate_power(busy, busy_activity, dt)
+            self._publish_finished(dt)
+            for app in self.apps:
+                for thread in app.threads:
+                    thread.update_load(
+                        demand_map.get((app.name, thread.local_index), 0.0), dt
+                    )
 
         self.clock.advance(dt)
+        self._ticked = True
 
     # -- internals ----------------------------------------------------------------
 
     def _all_done(self) -> bool:
-        return all(app.is_done() for app in self.apps)
+        # Once a tick has run, _publish_finished has scanned every app,
+        # so the finished set is authoritative; before the first tick an
+        # app may start out already-done, so scan.
+        if self._ticked:
+            return len(self._finished) == len(self.apps)
+        finished = self._finished
+        return all(app.name in finished or app.is_done() for app in self.apps)
+
+    def _publish_finished(self, dt: float) -> None:
+        """Track and announce apps that completed their work this tick."""
+        end_time = self.clock.now_s + dt
+        announce = bool(self.bus._handlers.get(AppFinished))
+        for app in self.apps:
+            if app.name not in self._finished and app.is_done():
+                self._finished.add(app.name)
+                if announce:
+                    self.bus.publish(
+                        AppFinished(app_name=app.name, time_s=end_time)
+                    )
 
     #: Maximum grant/advance rounds per tick.  Round 1 is the fair share;
     #: later rounds redistribute core time a blocking thread left unused
     #: (a real scheduler switches to the runnable co-tenant immediately).
     GRANT_ROUNDS = 3
+
+    # -- fast profile -------------------------------------------------------------
+
+    def _build_runtime_index(self) -> None:
+        """Precompute the flat thread/core indexes the hot loop uses.
+
+        Apps and threads are fixed once the run starts, so each thread
+        gets a stable *slot* and per-slot/per-core arrays replace the
+        per-tick dict churn of the legacy profile.
+        """
+        slots: List = []
+        slot_app: List[SimApp] = []
+        slot_base: Dict[str, int] = {}
+        for app in self.apps:
+            slot_base[app.name] = len(slots)
+            for thread in app.threads:
+                thread._slot = len(slots)
+                slots.append(thread)
+                slot_app.append(app)
+        self._slots = slots
+        self._slot_app = slot_app
+        self._slot_base = slot_base
+        n = len(slots)
+        self._zero_slots = [0.0] * n
+        self._false_slots = [False] * n
+        self._arr_thread_busy = [0.0] * n
+        self._arr_thread_granted = [0.0] * n
+        self._arr_blocked = [False] * n
+        self._arr_demand = [0.0] * n
+        self._arr_meta_share = [0.0] * n
+        self._arr_meta_speed = [0.0] * n
+        self._arr_meta_core = [0] * n
+        n_cores = (max(self.machine.cores) + 1) if self.machine.cores else 1
+        self._n_core_slots = n_cores
+        self._zero_cores = [0.0] * n_cores
+        self._arr_core_busy = [0.0] * n_cores
+        self._arr_core_ba = [0.0] * n_cores
+        self._arr_remaining = [0.0] * n_cores
+        self._cluster_of_core: Dict[int, object] = {}
+        for cluster in self.spec.clusters:
+            for core_id in cluster.core_ids:
+                self._cluster_of_core[core_id] = cluster
+        # dt is always tick_s, so the load-tracking decay is a constant.
+        self._load_decay = math.exp(-self.tick_s / LOAD_TIME_CONSTANT_S)
+        self._load_gain = 1.0 - self._load_decay
+
+    def _execute_tick_fast(
+        self, placement: Dict[int, List], dt: float
+    ) -> List[int]:
+        """Array-based grant/advance loop (see :meth:`_execute_tick`).
+
+        Accumulates into the preallocated per-slot and per-core arrays in
+        exactly the legacy accumulation order, so every float is
+        bit-identical to the legacy profile.  Returns the ids of cores
+        that had threads placed on them (the legacy ``busy`` dict keys).
+        """
+        slots = self._slots
+        thread_busy = self._arr_thread_busy
+        thread_granted = self._arr_thread_granted
+        blocked = self._arr_blocked
+        demand = self._arr_demand
+        # Slice-assign from preallocated zero templates: a C-level copy
+        # instead of a Python loop.
+        thread_busy[:] = self._zero_slots
+        thread_granted[:] = self._zero_slots
+        blocked[:] = self._false_slots
+        demand[:] = self._zero_slots
+        core_busy = self._arr_core_busy
+        core_ba = self._arr_core_ba
+        remaining = self._arr_remaining
+        core_busy[:] = self._zero_cores
+        core_ba[:] = self._zero_cores
+        end_time = self.clock.now_s + dt
+        touched: List[int] = []
+        hungry: Dict[int, List] = {}
+        for core_id, threads in placement.items():
+            if threads:
+                remaining[core_id] = dt
+                # The placement dict is built fresh each tick and never
+                # mutated, so its lists can be adopted without copying
+                # (rounds *replace* hungry entries, never edit them).
+                hungry[core_id] = threads
+                touched.append(core_id)
+
+        meta_share = self._arr_meta_share
+        meta_speed = self._arr_meta_speed
+        meta_core = self._arr_meta_core
+        slot_app = self._slot_app
+        slot_base = self._slot_base
+        cluster_of_core = self._cluster_of_core
+        machine = self.machine
+        bus = self.bus
+
+        # Reading the machine's live frequency table is safe: DVFS only
+        # changes from heartbeat handlers, which run in the advance
+        # phase — never between the grant reads of one round.
+        freqs = machine._freqs
+        for _ in range(self.GRANT_ROUNDS):
+            # One thread-speed evaluation per (app, cluster) per round
+            # (legacy evaluates per grant, but neither the frequency nor
+            # the model phase can change inside the grant phase).
+            speed_memo: Dict[str, Dict[str, float]] = {}
+            grants: Dict[str, Dict[int, float]] = {}
+            for core_id, threads in hungry.items():
+                if not threads or remaining[core_id] <= 1e-9:
+                    continue
+                cluster = cluster_of_core[core_id]
+                cname = cluster.name
+                freq = freqs[cname]
+                cluster_memo = speed_memo.get(cname)
+                if cluster_memo is None:
+                    cluster_memo = speed_memo[cname] = {}
+                share_s = remaining[core_id] / len(threads)
+                for thread in threads:
+                    slot = thread._slot
+                    app = slot_app[slot]
+                    speed = cluster_memo.get(app.name)
+                    if speed is None:
+                        speed = app.model.thread_speed(
+                            cname, cluster.core_type, freq
+                        )
+                        cluster_memo[app.name] = speed
+                    app_grants = grants.get(app.name)
+                    if app_grants is None:
+                        app_grants = grants[app.name] = {}
+                    app_grants[thread.local_index] = share_s * speed
+                    meta_share[slot] = share_s
+                    meta_speed[slot] = speed
+                    meta_core[slot] = core_id
+            if not grants:
+                break
+
+            satisfied: Set[int] = set()
+            for app in self.apps:
+                app_grants = grants.get(app.name)
+                if not app_grants:
+                    continue
+                result = app.model.advance(app_grants)
+                base = slot_base[app.name]
+                consumed_map = result.consumed
+                activity_factor = app.model.traits.activity_factor
+                for local_index, granted in app_grants.items():
+                    consumed = consumed_map.get(local_index, 0.0)
+                    slot = base + local_index
+                    share_s = meta_share[slot]
+                    speed = meta_speed[slot]
+                    core_id = meta_core[slot]
+                    if speed > 0:
+                        used = consumed / speed
+                        busy_s = share_s if share_s <= used else used
+                    else:
+                        busy_s = 0.0
+                    core_busy[core_id] += busy_s
+                    core_ba[core_id] += busy_s * activity_factor
+                    thread_busy[slot] += busy_s
+                    thread_granted[slot] += share_s
+                    remaining[core_id] -= busy_s
+                    if consumed < granted * 0.999:
+                        # The thread blocked (barrier, empty/full queue):
+                        # it takes no further time this tick.
+                        satisfied.add(slot)
+                        blocked[slot] = True
+                for i in range(result.heartbeats):
+                    tag = (
+                        result.heartbeat_tags[i]
+                        if i < len(result.heartbeat_tags)
+                        else ""
+                    )
+                    heartbeat = app.log.emit(end_time, tag)
+                    bus.publish(HeartbeatEmitted(app=app, heartbeat=heartbeat))
+
+            still_hungry = False
+            if satisfied:
+                for core_id in list(hungry):
+                    hungry[core_id] = [
+                        t for t in hungry[core_id] if t._slot not in satisfied
+                    ]
+                    if hungry[core_id] and remaining[core_id] > dt * 0.01:
+                        still_hungry = True
+            else:
+                threshold = dt * 0.01
+                for core_id, threads in hungry.items():
+                    if threads and remaining[core_id] > threshold:
+                        still_hungry = True
+                        break
+            if not still_hungry:
+                break
+
+        for slot in range(len(slots)):
+            granted_s = thread_granted[slot]
+            if granted_s > 0.0:
+                if blocked[slot]:
+                    # Blocked threads were runnable only while they used CPU.
+                    used = thread_busy[slot] / granted_s
+                    demand[slot] = 1.0 if 1.0 <= used else used
+                else:
+                    demand[slot] = 1.0  # hungry through every round: runnable
+        return touched
+
+    def _integrate_power_fast(self, touched: List[int], dt: float) -> None:
+        core_busy = self._arr_core_busy
+        self.last_core_utilization = {
+            core_id: util if (util := core_busy[core_id] / dt) < 1.0 else 1.0
+            for core_id in touched
+        }
+        watts = self.power_model.platform_power_arrays(
+            self.machine, core_busy, self._arr_core_ba, dt
+        )
+        self.sensor.record(dt, watts)
+        if self.bus.subscriber_count(PowerSample):
+            self.bus.publish(
+                PowerSample(time_s=self.clock.now_s + dt, watts=watts)
+            )
+
+    # -- legacy profile -----------------------------------------------------------
 
     def _execute_tick(
         self, placement: Dict[int, List], dt: float
@@ -240,9 +545,9 @@ class Simulation:
                         else ""
                     )
                     heartbeat = app.log.emit(end_time, tag)
-                    for controller in self.controllers:
-                        controller.on_heartbeat(self, app, heartbeat)
-                    self._record_trace(app)
+                    self.bus.publish(
+                        HeartbeatEmitted(app=app, heartbeat=heartbeat)
+                    )
 
             still_hungry = False
             for core_id in list(hungry):
@@ -286,25 +591,37 @@ class Simulation:
             )
         watts = self.power_model.platform_power(self.machine, activities)
         self.sensor.record(dt, watts)
+        if self.bus.subscriber_count(PowerSample):
+            self.bus.publish(
+                PowerSample(time_s=self.clock.now_s + dt, watts=watts)
+            )
 
-    def _record_trace(self, app: SimApp) -> None:
-        allocation: Optional[Tuple[int, int]] = None
-        for controller in self.controllers:
-            allocation = controller.current_allocation(app.name)
-            if allocation is not None:
-                break
+    # -- trace subscription -------------------------------------------------------
+
+    def _trace_on_state_applied(self, event: StateApplied) -> None:
+        self._trace_allocations[event.app_name] = (
+            event.big_cores,
+            event.little_cores,
+        )
+
+    def _trace_on_heartbeat(self, event: HeartbeatEmitted) -> None:
+        app = event.app
+        allocation = self._trace_allocations.get(app.name)
+        if allocation is None:
+            for controller in self.controllers:
+                allocation = controller.current_allocation(app.name)
+                if allocation is not None:
+                    break
         if allocation is None:
             cores = app.cores_in_use()
             n_big = sum(1 for c in cores if self.spec.big.contains_core(c))
             allocation = (n_big, len(cores) - n_big)
-        last = app.log.last
-        if last is None:  # pragma: no cover - emit precedes record
-            return
+        heartbeat = event.heartbeat
         self.trace.record(
             app.name,
             TracePoint(
-                time_s=last.time_s,
-                hb_index=last.index,
+                time_s=heartbeat.time_s,
+                hb_index=heartbeat.index,
                 rate=app.monitor.current_rate(),
                 big_cores=allocation[0],
                 little_cores=allocation[1],
