@@ -1,0 +1,143 @@
+"""Edge cases of the Algorithm 2 neighbourhood pruning.
+
+The sweep clamps ``[x − m, x + n]`` per dimension to the platform's
+ranges and prunes by Manhattan distance ``d`` — these tests pin the
+boundary behaviour: a candidate at *exactly* distance ``d`` survives,
+windows clip at the spec's minima/maxima, and a degenerate 1-big +
+1-little platform still yields a legal (non-empty, never zero-core)
+candidate set.
+"""
+
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import HARS_E
+from repro.core.search import get_next_sys_state
+from repro.core.state import SystemState, from_indices, max_state, neighbourhood
+from repro.heartbeats.targets import PerformanceTarget, Satisfaction
+from repro.platform.cluster import BIG, LITTLE, ClusterSpec
+from repro.platform.core_types import cortex_a7, cortex_a15
+from repro.platform.spec import PlatformSpec
+
+
+class TestDistanceBoundary:
+    def test_candidate_at_exactly_d_is_kept(self, xu3):
+        # Interior point so no window edge interferes with the prune.
+        current = from_indices(xu3, 2, 2, 4, 3)
+        candidates = list(neighbourhood(xu3, current, m=4, n=4, d=2))
+        distances = {current.manhattan_distance(c, xu3) for c in candidates}
+        # The prune is `dist > d`: distance d itself must survive ...
+        assert 2 in distances
+        # ... and nothing beyond it does.
+        assert max(distances) == 2
+
+    def test_distance_counts_all_four_dimensions(self, xu3):
+        current = from_indices(xu3, 2, 2, 4, 3)
+        candidates = set(neighbourhood(xu3, current, m=1, n=1, d=3))
+        # One step in three dimensions: distance exactly 3 — kept.
+        assert from_indices(xu3, 3, 3, 5, 3) in candidates
+        # One step in all four dimensions: distance 4 — pruned.
+        assert from_indices(xu3, 3, 3, 5, 4) not in candidates
+
+    def test_current_state_is_always_a_candidate(self, xu3):
+        current = from_indices(xu3, 1, 3, 2, 2)
+        assert current in set(neighbourhood(xu3, current, m=1, n=1, d=1))
+
+
+class TestWindowClipping:
+    def test_window_clips_at_spec_maximum(self, xu3):
+        # From the all-max state with m=0 nothing can move down, and the
+        # clamp stops every upward step: the sweep degenerates to {max}.
+        current = max_state(xu3)
+        assert list(neighbourhood(xu3, current, m=0, n=4, d=8)) == [current]
+
+    def test_window_clips_at_spec_minimum(self, xu3):
+        # Minimum corner: 1 little core at both minimum frequencies.
+        # m=4 reaches below every range; the clamp (and the zero-core
+        # exclusion for c_little) leaves only the corner itself.
+        current = from_indices(xu3, 0, 1, 0, 0)
+        assert list(neighbourhood(xu3, current, m=4, n=0, d=8)) == [current]
+
+    def test_all_candidates_are_valid_states(self, xu3):
+        current = from_indices(xu3, 4, 0, 8, 0)
+        for candidate in neighbourhood(xu3, current, m=4, n=4, d=7):
+            candidate.validate(xu3)  # raises if any clamp failed
+
+    def test_zero_core_state_never_yielded(self, xu3):
+        current = from_indices(xu3, 1, 1, 0, 0)
+        for candidate in neighbourhood(xu3, current, m=4, n=4, d=8):
+            assert candidate.c_big + candidate.c_little >= 1
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    """A 1-big + 1-little platform (smallest legal HMP machine)."""
+    little = ClusterSpec(
+        name=LITTLE,
+        core_type=cortex_a7(freqs_mhz=(800, 1000)),
+        n_cores=1,
+        first_core_id=0,
+        uncore_power_w=0.05,
+    )
+    big = ClusterSpec(
+        name=BIG,
+        core_type=cortex_a15(freqs_mhz=(800, 1200)),
+        n_cores=1,
+        first_core_id=1,
+        uncore_power_w=0.12,
+    )
+    return PlatformSpec(name="test-1x1", big=big, little=little)
+
+
+class TestOnePlusOnePlatform:
+    def test_neighbourhood_stays_in_tiny_space(self, tiny_spec):
+        current = max_state(tiny_spec)
+        candidates = list(
+            neighbourhood(tiny_spec, current, m=4, n=4, d=7)
+        )
+        assert candidates
+        for c in candidates:
+            assert c.c_big in (0, 1)
+            assert c.c_little in (0, 1)
+            assert c.c_big + c.c_little >= 1
+        # 3 core combos x 2 big freqs x 2 little freqs, all within d=7.
+        assert len(set(candidates)) == 12
+
+    def test_search_runs_on_tiny_platform(self, tiny_spec):
+        power = calibrate(tiny_spec)
+        perf = PerformanceEstimator()
+        current = max_state(tiny_spec)
+        target = PerformanceTarget(0.9, 1.0, 1.1)
+        result = get_next_sys_state(
+            spec=tiny_spec,
+            current=current,
+            observed_rate=2.0,
+            n_threads=2,
+            target=target,
+            space=HARS_E.space_for(Satisfaction.OVERPERF),
+            perf_estimator=perf,
+            power_estimator=power,
+        )
+        result.state.validate(tiny_spec)
+        assert 1 <= result.states_explored <= 12
+
+    def test_single_cluster_states_searchable(self, tiny_spec):
+        power = calibrate(tiny_spec)
+        perf = PerformanceEstimator()
+        current = SystemState(0, 1, 800, 800)  # little-only corner
+        target = PerformanceTarget(1.8, 2.0, 2.2)
+        result = get_next_sys_state(
+            spec=tiny_spec,
+            current=current,
+            observed_rate=0.5,
+            n_threads=2,
+            target=target,
+            space=HARS_E.space_for(Satisfaction.UNDERPERF),
+            perf_estimator=perf,
+            power_estimator=power,
+        )
+        grown = result.state
+        grown.validate(tiny_spec)
+        # Underperforming from the minimum corner must grow the state.
+        assert (grown.c_big, grown.c_little) != (0, 0)

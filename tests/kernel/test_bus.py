@@ -1,0 +1,109 @@
+"""Unit tests for the kernel event bus."""
+
+from dataclasses import dataclass
+
+from repro.kernel.bus import (
+    LATE,
+    AppFinished,
+    Event,
+    EventBus,
+    TickStart,
+)
+
+
+@dataclass(frozen=True)
+class Ping(Event):
+    value: int
+
+
+@dataclass(frozen=True)
+class Pong(Event):
+    value: int
+
+
+class TestDispatch:
+    def test_handlers_run_in_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(Ping, lambda e: seen.append("a"))
+        bus.subscribe(Ping, lambda e: seen.append("b"))
+        bus.subscribe(Ping, lambda e: seen.append("c"))
+        bus.publish(Ping(1))
+        assert seen == ["a", "b", "c"]
+
+    def test_priority_orders_across_subscription_order(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(Ping, lambda e: seen.append("late"), priority=LATE)
+        bus.subscribe(Ping, lambda e: seen.append("default"))
+        bus.subscribe(Ping, lambda e: seen.append("early"), priority=-1)
+        bus.publish(Ping(1))
+        assert seen == ["early", "default", "late"]
+
+    def test_dispatch_is_by_exact_type(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(Ping, lambda e: seen.append(("ping", e.value)))
+        bus.subscribe(Pong, lambda e: seen.append(("pong", e.value)))
+        bus.publish(Pong(7))
+        assert seen == [("pong", 7)]
+
+    def test_publish_without_subscribers_is_a_noop(self):
+        EventBus().publish(TickStart(time_s=0.0))  # must not raise
+
+    def test_event_payload_reaches_handler(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(AppFinished, lambda e: seen.append((e.app_name, e.time_s)))
+        bus.publish(AppFinished(app_name="swaptions", time_s=1.5))
+        assert seen == [("swaptions", 1.5)]
+
+
+class TestSubscriptionLifecycle:
+    def test_subscribe_returns_the_handler(self):
+        bus = EventBus()
+        handler = lambda e: None  # noqa: E731
+        assert bus.subscribe(Ping, handler) is handler
+
+    def test_unsubscribe_removes_handler(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe(Ping, lambda e: seen.append(e.value))
+        bus.unsubscribe(Ping, handler)
+        bus.publish(Ping(1))
+        assert seen == []
+        assert bus.subscriber_count(Ping) == 0
+
+    def test_unsubscribe_unknown_handler_is_a_noop(self):
+        bus = EventBus()
+        bus.unsubscribe(Ping, lambda e: None)  # must not raise
+
+    def test_subscriber_count(self):
+        bus = EventBus()
+        assert bus.subscriber_count(Ping) == 0
+        bus.subscribe(Ping, lambda e: None)
+        bus.subscribe(Ping, lambda e: None)
+        assert bus.subscriber_count(Ping) == 2
+
+
+class TestReentrancy:
+    def test_handler_may_publish_further_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(Ping, lambda e: bus.publish(Pong(e.value + 1)))
+        bus.subscribe(Pong, lambda e: seen.append(e.value))
+        bus.publish(Ping(1))
+        assert seen == [2]
+
+    def test_subscribing_mid_dispatch_affects_later_events_only(self):
+        bus = EventBus()
+        seen = []
+
+        def add_subscriber(event):
+            bus.subscribe(Ping, lambda e: seen.append(e.value))
+
+        bus.subscribe(Ping, add_subscriber)
+        bus.publish(Ping(1))
+        assert seen == []  # new handler missed the in-flight event
+        bus.publish(Ping(2))
+        assert seen == [2]
