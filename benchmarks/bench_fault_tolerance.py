@@ -1,0 +1,93 @@
+"""Fault-tolerance sweep: graceful degradation under injected faults.
+
+Sweeps the fault-injection layer's rates over a Figure 5.1-style HARS-E
+run and reports, per rate point, target satisfaction (mean normalized
+performance) and perf/watt — the degradation curve a heterogeneity-aware
+runtime should show: soft decay with fault pressure, never a crash.
+
+Two hard properties are asserted:
+
+* **zero-rate identity** — a run with every fault rate at 0 is
+  bit-identical (metrics *and* traces) to a run without the fault layer
+  at all;
+* **graceful degradation** — the paper-default fault mix completes the
+  whole run without an unhandled exception while actually injecting
+  faults (the injector's counters are non-zero).
+"""
+
+import dataclasses
+
+from conftest import bench_units, run_once
+
+from repro.core.calibration import calibrate
+from repro.experiments.runner import RunShape, measure_max_rate, run_single
+from repro.faults import FaultConfig
+from repro.platform.spec import odroid_xu3
+
+#: Scale factors applied to the default fault mix (0.0 = fault-free).
+RATES = (0.0, 0.4, 1.0, 2.0, 4.0)
+
+
+def _snapshot(outcome):
+    """Everything observable from a run, in comparable form."""
+    return (
+        dataclasses.asdict(outcome.metrics),
+        tuple(
+            (name, outcome.trace.points(name))
+            for name in sorted(outcome.trace.app_names)
+        ),
+    )
+
+
+def _sweep(units):
+    spec = odroid_xu3()
+    shape = RunShape(benchmark="swaptions", n_units=units)
+    measure_max_rate(spec, shape)
+    calibrate(spec)
+    clean = run_single("hars-e", shape, spec=spec)
+    rows = []
+    for factor in RATES:
+        faults = FaultConfig.defaults().scaled(factor)
+        outcome = run_single("hars-e", shape, spec=spec, faults=faults)
+        app = outcome.metrics.apps[0]
+        injector = outcome.fault_injector
+        rows.append(
+            {
+                "factor": factor,
+                "snapshot": _snapshot(outcome),
+                "mnp": app.mean_normalized_perf,
+                "perf_per_watt": app.mean_normalized_perf
+                / outcome.metrics.avg_power_w,
+                "injected": injector.total_injected if injector else 0,
+                "recovered": injector.total_recovered if injector else 0,
+            }
+        )
+    return _snapshot(clean), rows
+
+
+def test_fault_tolerance_sweep(benchmark):
+    units = bench_units() or 400
+    clean_snap, rows = run_once(benchmark, _sweep, units)
+    print()
+    print(
+        f"{'scale':>6} {'mnp':>7} {'perf/W':>8} "
+        f"{'injected':>9} {'recovered':>10}"
+    )
+    for row in rows:
+        print(
+            f"{row['factor']:>6.1f} {row['mnp']:>7.3f} "
+            f"{row['perf_per_watt']:>8.4f} "
+            f"{row['injected']:>9d} {row['recovered']:>10d}"
+        )
+    zero = rows[0]
+    # Scale 0 disables every fault channel: the run must be bit-identical
+    # to one that never constructed the fault layer.
+    assert zero["factor"] == 0.0
+    assert zero["injected"] == 0
+    assert zero["snapshot"] == clean_snap
+    # The default mix must actually exercise the fault paths, and every
+    # faulted run above completed without an unhandled exception.
+    defaults_row = next(row for row in rows if row["factor"] == 1.0)
+    assert defaults_row["injected"] > 0
+    for row in rows:
+        assert 0.0 < row["mnp"] <= 1.0

@@ -73,6 +73,7 @@ class HarsManager(Controller):
         poll_cost_s: float = DEFAULT_POLL_COST_S,
         initial_state: Optional[SystemState] = None,
         cache_estimates: bool = True,
+        stale_after_s: Optional[float] = None,
     ):
         if adapt_every < 1:
             raise ConfigurationError("adapt_every must be >= 1")
@@ -99,6 +100,7 @@ class HarsManager(Controller):
             planner=self._build_planner(),
             executor=Executor(self._execute_plan),
             updaters=self._build_updaters(),
+            stale_after_s=stale_after_s,
         )
 
     # -- MAPE-K wiring (extension points for subclasses) -----------------------
@@ -157,6 +159,11 @@ class HarsManager(Controller):
     @property
     def adaptations(self) -> int:
         return self.knowledge.adaptations
+
+    @property
+    def held_cycles(self) -> int:
+        """Cycles where a degraded observation held the last good state."""
+        return self.mape.held_cycles
 
     @property
     def _state(self) -> Optional[SystemState]:

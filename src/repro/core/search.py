@@ -45,6 +45,11 @@ class EvaluatedState:
     @property
     def perf_per_power(self) -> float:
         """The selection metric: normalized performance per watt."""
+        if self.est_power <= 0:
+            raise EstimationError(
+                f"cannot rank {self.state!r} by perf/watt: the power "
+                f"estimate is non-positive ({self.est_power!r})"
+            )
         return self.norm_perf / self.est_power
 
     @property
@@ -58,10 +63,16 @@ class EvaluatedState:
 
 @dataclass(frozen=True)
 class SearchResult:
-    """Outcome of one ``GetNextSysState`` invocation."""
+    """Outcome of one ``GetNextSysState`` invocation.
+
+    ``forced_fallback`` marks the degenerate case where the candidate
+    filter rejected the whole neighbourhood (including the current
+    state) and the search was forced to stay put.
+    """
 
     best: EvaluatedState
     states_explored: int
+    forced_fallback: bool = False
 
     @property
     def state(self) -> SystemState:
@@ -157,7 +168,13 @@ def get_next_sys_state(
         if best is None or _better(evaluated, best):
             best = evaluated
     if best is None:
-        # Nothing passed the filter; stay at the current state.
+        # Nothing passed the filter.  The current state is always in the
+        # neighbourhood (distance 0), so reaching here means the filter
+        # rejected it too: staying put is a *forced hold*, not an
+        # Algorithm 2 candidate.  It is evaluated only to fill in the
+        # result's estimates and is excluded from ``states_explored`` —
+        # the Figure 5.3(b) overhead metering counts filter-passing
+        # candidates only.
         best = evaluate_state(
             current,
             current,
@@ -167,5 +184,7 @@ def get_next_sys_state(
             perf_estimator,
             power_estimator,
         )
-        explored += 1
+        return SearchResult(
+            best=best, states_explored=explored, forced_fallback=True
+        )
     return SearchResult(best=best, states_explored=explored)

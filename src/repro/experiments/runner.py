@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.manager import HarsManager
 from repro.errors import ConfigurationError
 from repro.experiments.metrics import AppRunMetrics, RunMetrics
+from repro.faults import FaultConfig, FaultInjector
 from repro.experiments.versions import (
     attach_multi_app_version,
     attach_single_app_version,
@@ -66,6 +67,9 @@ class RunOutcome:
     trace: TraceRecorder
     target: PerformanceTarget
     max_rate: float
+    #: Present when the run injected faults (``faults=`` was passed with
+    #: at least one non-zero rate); carries injection/recovery counters.
+    fault_injector: Optional[FaultInjector] = None
 
 
 def measure_max_rate(spec: PlatformSpec, shape: RunShape) -> float:
@@ -115,20 +119,23 @@ def run_single(
     spec: Optional[PlatformSpec] = None,
     profile: str = "fast",
     cache_estimates: bool = True,
+    faults: Optional[FaultConfig] = None,
 ) -> RunOutcome:
     """Run one benchmark under one version and collect metrics.
 
     ``profile`` selects the engine execution profile (see
     :class:`~repro.sim.engine.Simulation`) and ``cache_estimates``
     the kernel's estimation cache; both knobs change speed only, never
-    results, so only benchmarks pass non-defaults.
+    results, so only benchmarks pass non-defaults.  ``faults`` injects
+    seeded sensor/heartbeat/actuation faults (the baseline that measures
+    the max achievable rate always runs fault-free).
     """
     spec = spec or odroid_xu3()
     max_rate = measure_max_rate(spec, shape)
     target = PerformanceTarget.fraction_of(
         max_rate, shape.target_fraction, shape.tolerance
     )
-    sim = Simulation(spec, tick_s=shape.tick_s, profile=profile)
+    sim = Simulation(spec, tick_s=shape.tick_s, profile=profile, faults=faults)
     model = make_benchmark(shape.benchmark, shape.n_units, shape.n_threads)
     model.reset(shape.seed)
     app = sim.add_app(SimApp(shape.benchmark, model, target))
@@ -147,6 +154,7 @@ def run_single(
         trace=sim.trace,
         target=target,
         max_rate=max_rate,
+        fault_injector=sim.fault_injector,
     )
 
 
@@ -156,6 +164,7 @@ def run_multi(
     spec: Optional[PlatformSpec] = None,
     profile: str = "fast",
     cache_estimates: bool = True,
+    faults: Optional[FaultConfig] = None,
 ) -> RunOutcome:
     """Run several applications concurrently under one multi-app version.
 
@@ -169,7 +178,7 @@ def run_multi(
     spec = spec or odroid_xu3()
     tick_s = shapes[0].tick_s
     adapt_every = shapes[0].adapt_every
-    sim = Simulation(spec, tick_s=tick_s, profile=profile)
+    sim = Simulation(spec, tick_s=tick_s, profile=profile, faults=faults)
     apps: List[SimApp] = []
     slowest_floor = float("inf")
     total_beats = 0
@@ -195,6 +204,7 @@ def run_multi(
         trace=sim.trace,
         target=apps[0].target,
         max_rate=apps[0].target.avg_rate / shapes[0].target_fraction,
+        fault_injector=sim.fault_injector,
     )
 
 

@@ -1,0 +1,14 @@
+"""Fault injection and graceful degradation.
+
+``repro.faults`` models lying observation and actuation channels — the
+power sensor, heartbeat delivery, DVFS and affinity writes — with
+configurable, seeded failure rates, so the runtime managers can be
+exercised (and hardened) against the conditions a production deployment
+actually sees.  See :mod:`repro.faults.config` for the knobs and
+:mod:`repro.faults.injector` for the mechanics.
+"""
+
+from repro.faults.config import FAULT_KINDS, FaultConfig
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FAULT_KINDS", "FaultConfig", "FaultInjector"]

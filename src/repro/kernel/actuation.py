@@ -7,32 +7,121 @@ and ``apply_assignment`` directly), the façade is where applied states
 are announced on the kernel bus as
 :class:`~repro.kernel.bus.StateApplied`, which is what feeds the trace
 recorder.
+
+It is also where actuation faults are *handled*: when a fault injector
+is attached, every DVFS write and affinity call runs under a
+retry-with-backoff policy.  A write that keeps failing is abandoned for
+an exponentially-growing backoff window instead of raised — the
+managers keep running with the platform in its last good state, and the
+injector announces every failure/recovery on the bus.  Without an
+injector the façade is a zero-overhead pass-through.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, FrozenSet, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.kernel.bus import StateApplied
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.assignment import ThreadAssignment
     from repro.core.state import SystemState
+    from repro.faults.injector import FaultInjector
     from repro.sim.engine import Simulation
     from repro.sim.process import SimApp
+
+#: Immediate retries after a failed platform write.
+DEFAULT_MAX_RETRIES = 3
+
+#: Base backoff window (simulated seconds) after retries are exhausted;
+#: doubles per consecutive exhausted episode on the same target.
+DEFAULT_BACKOFF_S = 0.5
+
+#: Cap on the backoff doubling exponent.
+_MAX_BACKOFF_LEVEL = 8
 
 
 class Actuator:
     """The kernel's write-path to DVFS and thread placement."""
 
-    def __init__(self, sim: "Simulation"):
+    def __init__(
+        self,
+        sim: "Simulation",
+        faults: Optional["FaultInjector"] = None,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        backoff_s: float = DEFAULT_BACKOFF_S,
+    ):
         self._sim = sim
+        self._faults = faults
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        #: Actuations that exhausted their retries (state held instead).
+        self.failed_actuations = 0
+        #: Actuations that succeeded only after at least one retry.
+        self.retried_actuations = 0
+        #: Actuations skipped because the target was in backoff.
+        self.skipped_actuations = 0
+        self._backoff_until: Dict[Tuple[str, str], float] = {}
+        self._backoff_level: Dict[Tuple[str, str], int] = {}
+
+    # -- fault-tolerant write path -------------------------------------------
+
+    def _with_retries(
+        self, kind: str, target: str, op: Callable[[], bool]
+    ) -> bool:
+        """Run ``op`` (returns success) under retry-with-backoff.
+
+        Without an injector (or with the channel's rate at zero) this is
+        a single straight call.
+        """
+        injector = self._faults
+        if injector is None or not injector.actuation_enabled(kind):
+            return bool(op())
+        now = self._sim.clock.now_s
+        key = (kind, target)
+        if now + 1e-12 < self._backoff_until.get(key, 0.0):
+            self.skipped_actuations += 1
+            return False
+        for attempt in range(1 + self.max_retries):
+            if op():
+                if attempt:
+                    self.retried_actuations += 1
+                    injector.note_recovered(
+                        kind, target, now, f"succeeded after {attempt} retries"
+                    )
+                elif key in self._backoff_level:
+                    injector.note_recovered(
+                        kind, target, now, "recovered after backoff"
+                    )
+                self._backoff_level.pop(key, None)
+                self._backoff_until.pop(key, None)
+                return True
+            injector.note_injected(
+                kind, target, now, f"attempt {attempt + 1} failed"
+            )
+        level = self._backoff_level.get(key, 0)
+        self._backoff_until[key] = now + self.backoff_s * (2.0 ** level)
+        self._backoff_level[key] = min(level + 1, _MAX_BACKOFF_LEVEL)
+        self.failed_actuations += 1
+        return False
+
+    def _affinity_ok(self, app_name: str) -> bool:
+        return self._faults is None or self._faults.affinity_write_ok(app_name)
 
     # -- DVFS ----------------------------------------------------------------
 
-    def set_frequency(self, cluster_name: str, freq_mhz: int) -> None:
-        """Set one cluster's frequency (must be an operating point)."""
-        self._sim.dvfs.set_frequency(cluster_name, freq_mhz)
+    def set_frequency(self, cluster_name: str, freq_mhz: int) -> bool:
+        """Set one cluster's frequency (must be an operating point).
+
+        Returns whether the write took effect; under injected DVFS
+        faults a failed write leaves the cluster at its previous
+        frequency.
+        """
+        return self._with_retries(
+            "dvfs",
+            cluster_name,
+            lambda: self._sim.dvfs.try_set_frequency(cluster_name, freq_mhz),
+        )
 
     def set_max_frequencies(self) -> None:
         """Pin both clusters to their maximum operating point."""
@@ -46,13 +135,27 @@ class Actuator:
 
     def set_cpuset(
         self, app: "SimApp", cpuset: Optional[FrozenSet[int]]
-    ) -> None:
+    ) -> bool:
         """Restrict an app to a core set (``None`` = all cores)."""
-        app.set_cpuset(cpuset)
 
-    def clear_affinities(self, app: "SimApp") -> None:
+        def op() -> bool:
+            if not self._affinity_ok(app.name):
+                return False
+            app.set_cpuset(cpuset)
+            return True
+
+        return self._with_retries("affinity", app.name, op)
+
+    def clear_affinities(self, app: "SimApp") -> bool:
         """Unpin all of an app's threads (back to pure GTS)."""
-        app.clear_affinities()
+
+        def op() -> bool:
+            if not self._affinity_ok(app.name):
+                return False
+            app.clear_affinities()
+            return True
+
+        return self._with_retries("affinity", app.name, op)
 
     def place(
         self,
@@ -61,13 +164,21 @@ class Actuator:
         big_core_ids: Sequence[int],
         little_core_ids: Sequence[int],
         policy: str,
-    ) -> None:
+    ) -> bool:
         """Pin an app's threads per a Table 3.1 assignment."""
         # Imported here: the kernel sits below repro.core in the layer
         # stack, and a module-level import would be circular.
         from repro.core.schedulers import apply_assignment
 
-        apply_assignment(app, assignment, big_core_ids, little_core_ids, policy)
+        def op() -> bool:
+            if not self._affinity_ok(app.name):
+                return False
+            apply_assignment(
+                app, assignment, big_core_ids, little_core_ids, policy
+            )
+            return True
+
+        return self._with_retries("affinity", app.name, op)
 
     def place_stage_aware(
         self,
@@ -75,13 +186,19 @@ class Actuator:
         assignment: "ThreadAssignment",
         big_core_ids: Sequence[int],
         little_core_ids: Sequence[int],
-    ) -> None:
+    ) -> bool:
         """Pin an app's threads splitting each pipeline stage T_B:T_L."""
         from repro.extensions.stage_aware import apply_stage_aware_assignment
 
-        apply_stage_aware_assignment(
-            app, app.model, assignment, big_core_ids, little_core_ids
-        )
+        def op() -> bool:
+            if not self._affinity_ok(app.name):
+                return False
+            apply_stage_aware_assignment(
+                app, app.model, assignment, big_core_ids, little_core_ids
+            )
+            return True
+
+        return self._with_retries("affinity", app.name, op)
 
     # -- announcements -------------------------------------------------------
 

@@ -78,6 +78,37 @@ class AppFinished(Event):
     time_s: float
 
 
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """The fault-injection layer degraded an observation or actuation.
+
+    ``kind`` names the fault channel (``sensor-dropout``,
+    ``sensor-noise``, ``sensor-stuck``, ``heartbeat-stall``,
+    ``heartbeat-jitter``, ``dvfs``, ``affinity``); ``target`` names what
+    was hit (a power rail, an app, a cluster).
+    """
+
+    kind: str
+    target: str
+    time_s: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultRecovered(Event):
+    """A previously-degraded channel produced a good result again.
+
+    Paired with :class:`FaultInjected` by ``kind``/``target``: a retry
+    that succeeded, a stalled heartbeat finally delivered, a sensor
+    reading clean again after a dropout or stuck episode.
+    """
+
+    kind: str
+    target: str
+    time_s: float
+    detail: str = ""
+
+
 Handler = Callable[[Event], None]
 
 #: Priority for subscribers that must run after every default-priority

@@ -128,16 +128,30 @@ class EstimationLayer:
         self.power = (
             CachedPowerEstimator(power_estimator) if cached else power_estimator
         )
+        # Hit/miss totals retired by estimator swaps: stats() reports
+        # layer-lifetime counts, so a run that swaps models every
+        # adaptation period (online ratio learning) still accounts for
+        # every estimate it paid for.
+        self._retired: Dict[str, int] = {
+            "perf_hits": 0,
+            "perf_misses": 0,
+            "power_hits": 0,
+            "power_misses": 0,
+        }
 
     def set_perf_estimator(self, estimator: PerformanceEstimator) -> None:
         """Replace the performance model (e.g. a refit r0) — the old
         cache entries no longer describe it, so they are dropped."""
+        self._retired["perf_hits"] += getattr(self.perf, "hits", 0)
+        self._retired["perf_misses"] += getattr(self.perf, "misses", 0)
         self.perf = (
             CachedPerformanceEstimator(estimator) if self.cached else estimator
         )
 
     def set_power_estimator(self, estimator: PowerEstimator) -> None:
         """Replace the power model (e.g. after recalibration)."""
+        self._retired["power_hits"] += getattr(self.power, "hits", 0)
+        self._retired["power_misses"] += getattr(self.power, "misses", 0)
         self.power = (
             CachedPowerEstimator(estimator) if self.cached else estimator
         )
@@ -149,9 +163,14 @@ class EstimationLayer:
             self.power.clear()
 
     def stats(self) -> Dict[str, int]:
+        """Layer-lifetime hit/miss counts, surviving estimator swaps."""
         return {
-            "perf_hits": getattr(self.perf, "hits", 0),
-            "perf_misses": getattr(self.perf, "misses", 0),
-            "power_hits": getattr(self.power, "hits", 0),
-            "power_misses": getattr(self.power, "misses", 0),
+            "perf_hits": self._retired["perf_hits"]
+            + getattr(self.perf, "hits", 0),
+            "perf_misses": self._retired["perf_misses"]
+            + getattr(self.perf, "misses", 0),
+            "power_hits": self._retired["power_hits"]
+            + getattr(self.power, "hits", 0),
+            "power_misses": self._retired["power_misses"]
+            + getattr(self.power, "misses", 0),
         }

@@ -27,6 +27,7 @@ keep their public constructors and attributes, delegating the loop to
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import (
     TYPE_CHECKING,
@@ -295,6 +296,7 @@ class MapeLoop:
         ] = None,
         always_execute: bool = False,
         count_adaptations: bool = True,
+        stale_after_s: Optional[float] = None,
     ):
         self.knowledge = knowledge
         self.monitor = monitor
@@ -305,6 +307,13 @@ class MapeLoop:
         self.current_state_fn = current_state_fn
         self.always_execute = always_execute
         self.count_adaptations = count_adaptations
+        #: Observations older than this (delivery stalled) are not acted
+        #: on; ``None`` disables the staleness guard.
+        self.stale_after_s = stale_after_s
+        #: Cycles where the loop held the last good state because the
+        #: observation channel was degraded (non-positive, non-finite,
+        #: or stale rate) — the graceful-degradation counter.
+        self.held_cycles = 0
 
     def on_heartbeat(
         self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat
@@ -312,6 +321,20 @@ class MapeLoop:
         """Run one cycle; returns the context if Plan ran, else None."""
         observation = self.monitor.observe(app, heartbeat)
         if observation is None:
+            return None
+        if observation.rate <= 0 or not math.isfinite(observation.rate):
+            # The observation channel is lying (sensor fault, degenerate
+            # rate filter): planning on it would crash the search or
+            # thrash the platform.  Hold the last good state instead.
+            self.held_cycles += 1
+            return None
+        if (
+            self.stale_after_s is not None
+            and sim.clock.now_s - heartbeat.time_s > self.stale_after_s
+        ):
+            # The heartbeat's delivery stalled long enough that the rate
+            # no longer describes the present: hold the last good state.
+            self.held_cycles += 1
             return None
         if self.current_state_fn is not None:
             current = self.current_state_fn(sim, app)

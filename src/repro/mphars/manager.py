@@ -86,6 +86,7 @@ class MpHarsManager(Controller):
         freeze_beats: int = DEFAULT_FREEZE_BEATS,
         state_eval_cost_s: float = DEFAULT_STATE_EVAL_COST_S,
         cache_estimates: bool = True,
+        stale_after_s: Optional[float] = None,
     ):
         if adapt_every < 1:
             raise ConfigurationError("adapt_every must be >= 1")
@@ -117,6 +118,7 @@ class MpHarsManager(Controller):
             current_state_fn=self._current_state_of,
             always_execute=True,
             count_adaptations=False,
+            stale_after_s=stale_after_s,
         )
 
     # -- compatibility façade ---------------------------------------------------
@@ -152,6 +154,11 @@ class MpHarsManager(Controller):
     @property
     def adaptations(self) -> int:
         return self.knowledge.adaptations
+
+    @property
+    def held_cycles(self) -> int:
+        """Cycles where a degraded observation held the last good state."""
+        return self.mape.held_cycles
 
     # -- Controller hooks -------------------------------------------------------
 
@@ -221,7 +228,10 @@ class MpHarsManager(Controller):
         data.tick_freezing_counts()
         self._refresh_frozen_flags()
         rate = app.monitor.current_rate()
-        if rate is not None:
+        if rate is not None and rate > 0:
+            # A non-positive rate cannot come from a healthy window; keep
+            # the last good measurement rather than poison the Table 4.3
+            # co-runner satisfaction checks.
             self._last_rate[app.name] = rate
             data.heartbeat_rate = rate
 
@@ -360,7 +370,12 @@ class MpHarsManager(Controller):
             old_freq = sim.machine.freq_mhz(cluster)
             if new_freq == old_freq:
                 continue
-            actuator.set_frequency(cluster, new_freq)
+            if not actuator.set_frequency(cluster, new_freq):
+                # Injected DVFS failure: the cluster stayed at old_freq.
+                # Keep the bookkeeping honest and do not freeze
+                # co-runners for a decrease that never happened.
+                self._clusters[cluster].freq_mhz = old_freq
+                continue
             self._clusters[cluster].freq_mhz = new_freq
             changed = True
             if new_freq < old_freq:

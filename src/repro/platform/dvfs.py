@@ -9,7 +9,7 @@ HARS is a *user-level* runtime: on the real board it writes
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.errors import FrequencyError
 from repro.platform.cluster import BIG, LITTLE
@@ -21,6 +21,11 @@ class DvfsController:
 
     def __init__(self, machine: Machine):
         self.machine = machine
+        #: Optional fault gate for :meth:`try_set_frequency` — the
+        #: injector's per-write roll.  ``False`` models a lost
+        #: ``scaling_setspeed`` write.  Plain :meth:`set_frequency`
+        #: bypasses it, so governors and setup code are unaffected.
+        self.write_filter: Optional[Callable[[str, int], bool]] = None
 
     def available_frequencies(self, cluster_name: str) -> Tuple[int, ...]:
         """The cluster's DVFS table (``scaling_available_frequencies``)."""
@@ -37,6 +42,21 @@ class DvfsController:
     def set_frequency(self, cluster_name: str, freq_mhz: int) -> None:
         """Set an exact operating point (``scaling_setspeed``)."""
         self.machine.set_freq_mhz(cluster_name, freq_mhz)
+
+    def try_set_frequency(self, cluster_name: str, freq_mhz: int) -> bool:
+        """Set an operating point through the fault gate.
+
+        Returns ``False`` when an installed ``write_filter`` drops the
+        write (the frequency is unchanged); callers — the actuation
+        façade — own the retry policy.  Invalid frequencies still raise.
+        """
+        if self.write_filter is not None and not self.write_filter(
+            cluster_name, freq_mhz
+        ):
+            self.validate(cluster_name, freq_mhz)
+            return False
+        self.machine.set_freq_mhz(cluster_name, freq_mhz)
+        return True
 
     def set_index(self, cluster_name: str, index: int) -> None:
         """Set the operating point by DVFS-table index."""

@@ -8,12 +8,17 @@ the sensor the ground-truth power of every tick, and the sensor exposes
 
 * periodic *samples* (what calibration fits against), and
 * exact integrated *energy* (what the experiments' perf/watt uses).
+
+The two channels are deliberately separate: an installed ``fault_hook``
+(the fault-injection layer) can drop, freeze, or corrupt the periodic
+samples a sensor *reader* would see, while the integrated energy — the
+simulation's ground truth — stays exact.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
 
 from repro.errors import ConfigurationError
 
@@ -22,6 +27,12 @@ DEFAULT_SAMPLE_PERIOD_S = 0.263808
 
 #: Power channels every reading carries.
 CHANNELS = ("big", "little", "board", "total")
+
+#: Sample-hook signature: ``(sample_time_s, true_watts) -> observed``
+#: where ``None`` means the sample was lost.
+SampleHook = Callable[
+    [float, Mapping[str, float]], Optional[Mapping[str, float]]
+]
 
 
 @dataclass(frozen=True)
@@ -40,9 +51,22 @@ class PowerSensor:
             raise ConfigurationError("sample period must be positive")
         self.sample_period_s = sample_period_s
         self.samples: List[PowerSample] = []
+        #: Samples lost to an installed fault hook.
+        self.dropped_samples = 0
+        #: Optional fault filter applied per periodic sample.
+        self.fault_hook: Optional[SampleHook] = None
         self._energy_j: Dict[str, float] = {ch: 0.0 for ch in CHANNELS}
         self._elapsed_s = 0.0
-        self._next_sample_s = sample_period_s
+        #: Samples taken so far (captured + dropped).  Sample boundaries
+        #: are derived by *multiplying* this count by the period — a
+        #: running float sum drifts against the summed tick durations and
+        #: eventually skips or double-fires a boundary.
+        self._samples_seen = 0
+        #: Boundary comparison tolerance: ticks accumulate rounding error
+        #: of a few ulps, so an exact-boundary sample (e.g. tick 16488 at
+        #: the 10 ms-tick / 263.808 ms-period ratio) must not come down
+        #: to the sign of that error.
+        self._boundary_eps = sample_period_s * 1e-9
         self._last_watts: Dict[str, float] = {ch: 0.0 for ch in CHANNELS}
 
     def record(self, dt_s: float, watts: Mapping[str, float]) -> None:
@@ -60,11 +84,19 @@ class PowerSensor:
             self._energy_j[channel] += watts[channel] * dt_s
         self._elapsed_s += dt_s
         self._last_watts = {ch: watts[ch] for ch in CHANNELS}
-        while self._next_sample_s <= self._elapsed_s:
-            self.samples.append(
-                PowerSample(time_s=self._next_sample_s, watts=dict(self._last_watts))
-            )
-            self._next_sample_s += self.sample_period_s
+        next_sample_s = (self._samples_seen + 1) * self.sample_period_s
+        while next_sample_s <= self._elapsed_s + self._boundary_eps:
+            observed: Optional[Mapping[str, float]] = self._last_watts
+            if self.fault_hook is not None:
+                observed = self.fault_hook(next_sample_s, self._last_watts)
+            if observed is None:
+                self.dropped_samples += 1
+            else:
+                self.samples.append(
+                    PowerSample(time_s=next_sample_s, watts=dict(observed))
+                )
+            self._samples_seen += 1
+            next_sample_s = (self._samples_seen + 1) * self.sample_period_s
 
     @property
     def elapsed_s(self) -> float:
@@ -93,10 +125,28 @@ class PowerSensor:
             raise ConfigurationError("no samples captured yet")
         return sum(s.watts[channel] for s in self.samples) / len(self.samples)
 
+    def best_average_w(self, channel: str = "total") -> float:
+        """Sampled average, falling back to integrated energy.
+
+        The degradation policy for sensor dropout: readers prefer the
+        sampled channel (fidelity to the real read-out), but when every
+        sample was lost they degrade to the exact integrated average
+        instead of failing.
+        """
+        if self.samples:
+            return self.sampled_average_w(channel)
+        return self.average_power_w(channel)
+
     def reset(self) -> None:
-        """Clear all accumulated state (used between calibration runs)."""
+        """Clear all accumulated state (used between calibration runs).
+
+        Sampling restarts mid-period too: the first sample after a reset
+        lands one full period after it, regardless of where in the old
+        period the reset happened.  An installed ``fault_hook`` stays.
+        """
         self.samples.clear()
+        self.dropped_samples = 0
         self._energy_j = {ch: 0.0 for ch in CHANNELS}
         self._elapsed_s = 0.0
-        self._next_sample_s = self.sample_period_s
+        self._samples_seen = 0
         self._last_watts = {ch: 0.0 for ch in CHANNELS}

@@ -39,6 +39,7 @@ import math
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.faults import FaultConfig, FaultInjector
 from repro.kernel.actuation import Actuator
 from repro.kernel.bus import (
     AppFinished,
@@ -82,6 +83,7 @@ class Simulation:
         tick_s: float = DEFAULT_TICK_S,
         scheduler: Optional[Scheduler] = None,
         profile: str = "fast",
+        faults: Optional[FaultConfig] = None,
     ):
         if tick_s <= 0:
             raise ConfigurationError("tick must be positive")
@@ -104,7 +106,18 @@ class Simulation:
         self._apps_by_name: Dict[str, SimApp] = {}
         self.controllers: List[Controller] = []
         self.bus = EventBus()
-        self.actuator = Actuator(self)
+        # Fault injection: with no config (or every rate zero) nothing is
+        # installed and the whole stack is bit-identical to a build
+        # without the fault layer.
+        self.faults = faults
+        self.fault_injector: Optional[FaultInjector] = None
+        if faults is not None and faults.enabled:
+            self.fault_injector = FaultInjector(faults, self.bus)
+            if faults.sensor_enabled:
+                self.sensor.fault_hook = self.fault_injector.filter_power
+            if faults.dvfs_failure_rate > 0:
+                self.dvfs.write_filter = self.fault_injector.dvfs_write_ok
+        self.actuator = Actuator(self, faults=self.fault_injector)
         self.trace = TraceRecorder()
         #: Per-core utilization of the most recent tick (0..1), the
         #: signal utilization-driven governors (ondemand) consume.
@@ -122,6 +135,12 @@ class Simulation:
         )
         # Lazily-built fast-profile runtime index (first step).
         self._slots: Optional[List] = None
+        # Heartbeat delivery faults: beats whose *delivery* to the bus
+        # is stalled or jittered, keyed by the tick they mature on.  The
+        # app's log is written at emission time regardless — the fault
+        # corrupts the observation channel, not the ground truth.
+        self._tick_index = 0
+        self._delayed_heartbeats: List[Tuple[int, str, SimApp, object]] = []
 
     # -- setup ---------------------------------------------------------------
 
@@ -191,6 +210,8 @@ class Simulation:
                 controller.on_start(self)
         dt = self.tick_s
         bus = self.bus
+        if self._delayed_heartbeats:
+            self._flush_delayed_heartbeats()
         # Hot path: probe the handler table directly rather than
         # through subscriber_count() — three calls per tick add up.
         handlers = bus._handlers
@@ -221,8 +242,54 @@ class Simulation:
 
         self.clock.advance(dt)
         self._ticked = True
+        self._tick_index += 1
 
     # -- internals ----------------------------------------------------------------
+
+    def _deliver_heartbeat(self, app: SimApp, heartbeat) -> None:
+        """Publish a heartbeat to the bus, possibly stalled or jittered.
+
+        The heartbeat is already in the app's log (ground truth); a
+        delivery fault only delays when subscribers *observe* it.
+        """
+        injector = self.fault_injector
+        if injector is not None:
+            fault = injector.heartbeat_fault(app.name, heartbeat.time_s)
+            if fault is not None:
+                kind, delay_ticks = fault
+                injector.note_injected(
+                    kind,
+                    app.name,
+                    heartbeat.time_s,
+                    f"heartbeat {heartbeat.index} delayed {delay_ticks} ticks",
+                )
+                self._delayed_heartbeats.append(
+                    (self._tick_index + delay_ticks, kind, app, heartbeat)
+                )
+                return
+        self.bus.publish(HeartbeatEmitted(app=app, heartbeat=heartbeat))
+
+    def _flush_delayed_heartbeats(self) -> None:
+        """Deliver stalled/jittered heartbeats whose delay has matured.
+
+        Queue order is emission order, so matured beats reach the bus in
+        the order they were produced.
+        """
+        injector = self.fault_injector
+        pending: List[Tuple[int, str, SimApp, object]] = []
+        for due_tick, kind, app, heartbeat in self._delayed_heartbeats:
+            if due_tick > self._tick_index:
+                pending.append((due_tick, kind, app, heartbeat))
+                continue
+            if injector is not None:
+                injector.note_recovered(
+                    kind,
+                    app.name,
+                    self.clock.now_s,
+                    f"heartbeat {heartbeat.index} delivered",
+                )
+            self.bus.publish(HeartbeatEmitted(app=app, heartbeat=heartbeat))
+        self._delayed_heartbeats = pending
 
     def _all_done(self) -> bool:
         # Once a tick has run, _publish_finished has scanned every app,
@@ -418,7 +485,7 @@ class Simulation:
                         else ""
                     )
                     heartbeat = app.log.emit(end_time, tag)
-                    bus.publish(HeartbeatEmitted(app=app, heartbeat=heartbeat))
+                    self._deliver_heartbeat(app, heartbeat)
 
             still_hungry = False
             if satisfied:
@@ -545,9 +612,7 @@ class Simulation:
                         else ""
                     )
                     heartbeat = app.log.emit(end_time, tag)
-                    self.bus.publish(
-                        HeartbeatEmitted(app=app, heartbeat=heartbeat)
-                    )
+                    self._deliver_heartbeat(app, heartbeat)
 
             still_hungry = False
             for core_id in list(hungry):

@@ -153,4 +153,6 @@ def _observe_point(
     while elapsed < dwell_s:
         sensor.record(tick_s, model.platform_power(machine, activities))
         elapsed += tick_s
-    return sensor.sampled_average_w(cluster.name)
+    # best_average_w degrades to the integrated average if every sample
+    # in the dwell was dropped by a faulty sensor.
+    return sensor.best_average_w(cluster.name)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.perf_estimator import PerformanceEstimator
 from repro.core.policy import HARS_E, HARS_I, SearchSpace, sweep_policy
-from repro.core.search import evaluate_state, get_next_sys_state
+from repro.core.search import EvaluatedState, evaluate_state, get_next_sys_state
 from repro.core.state import SystemState, max_state
 from repro.errors import ConfigurationError, EstimationError
 from repro.heartbeats.targets import PerformanceTarget, Satisfaction
@@ -150,6 +150,22 @@ class TestSearchSelection:
             SearchSpace(1, 1, 2), candidate_filter=lambda c, cur: False,
         )
         assert result.state == current
+        # The forced hold is not an Algorithm 2 candidate: the filter
+        # rejected the whole neighbourhood (current state included), so
+        # the overhead metering must not count the fallback evaluation.
+        assert result.forced_fallback
+        assert result.states_explored == 0
+
+    def test_normal_search_is_not_a_forced_fallback(
+        self, xu3, power_estimator, perf_est
+    ):
+        current = SystemState(2, 2, 1200, 1000)
+        target = PerformanceTarget(0.5, 0.6, 0.7)
+        result = _search(
+            xu3, power_estimator, perf_est, current, 2.0, target,
+            SearchSpace(1, 0, 1),
+        )
+        assert not result.forced_fallback
 
     def test_states_explored_counts_evaluations(
         self, xu3, power_estimator, perf_est
@@ -173,3 +189,25 @@ class TestSearchSelection:
                 xu3, power_estimator, perf_est, max_state(xu3), 0.0,
                 PerformanceTarget(1.0, 1.1, 1.2), SearchSpace(1, 1, 2),
             )
+
+
+class TestPerfPerPower:
+    def _evaluated(self, est_power):
+        return EvaluatedState(
+            state=SystemState(2, 2, 1200, 1000),
+            estimate=None,
+            est_rate=1.0,
+            norm_perf=1.0,
+            est_power=est_power,
+        )
+
+    def test_zero_power_estimate_raises_estimation_error(self):
+        with pytest.raises(EstimationError, match="non-positive"):
+            self._evaluated(0.0).perf_per_power
+
+    def test_negative_power_estimate_raises_estimation_error(self):
+        with pytest.raises(EstimationError, match="perf/watt"):
+            self._evaluated(-0.5).perf_per_power
+
+    def test_positive_power_divides(self):
+        assert self._evaluated(2.0).perf_per_power == pytest.approx(0.5)

@@ -163,3 +163,59 @@ class TestEstimationLayerInvalidation:
         assert layer.perf is _PERF
         assert layer.power is _POWER
         layer.invalidate()  # no-op, must not raise
+
+
+class TestEstimationLayerStats:
+    def test_stats_reports_current_counters(self):
+        layer = EstimationLayer(PerformanceEstimator(), _POWER, cached=True)
+        state = SystemState(2, 2, 1200, 1000)
+        layer.perf.estimate(state, 8)
+        layer.perf.estimate(state, 8)
+        stats = layer.stats()
+        assert stats["perf_misses"] == 1
+        assert stats["perf_hits"] == 1
+
+    def test_stats_survive_perf_estimator_swap(self):
+        # Regression: online ratio learning swaps the performance model
+        # every adaptation period; the swap must retire the old wrapper's
+        # counters into the layer totals, not zero them.
+        layer = EstimationLayer(
+            PerformanceEstimator(r0=1.5), _POWER, cached=True
+        )
+        state = SystemState(2, 2, 1200, 1000)
+        layer.perf.estimate(state, 8)
+        layer.perf.estimate(state, 8)  # 1 miss, 1 hit
+        layer.set_perf_estimator(PerformanceEstimator(r0=2.5))
+        layer.perf.estimate(state, 8)  # fresh cache: 1 more miss
+        stats = layer.stats()
+        assert stats["perf_misses"] == 2
+        assert stats["perf_hits"] == 1
+
+    def test_stats_survive_power_estimator_swap(self):
+        class Constant:
+            def __init__(self, watts):
+                self.watts = watts
+
+            def estimate(self, state, perf):
+                return self.watts
+
+        layer = EstimationLayer(PerformanceEstimator(), Constant(1.0))
+        state = SystemState(2, 2, 1200, 1000)
+        perf = layer.perf.estimate(state, 8)
+        layer.power.estimate(state, perf)
+        layer.power.estimate(state, perf)  # 1 miss, 1 hit
+        layer.set_power_estimator(Constant(2.0))
+        layer.power.estimate(state, perf)
+        stats = layer.stats()
+        assert stats["power_misses"] == 2
+        assert stats["power_hits"] == 1
+
+    def test_uncached_layer_stats_are_zero(self):
+        layer = EstimationLayer(_PERF, _POWER, cached=False)
+        layer.set_perf_estimator(PerformanceEstimator())
+        assert layer.stats() == {
+            "perf_hits": 0,
+            "perf_misses": 0,
+            "power_hits": 0,
+            "power_misses": 0,
+        }

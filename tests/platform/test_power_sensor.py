@@ -138,3 +138,77 @@ class TestPowerSensor:
         sensor.record(2.0, self._watts(2.0))
         assert sensor.energy_j(BIG) == pytest.approx(2.6)
         assert sensor.energy_j(LITTLE) == pytest.approx(0.9)
+
+    def test_no_sample_drift_at_paper_tick_period_ratio(self):
+        # Regression: accumulating the next-sample time as a running
+        # float sum drifts against the summed 10 ms ticks and eventually
+        # skips or double-fires a boundary.  Over 100 000 ticks (1000 s)
+        # at the paper's 263.808 ms period the count must be exact.
+        sensor = PowerSensor()  # DEFAULT_SAMPLE_PERIOD_S = 0.263808
+        for _ in range(100_000):
+            sensor.record(0.01, self._watts())
+        expected = int(1000.0 / DEFAULT_SAMPLE_PERIOD_S)  # 3790
+        assert len(sensor.samples) == expected
+        # Every sample sits at an exact multiple of the period.
+        for i, sample in enumerate(sensor.samples):
+            assert sample.time_s == pytest.approx(
+                (i + 1) * DEFAULT_SAMPLE_PERIOD_S, abs=1e-9
+            )
+
+    def test_reset_mid_period_restarts_sampling_cleanly(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        # Stop 30 ms into the second period...
+        for _ in range(13):
+            sensor.record(0.01, self._watts())
+        assert len(sensor.samples) == 1
+        sensor.reset()
+        # ...and the first post-reset sample lands one full period after
+        # the reset, not 70 ms after it.
+        for _ in range(9):
+            sensor.record(0.01, self._watts())
+        assert len(sensor.samples) == 0
+        sensor.record(0.01, self._watts())
+        assert len(sensor.samples) == 1
+        assert sensor.samples[0].time_s == pytest.approx(0.1)
+
+    def test_fault_hook_drops_and_counts_samples(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        sensor.fault_hook = lambda t, w: None
+        for _ in range(50):
+            sensor.record(0.01, self._watts(3.0))
+        assert not sensor.samples
+        assert sensor.dropped_samples == 5
+        # Ground truth is untouched by the observation fault.
+        assert sensor.energy_j() == pytest.approx(1.5)
+
+    def test_fault_hook_survives_reset(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        sensor.fault_hook = lambda t, w: None
+        sensor.record(0.1, self._watts())
+        sensor.reset()
+        assert sensor.dropped_samples == 0
+        sensor.record(0.1, self._watts())
+        assert sensor.dropped_samples == 1
+
+    def test_fault_hook_can_corrupt_readings(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        sensor.fault_hook = lambda t, w: {ch: v * 2 for ch, v in w.items()}
+        for _ in range(10):
+            sensor.record(0.01, self._watts(2.0))
+        assert sensor.sampled_average_w() == pytest.approx(4.0)
+        assert sensor.average_power_w() == pytest.approx(2.0)
+
+    def test_best_average_prefers_samples(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        for _ in range(20):
+            sensor.record(0.01, self._watts(2.0))
+        assert sensor.best_average_w() == sensor.sampled_average_w()
+
+    def test_best_average_degrades_to_integrated_on_total_dropout(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        sensor.fault_hook = lambda t, w: None
+        for _ in range(20):
+            sensor.record(0.01, self._watts(2.0))
+        with pytest.raises(ConfigurationError):
+            sensor.sampled_average_w()
+        assert sensor.best_average_w() == pytest.approx(2.0)
