@@ -10,6 +10,9 @@ Two hard properties are asserted:
 * **zero-rate identity** — a run with every fault rate at 0 is
   bit-identical (metrics *and* traces) to a run without the fault layer
   at all;
+* **supervised identity** — the same holds for the full supervision
+  stack (lifecycle Supervisor + controller Checkpointer): with zero
+  fault rates it observes and snapshots but never perturbs the run;
 * **graceful degradation** — the paper-default fault mix completes the
   whole run without an unhandled exception while actually injecting
   faults (the injector's counters are non-zero).
@@ -45,6 +48,9 @@ def _sweep(units):
     measure_max_rate(spec, shape)
     calibrate(spec)
     clean = run_single("hars-e", shape, spec=spec)
+    supervised = run_single(
+        "hars-e", shape, spec=spec, supervision=True, checkpoint=1.0
+    )
     rows = []
     for factor in RATES:
         faults = FaultConfig.defaults().scaled(factor)
@@ -62,12 +68,17 @@ def _sweep(units):
                 "recovered": injector.total_recovered if injector else 0,
             }
         )
-    return _snapshot(clean), rows
+    supervised_row = {
+        "snapshot": _snapshot(supervised),
+        "evictions": supervised.supervisor.evictions,
+        "checkpoints": supervised.checkpoint_store.writes,
+    }
+    return _snapshot(clean), supervised_row, rows
 
 
 def test_fault_tolerance_sweep(benchmark):
     units = bench_units() or 400
-    clean_snap, rows = run_once(benchmark, _sweep, units)
+    clean_snap, supervised_row, rows = run_once(benchmark, _sweep, units)
     print()
     print(
         f"{'scale':>6} {'mnp':>7} {'perf/W':>8} "
@@ -85,6 +96,15 @@ def test_fault_tolerance_sweep(benchmark):
     assert zero["factor"] == 0.0
     assert zero["injected"] == 0
     assert zero["snapshot"] == clean_snap
+    # The supervised stack (Supervisor + Checkpointer, zero fault rates)
+    # watches and snapshots without perturbing the run at all.
+    print(
+        f"supervised identity: {supervised_row['checkpoints']} checkpoints, "
+        f"{supervised_row['evictions']} evictions"
+    )
+    assert supervised_row["snapshot"] == clean_snap
+    assert supervised_row["evictions"] == 0
+    assert supervised_row["checkpoints"] > 0
     # The default mix must actually exercise the fault paths, and every
     # faulted run above completed without an unhandled exception.
     defaults_row = next(row for row in rows if row["factor"] == 1.0)

@@ -1,0 +1,202 @@
+"""Supervision benchmarks: quarantine reclamation and restart recovery.
+
+Two scenarios exercise the lifecycle layer end to end and print the
+numbers the acceptance criteria are phrased in:
+
+* **hang → quarantine → evict → reclaim** — a two-app MP-HARS co-run
+  where one app hangs mid-run.  The table reports the quarantine
+  state-machine timestamps from the ledger and how quickly the
+  survivor's partition picks up the reclaimed cores (must be within two
+  of its adaptation periods).
+* **controller restart, warm vs cold** — the whole controller stack is
+  killed and restarted mid-run, once restoring from the checkpoint
+  store and once cold.  The table reports each app's reconvergence time
+  (first return to its target window after the restart); the warm
+  restart must reconverge within one adaptation period per app and
+  never slower than the cold one.
+"""
+
+from conftest import bench_units, run_once
+
+from repro.experiments.runner import RunShape, run_multi
+from repro.faults import FaultConfig, LifecycleEvent
+from repro.supervision import SupervisorConfig
+
+#: Work units per app at native size; event times scale with this.
+NATIVE_UNITS = 400
+
+#: Consecutive in-window trace samples that count as "reconverged".
+RECONVERGE_STREAK = 3
+
+#: Horizon (simulated seconds) after an event in which reconvergence /
+#: reclamation is measured.
+HORIZON_S = 60.0
+
+
+def _adaptation_period_s(outcome, app_name, adapt_every=5):
+    """One adaptation period ≈ ``adapt_every`` beats at the target rate."""
+    app = next(a for a in outcome.metrics.apps if a.app_name == app_name)
+    return adapt_every / app.target_avg
+
+
+def _reconvergence_s(outcome, app_name, t0, horizon=HORIZON_S):
+    """Seconds from ``t0`` until RECONVERGE_STREAK in-window samples."""
+    app = next(a for a in outcome.metrics.apps if a.app_name == app_name)
+    streak = 0
+    for point in outcome.trace.points(app_name):
+        if not t0 < point.time_s <= t0 + horizon:
+            continue
+        if app.target_min <= point.rate <= app.target_max:
+            streak += 1
+            if streak == RECONVERGE_STREAK:
+                return point.time_s - t0
+        else:
+            streak = 0
+    return horizon
+
+
+def _first_allocation_s(outcome, app_name, t0, horizon=HORIZON_S):
+    """Seconds from ``t0`` until the app's trace shows owned cores."""
+    for point in outcome.trace.points(app_name):
+        if not t0 <= point.time_s <= t0 + horizon:
+            continue
+        if point.big_cores + point.little_cores > 0:
+            return point.time_s - t0
+    return horizon
+
+
+def _hang_reclaim(units):
+    """One app hangs; measure eviction latency and core reclamation."""
+    shapes = [
+        RunShape(benchmark="swaptions", n_units=units,
+                 target_fraction=0.75, seed=1),
+        RunShape(benchmark="bodytrack", n_units=units,
+                 target_fraction=0.75, seed=2),
+    ]
+    hang_at = 30.0 * units / NATIVE_UNITS
+    faults = FaultConfig(seed=3, lifecycle_schedule=(
+        LifecycleEvent("app_hang", at_s=hang_at, target="swaptions-0"),
+    ))
+    outcome = run_multi(
+        "mp-hars-e", shapes, faults=faults,
+        supervision=SupervisorConfig(grace_factor=3.0),
+    )
+    record = outcome.supervisor.ledger.record("swaptions-0")
+    survivor_period = _adaptation_period_s(outcome, "bodytrack-1")
+    reclaim = _first_allocation_s(
+        outcome, "bodytrack-1", record.evicted_at
+    )
+    survivor = next(
+        a for a in outcome.metrics.apps if a.app_name == "bodytrack-1"
+    )
+    return {
+        "hang_at": hang_at,
+        "record": record,
+        "rows": outcome.supervisor.ledger.rows(),
+        "survivor_period": survivor_period,
+        "reclaim": reclaim,
+        "survivor_mnp": survivor.mean_normalized_perf,
+        "survivor_status": outcome.supervisor.ledger.status_of("bodytrack-1"),
+    }
+
+
+def _restart_recovery(units):
+    """Kill+restart the controller stack; warm restore vs cold start."""
+    shapes = [
+        RunShape(benchmark="swaptions", n_units=units,
+                 target_fraction=0.55, seed=1),
+        RunShape(benchmark="bodytrack", n_units=units,
+                 target_fraction=0.35, seed=2),
+    ]
+    restart_at = 120.0 * units / NATIVE_UNITS
+    faults = FaultConfig(seed=3, lifecycle_schedule=(
+        LifecycleEvent("controller_restart", at_s=restart_at),
+    ))
+    warm = run_multi("mp-hars-e", shapes, faults=faults, checkpoint=2.0)
+    cold = run_multi("mp-hars-e", shapes, faults=faults)
+    rows = []
+    for shape, app_name in zip(shapes, ("swaptions-0", "bodytrack-1")):
+        rows.append(
+            {
+                "app": app_name,
+                "period": _adaptation_period_s(warm, app_name),
+                "warm": _reconvergence_s(warm, app_name, restart_at),
+                "cold": _reconvergence_s(cold, app_name, restart_at),
+            }
+        )
+    return {
+        "restart_at": restart_at,
+        "rows": rows,
+        "warm_elapsed": warm.metrics.elapsed_s,
+        "cold_elapsed": cold.metrics.elapsed_s,
+        "checkpoints": warm.checkpoint_store.writes,
+    }
+
+
+def test_hang_quarantine_reclaim(benchmark):
+    units = bench_units() or NATIVE_UNITS
+    result = run_once(benchmark, _hang_reclaim, units)
+    record = result["record"]
+    print()
+    print(f"{'app':>14} {'status':>12} {'failure':>9} "
+          f"{'suspect':>9} {'quarantine':>11} {'evict':>8}")
+    for row in result["rows"]:
+        print(
+            f"{row['app_name']:>14} {row['status']:>12} "
+            f"{str(row['failure']):>9} "
+            f"{_fmt(row['suspected_at']):>9} "
+            f"{_fmt(row['quarantined_at']):>11} "
+            f"{_fmt(row['evicted_at']):>8}"
+        )
+    print(
+        f"hang at {result['hang_at']:.1f}s; survivor reclaimed cores "
+        f"{result['reclaim']:.2f}s after eviction "
+        f"(budget 2 × {result['survivor_period']:.2f}s); "
+        f"survivor mnp {result['survivor_mnp']:.3f}"
+    )
+    # The hung app walks the whole state machine, in order.
+    assert record.status.value == "evicted"
+    assert record.failure.value == "hung"
+    assert (
+        result["hang_at"]
+        < record.suspected_at
+        < record.quarantined_at
+        < record.evicted_at
+    )
+    # Acceptance: the survivor inherits the reclaimed cores within two
+    # of its adaptation periods, and completes its run healthy.
+    assert result["reclaim"] <= 2 * result["survivor_period"]
+    assert result["survivor_status"].value == "done"
+    assert result["survivor_mnp"] > 0.8
+
+
+def test_restart_warm_vs_cold(benchmark):
+    units = bench_units() or NATIVE_UNITS
+    result = run_once(benchmark, _restart_recovery, units)
+    print()
+    print(f"{'app':>14} {'period_s':>9} {'warm_s':>7} {'cold_s':>7}")
+    for row in result["rows"]:
+        print(
+            f"{row['app']:>14} {row['period']:>9.2f} "
+            f"{row['warm']:>7.2f} {row['cold']:>7.2f}"
+        )
+    print(
+        f"restart at {result['restart_at']:.1f}s; "
+        f"{result['checkpoints']} checkpoints written; "
+        f"elapsed warm {result['warm_elapsed']:.1f}s "
+        f"cold {result['cold_elapsed']:.1f}s"
+    )
+    assert result["checkpoints"] > 0
+    for row in result["rows"]:
+        # Acceptance: a checkpoint-restored stack re-enters the target
+        # window within one adaptation period, and never slower than a
+        # cold restart.  The native-size scenario restarts after the
+        # partitions settle; scaled-down runs may restart earlier, so
+        # the one-period bound is only asserted at native size.
+        if units >= NATIVE_UNITS:
+            assert row["warm"] <= row["period"]
+        assert row["warm"] <= row["cold"]
+
+
+def _fmt(value):
+    return f"{value:.2f}" if value is not None else "-"

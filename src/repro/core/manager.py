@@ -17,7 +17,7 @@ CPU utilization.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from repro.core.perf_estimator import PerformanceEstimator
 from repro.core.policy import HarsPolicy
@@ -88,6 +88,9 @@ class HarsManager(Controller):
         self._initial_state = initial_state
         self._used: Tuple[int, int] = (0, 0)
         self._assignment = None  # ThreadAssignment actually applied
+        #: Set by the supervision Checkpointer (if one is attached);
+        #: consulted by :meth:`simulate_restart` for a warm restore.
+        self.checkpoint_store = None
         self.knowledge = Knowledge(
             EstimationLayer(
                 perf_estimator, power_estimator, cached=cache_estimates
@@ -229,3 +232,161 @@ class HarsManager(Controller):
         if elapsed_s <= 0:
             raise ConfigurationError("elapsed time must be positive")
         return 100.0 * self.cpu_overhead_seconds() / elapsed_s
+
+    # -- checkpoint / restore ----------------------------------------------------
+
+    @property
+    def checkpoint_id(self) -> str:
+        """Store key; one HARS instance per managed application."""
+        return f"hars:{self.app_name}"
+
+    def checkpoint(self, now_s: float) -> Dict[str, Any]:
+        """Snapshot the controller knowledge worth surviving a crash:
+        the applied state, the fitted power model, the learned ratio (if
+        an online learner is attached), and the MAPE counters."""
+        # Lazy import: serialize sits above the manager layer.
+        from repro.experiments.serialize import (
+            checkpoint_payload,
+            power_model_to_dict,
+        )
+
+        state = self.state
+        learner = getattr(self, "ratio_learner", None)
+        return checkpoint_payload(
+            self.checkpoint_id,
+            now_s,
+            {
+                "controller": type(self).__name__,
+                "app_name": self.app_name,
+                "state": (
+                    [
+                        state.c_big,
+                        state.c_little,
+                        state.f_big_mhz,
+                        state.f_little_mhz,
+                    ]
+                    if state is not None
+                    else None
+                ),
+                "power_model": power_model_to_dict(self.power_estimator),
+                "ratio": learner.ratio if learner is not None else None,
+                "counters": {
+                    "adaptations": self.knowledge.adaptations,
+                    "states_explored": self.knowledge.states_explored,
+                    "estimation_failures": self.knowledge.estimation_failures,
+                    "held_cycles": self.mape.held_cycles,
+                    "polled": self.mape.monitor.polled,
+                },
+            },
+        )
+
+    def restore_checkpoint(
+        self, sim: "Simulation", payload: Dict[str, Any]
+    ) -> None:
+        """Warm restore: re-adopt checkpointed knowledge mid-run.
+
+        Raises :class:`~repro.errors.ConfigurationError` on a malformed
+        payload — the caller falls back to a cold start.
+        """
+        from repro.experiments.serialize import (
+            power_model_from_dict,
+            validate_checkpoint,
+        )
+
+        body = validate_checkpoint(payload)
+        if body.get("app_name") != self.app_name:
+            raise ConfigurationError(
+                f"checkpoint is for app {body.get('app_name')!r}, "
+                f"not {self.app_name!r}"
+            )
+        self.power_estimator = power_model_from_dict(
+            body.get("power_model") or {}
+        )
+        ratio = body.get("ratio")
+        learner = getattr(self, "ratio_learner", None)
+        if ratio is not None and learner is not None:
+            learner.seed_estimate(float(ratio))
+            self.perf_estimator = learner.estimator()
+        state_values = body.get("state")
+        if state_values is not None:
+            try:
+                state = SystemState(*(int(v) for v in state_values))
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"malformed checkpointed state: {exc}"
+                ) from None
+            state.validate(sim.spec)
+            app = sim.app(self.app_name)
+            if not (app.halted or app.is_done()):
+                self._apply(sim, state)
+        counters = body.get("counters") or {}
+        self.knowledge.adaptations = int(
+            counters.get("adaptations", self.knowledge.adaptations)
+        )
+        self.knowledge.states_explored = int(
+            counters.get("states_explored", self.knowledge.states_explored)
+        )
+        self.knowledge.estimation_failures = int(
+            counters.get(
+                "estimation_failures", self.knowledge.estimation_failures
+            )
+        )
+        self.mape.held_cycles = int(
+            counters.get("held_cycles", self.mape.held_cycles)
+        )
+        self.mape.monitor.polled = int(
+            counters.get("polled", self.mape.monitor.polled)
+        )
+
+    def _forget_volatile(self, sim: "Simulation") -> None:
+        """What dies with the controller process: applied-state memory,
+        the estimation cache, and any online-learned models."""
+        self.knowledge.set_state(self.app_name, None)
+        self.knowledge.estimation.invalidate()
+        self._used = (0, 0)
+        self._assignment = None
+        predictor = getattr(self, "predictor", None)
+        if predictor is not None:
+            predictor.reset()
+        learner = getattr(self, "ratio_learner", None)
+        if learner is not None:
+            learner.reset()
+            self.perf_estimator = learner.estimator()
+        if getattr(self, "_settled_periods", None) is not None:
+            self._settled_periods = 0
+
+    def simulate_restart(self, sim: "Simulation") -> None:
+        """Model a controller crash+restart (``controller_restart`` fault).
+
+        Volatile knowledge is dropped; if a checkpoint store holds a
+        valid snapshot the controller restores warm, otherwise it cold
+        starts exactly as at time zero and re-converges from scratch.
+        """
+        from repro.kernel.bus import ControllerRestored
+
+        self._forget_volatile(sim)
+        store = getattr(self, "checkpoint_store", None)
+        snapshot = (
+            store.get(self.checkpoint_id) if store is not None else None
+        )
+        warm = False
+        if snapshot is not None:
+            try:
+                self.restore_checkpoint(sim, snapshot)
+                warm = True
+            except ConfigurationError:
+                snapshot = None
+        if not warm:
+            app = sim.app(self.app_name)
+            if not (app.halted or app.is_done()):
+                self.on_start(sim)
+        sim.bus.publish(
+            ControllerRestored(
+                controller=self.checkpoint_id,
+                time_s=sim.clock.now_s,
+                warm=warm,
+                checkpoint_time_s=(
+                    snapshot["time_s"] if snapshot is not None else None
+                ),
+            )
+        )

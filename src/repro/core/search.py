@@ -68,11 +68,15 @@ class SearchResult:
     ``forced_fallback`` marks the degenerate case where the candidate
     filter rejected the whole neighbourhood (including the current
     state) and the search was forced to stay put.
+    ``estimation_failures`` counts candidates skipped because their
+    estimate raised :class:`~repro.errors.EstimationError` — one bad
+    candidate degrades the sweep, never aborts the adaptation cycle.
     """
 
     best: EvaluatedState
     states_explored: int
     forced_fallback: bool = False
+    estimation_failures: int = 0
 
     @property
     def state(self) -> SystemState:
@@ -150,22 +154,32 @@ def get_next_sys_state(
         raise EstimationError("search needs a positive observed rate")
     best: Optional[EvaluatedState] = None
     explored = 0
+    estimation_failures = 0
     for candidate in neighbourhood(spec, current, space.m, space.n, space.d):
         if candidate_filter is not None and not candidate_filter(
             candidate, current
         ):
             continue
-        evaluated = evaluate_state(
-            candidate,
-            current,
-            observed_rate,
-            n_threads,
-            target,
-            perf_estimator,
-            power_estimator,
-        )
+        # A candidate whose estimate raises (missing coefficients after
+        # a partial restore, degenerate power prediction, …) is skipped
+        # and counted; the sweep continues with the rest of the
+        # neighbourhood instead of aborting the whole adaptation cycle.
+        try:
+            evaluated = evaluate_state(
+                candidate,
+                current,
+                observed_rate,
+                n_threads,
+                target,
+                perf_estimator,
+                power_estimator,
+            )
+            better = best is None or _better(evaluated, best)
+        except EstimationError:
+            estimation_failures += 1
+            continue
         explored += 1
-        if best is None or _better(evaluated, best):
+        if better:
             best = evaluated
     if best is None:
         # Nothing passed the filter.  The current state is always in the
@@ -185,6 +199,13 @@ def get_next_sys_state(
             power_estimator,
         )
         return SearchResult(
-            best=best, states_explored=explored, forced_fallback=True
+            best=best,
+            states_explored=explored,
+            forced_fallback=True,
+            estimation_failures=estimation_failures,
         )
-    return SearchResult(best=best, states_explored=explored)
+    return SearchResult(
+        best=best,
+        states_explored=explored,
+        estimation_failures=estimation_failures,
+    )

@@ -17,7 +17,7 @@ figure sweeps revisit them constantly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.manager import HarsManager
 from repro.errors import ConfigurationError
@@ -32,6 +32,12 @@ from repro.platform.spec import PlatformSpec, odroid_xu3
 from repro.sim.engine import Simulation
 from repro.sim.process import SimApp
 from repro.sim.tracing import TraceRecorder
+from repro.supervision import (
+    CheckpointStore,
+    Checkpointer,
+    Supervisor,
+    SupervisorConfig,
+)
 from repro.workloads.parsec import make_benchmark, resolve_name
 
 #: Default target window half-width (the paper's ±5 %).
@@ -70,6 +76,40 @@ class RunOutcome:
     #: Present when the run injected faults (``faults=`` was passed with
     #: at least one non-zero rate); carries injection/recovery counters.
     fault_injector: Optional[FaultInjector] = None
+    #: Present when ``supervision=`` was passed; carries the quarantine
+    #: ledger and eviction counters.
+    supervisor: Optional[Supervisor] = None
+    #: Present when ``checkpoint=`` was passed; the latest controller
+    #: snapshots.
+    checkpoint_store: Optional[CheckpointStore] = None
+
+
+def _attach_supervision(
+    sim: Simulation,
+    supervision: Union[SupervisorConfig, bool, None],
+    checkpoint: Optional[float],
+) -> Tuple[Optional[Supervisor], Optional[CheckpointStore]]:
+    """Attach the Supervisor / Checkpointer after the version controllers.
+
+    ``supervision`` is a :class:`SupervisorConfig` (or ``True`` for the
+    defaults); ``checkpoint`` is a snapshot cadence in simulated
+    seconds.  Either can be used without the other.
+    """
+    supervisor: Optional[Supervisor] = None
+    store: Optional[CheckpointStore] = None
+    if supervision:
+        config = (
+            supervision
+            if isinstance(supervision, SupervisorConfig)
+            else None
+        )
+        supervisor = Supervisor(config)
+        sim.add_controller(supervisor)
+    if checkpoint is not None:
+        checkpointer = Checkpointer(cadence_s=checkpoint)
+        store = checkpointer.store
+        sim.add_controller(checkpointer)
+    return supervisor, store
 
 
 def measure_max_rate(spec: PlatformSpec, shape: RunShape) -> float:
@@ -120,6 +160,8 @@ def run_single(
     profile: str = "fast",
     cache_estimates: bool = True,
     faults: Optional[FaultConfig] = None,
+    supervision: Union[SupervisorConfig, bool, None] = None,
+    checkpoint: Optional[float] = None,
 ) -> RunOutcome:
     """Run one benchmark under one version and collect metrics.
 
@@ -128,7 +170,12 @@ def run_single(
     the kernel's estimation cache; both knobs change speed only, never
     results, so only benchmarks pass non-defaults.  ``faults`` injects
     seeded sensor/heartbeat/actuation faults (the baseline that measures
-    the max achievable rate always runs fault-free).
+    the max achievable rate always runs fault-free).  ``supervision``
+    attaches a lifecycle :class:`~repro.supervision.Supervisor` (``True``
+    for defaults, or a :class:`SupervisorConfig`); ``checkpoint``
+    attaches a :class:`~repro.supervision.Checkpointer` snapshotting
+    every checkpoint-capable controller at the given simulated-seconds
+    cadence.
     """
     spec = spec or odroid_xu3()
     max_rate = measure_max_rate(spec, shape)
@@ -144,6 +191,7 @@ def run_single(
         adapt_every=shape.adapt_every,
         cache_estimates=cache_estimates,
     )
+    supervisor, store = _attach_supervision(sim, supervision, checkpoint)
     elapsed = sim.run(
         until_s=_safety_horizon(
             model.total_heartbeats(), rate_floor=target.min_rate / 4
@@ -155,6 +203,8 @@ def run_single(
         target=target,
         max_rate=max_rate,
         fault_injector=sim.fault_injector,
+        supervisor=supervisor,
+        checkpoint_store=store,
     )
 
 
@@ -165,13 +215,18 @@ def run_multi(
     profile: str = "fast",
     cache_estimates: bool = True,
     faults: Optional[FaultConfig] = None,
+    supervision: Union[SupervisorConfig, bool, None] = None,
+    checkpoint: Optional[float] = None,
 ) -> RunOutcome:
     """Run several applications concurrently under one multi-app version.
 
     All applications start at the same time (the paper's Section 5.2.1
     methodology); each gets its own target as a fraction of *its own*
     maximum achievable rate measured by a solo baseline run.  The run
-    finishes when every application completes its work.
+    finishes when every application completes its work (evicted apps
+    count as finished).  ``supervision`` / ``checkpoint`` attach the
+    lifecycle supervisor and the controller checkpointer, as in
+    :func:`run_single`.
     """
     if not shapes:
         raise ConfigurationError("run_multi needs at least one shape")
@@ -196,6 +251,7 @@ def run_multi(
     controllers = attach_multi_app_version(
         sim, version, adapt_every=adapt_every, cache_estimates=cache_estimates
     )
+    supervisor, store = _attach_supervision(sim, supervision, checkpoint)
     elapsed = sim.run(
         until_s=2 * _safety_horizon(total_beats, rate_floor=slowest_floor)
     )
@@ -205,6 +261,8 @@ def run_multi(
         target=apps[0].target,
         max_rate=apps[0].target.avg_rate / shapes[0].target_fraction,
         fault_injector=sim.fault_injector,
+        supervisor=supervisor,
+        checkpoint_store=store,
     )
 
 
@@ -225,12 +283,18 @@ def _collect(
     app_metrics = []
     for app in apps:
         overall = app.log.overall_rate() or 0.0
+        try:
+            mean_norm_perf = app.monitor.mean_normalized_performance()
+        except ConfigurationError:
+            # An app crashed/hung/was evicted before filling one rate
+            # window: it delivered no usable performance.
+            mean_norm_perf = 0.0
         app_metrics.append(
             AppRunMetrics(
                 app_name=app.name,
                 heartbeats=len(app.log),
                 overall_rate=overall,
-                mean_normalized_perf=app.monitor.mean_normalized_performance(),
+                mean_normalized_perf=mean_norm_perf,
                 target_min=app.target.min_rate,
                 target_avg=app.target.avg_rate,
                 target_max=app.target.max_rate,

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict
 
+from repro.core.power_estimator import LinearCoefficients, PowerEstimator
 from repro.errors import ConfigurationError
 from repro.experiments.fig5_1 import PerfWattComparison
 from repro.experiments.fig5_3 import DistanceSweep
@@ -19,6 +20,105 @@ from repro.experiments.fig5_5_7 import BehaviourRun
 from repro.experiments.metrics import AppRunMetrics, RunMetrics
 
 _SCHEMA_VERSION = 1
+
+#: Version of the controller-checkpoint payload schema
+#: (:mod:`repro.supervision.checkpoint`).  Bumped whenever the body
+#: layout changes; restore refuses payloads from another version.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_CHECKPOINT_KIND = "controller-checkpoint"
+
+
+def checkpoint_payload(
+    controller: str, time_s: float, body: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Wrap one controller's knowledge snapshot in the versioned envelope.
+
+    The envelope is what :class:`~repro.supervision.checkpoint.CheckpointStore`
+    stores and what :func:`validate_checkpoint` checks on restore; the
+    ``body`` layout is controller-specific (see ``docs/modelling.md``
+    §11 for the per-controller schemas).
+    """
+    if not isinstance(controller, str) or not controller:
+        raise ConfigurationError("checkpoint needs a controller id")
+    if not isinstance(body, dict):
+        raise ConfigurationError("checkpoint body must be a dict")
+    return {
+        "schema": CHECKPOINT_SCHEMA_VERSION,
+        "kind": _CHECKPOINT_KIND,
+        "controller": controller,
+        "time_s": float(time_s),
+        "body": body,
+    }
+
+
+def validate_checkpoint(data: Any) -> Dict[str, Any]:
+    """Schema-check a checkpoint envelope; returns its ``body``.
+
+    Raises :class:`~repro.errors.ConfigurationError` on anything that is
+    not a well-formed, current-version checkpoint — a controller must
+    fall back to a cold restart rather than restore garbage.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError("checkpoint payload is not a dict")
+    if data.get("kind") != _CHECKPOINT_KIND:
+        raise ConfigurationError(
+            f"not a controller checkpoint (kind={data.get('kind')!r})"
+        )
+    if data.get("schema") != CHECKPOINT_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported checkpoint schema {data.get('schema')!r} "
+            f"(this build reads version {CHECKPOINT_SCHEMA_VERSION})"
+        )
+    if not isinstance(data.get("controller"), str) or not data["controller"]:
+        raise ConfigurationError("checkpoint missing its controller id")
+    time_s = data.get("time_s")
+    if not isinstance(time_s, (int, float)) or isinstance(time_s, bool):
+        raise ConfigurationError("checkpoint missing a numeric time_s")
+    body = data.get("body")
+    if not isinstance(body, dict):
+        raise ConfigurationError("checkpoint body must be a dict")
+    return body
+
+
+def power_model_to_dict(estimator: Any) -> Dict[str, Any]:
+    """Flatten a fitted power model to ``{"cluster@mhz": [α, β, r²]}``.
+
+    Accepts anything exposing the :class:`PowerEstimator` read surface
+    (``fitted_points`` / ``coefficients``), including the cached wrapper.
+    """
+    model: Dict[str, Any] = {}
+    for cluster, freq in estimator.fitted_points:
+        coeffs = estimator.coefficients(cluster, freq)
+        model[f"{cluster}@{freq}"] = [
+            coeffs.alpha,
+            coeffs.beta,
+            coeffs.r_squared,
+        ]
+    return model
+
+
+def power_model_from_dict(data: Dict[str, Any]) -> PowerEstimator:
+    """Inverse of :func:`power_model_to_dict`."""
+    if not isinstance(data, dict) or not data:
+        raise ConfigurationError("power model snapshot must be a non-empty dict")
+    coefficients = {}
+    for key, values in data.items():
+        cluster, sep, freq = str(key).rpartition("@")
+        try:
+            if not sep or not cluster:
+                raise ValueError(f"bad fit point key {key!r}")
+            alpha, beta, r_squared = values
+            coefficients[(cluster, int(freq))] = LinearCoefficients(
+                alpha=float(alpha),
+                beta=float(beta),
+                r_squared=float(r_squared),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"malformed power model entry {key!r}: {exc}"
+            ) from None
+    return PowerEstimator(coefficients)
 
 
 def run_metrics_to_dict(metrics: RunMetrics) -> Dict[str, Any]:

@@ -144,6 +144,26 @@ class OnlineRatioLearner:
         """A performance estimator parameterized by the learned ratio."""
         return PerformanceEstimator(r0=self._estimate)
 
+    def reset(self) -> None:
+        """Forget all observations and fall back to the r0 prior.
+
+        What a cold-restarted controller loses: the learned ratio is
+        volatile knowledge, re-earned only after fresh settled points.
+        """
+        self._observations.clear()
+        self._estimate = self.r0
+
+    def seed_estimate(self, ratio: float) -> None:
+        """Adopt a previously-learned ratio (checkpoint warm restore).
+
+        The observation window is *not* restored — a restarted learner
+        continues refining from the checkpointed estimate as new settled
+        points arrive.
+        """
+        if ratio <= 0:
+            raise ConfigurationError("ratio must be positive")
+        self._estimate = ratio
+
     # -- fitting ----------------------------------------------------------
 
     def _informative(self) -> List[RatioObservation]:

@@ -8,7 +8,18 @@ actually sees.  See :mod:`repro.faults.config` for the knobs and
 :mod:`repro.faults.injector` for the mechanics.
 """
 
-from repro.faults.config import FAULT_KINDS, FaultConfig
+from repro.faults.config import (
+    FAULT_KINDS,
+    LIFECYCLE_KINDS,
+    FaultConfig,
+    LifecycleEvent,
+)
 from repro.faults.injector import FaultInjector
 
-__all__ = ["FAULT_KINDS", "FaultConfig", "FaultInjector"]
+__all__ = [
+    "FAULT_KINDS",
+    "LIFECYCLE_KINDS",
+    "FaultConfig",
+    "FaultInjector",
+    "LifecycleEvent",
+]

@@ -16,6 +16,7 @@ simulation built without a fault layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from typing import Tuple
 
 from repro.errors import ConfigurationError
 
@@ -30,6 +31,15 @@ FAULT_KINDS = (
     "affinity",
 )
 
+#: Application/controller lifecycle fault kinds (PR 3).  Underscored
+#: names match the ``repro.supervision`` failure taxonomy.
+LIFECYCLE_KINDS = (
+    "app_crash",
+    "app_hang",
+    "app_runaway",
+    "controller_restart",
+)
+
 _RATE_FIELDS = (
     "sensor_dropout_rate",
     "sensor_noise_rate",
@@ -39,6 +49,36 @@ _RATE_FIELDS = (
     "dvfs_failure_rate",
     "affinity_failure_rate",
 )
+
+_LIFECYCLE_RATE_FIELDS = (
+    "app_crash_rate",
+    "app_hang_rate",
+    "app_runaway_rate",
+    "controller_restart_rate",
+)
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One deterministically-scheduled lifecycle fault.
+
+    ``target`` names the app to hit (``"*"`` picks the first live app at
+    fire time; ignored for ``controller_restart``); the event fires once
+    during the tick that covers ``at_s``.
+    """
+
+    kind: str
+    at_s: float
+    target: str = "*"
+
+    def __post_init__(self) -> None:
+        if self.kind not in LIFECYCLE_KINDS:
+            raise ConfigurationError(
+                f"unknown lifecycle fault kind {self.kind!r}; "
+                f"valid: {LIFECYCLE_KINDS}"
+            )
+        if self.at_s < 0:
+            raise ConfigurationError("lifecycle event time must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -82,8 +122,26 @@ class FaultConfig:
     #: Probability one affinity/cpuset call fails.
     affinity_failure_rate: float = 0.0
 
+    # -- application / controller lifecycle ------------------------------
+    #: Per-app, per-simulated-second hazard of an abrupt crash (the app
+    #: stops mid-workload; ``AppFinished`` fires with work left undone).
+    app_crash_rate: float = 0.0
+    #: Per-app, per-simulated-second hazard of a hang (the app stops
+    #: emitting heartbeats but never exits).
+    app_hang_rate: float = 0.0
+    #: Per-app, per-simulated-second hazard of a runaway episode (the
+    #: app escapes its pinning and runs uncontrolled).
+    app_runaway_rate: float = 0.0
+    #: Speed multiplier a runaway app gains while uncontrolled.
+    app_runaway_speed_factor: float = 3.0
+    #: Per-simulated-second hazard of a controller crash+restart.
+    controller_restart_rate: float = 0.0
+    #: Deterministically-scheduled lifecycle events (tests/benchmarks
+    #: pin failures to exact times with these; rates stay random).
+    lifecycle_schedule: Tuple[LifecycleEvent, ...] = ()
+
     def __post_init__(self) -> None:
-        for name in _RATE_FIELDS:
+        for name in _RATE_FIELDS + _LIFECYCLE_RATE_FIELDS:
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ConfigurationError(
@@ -91,6 +149,10 @@ class FaultConfig:
                 )
         if self.sensor_noise_std < 0:
             raise ConfigurationError("sensor_noise_std must be >= 0")
+        if self.app_runaway_speed_factor <= 1.0:
+            raise ConfigurationError(
+                "app_runaway_speed_factor must be > 1 (a runaway speeds up)"
+            )
         for name in (
             "sensor_stuck_samples",
             "heartbeat_stall_ticks",
@@ -104,7 +166,18 @@ class FaultConfig:
     @property
     def enabled(self) -> bool:
         """Whether any channel has a non-zero failure rate."""
-        return any(getattr(self, name) > 0 for name in _RATE_FIELDS)
+        return (
+            any(getattr(self, name) > 0 for name in _RATE_FIELDS)
+            or self.lifecycle_enabled
+        )
+
+    @property
+    def lifecycle_enabled(self) -> bool:
+        """Whether any lifecycle fault can fire (rate or schedule)."""
+        return (
+            any(getattr(self, name) > 0 for name in _LIFECYCLE_RATE_FIELDS)
+            or bool(self.lifecycle_schedule)
+        )
 
     @property
     def sensor_enabled(self) -> bool:
@@ -165,7 +238,7 @@ class FaultConfig:
             raise ConfigurationError("scale factor must be >= 0")
         updates = {
             name: min(1.0, getattr(self, name) * factor)
-            for name in _RATE_FIELDS
+            for name in _RATE_FIELDS + _LIFECYCLE_RATE_FIELDS
         }
         values = {f.name: getattr(self, f.name) for f in fields(self)}
         values.update(updates)

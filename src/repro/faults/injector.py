@@ -24,10 +24,15 @@ result again, so traces capture the full fault history.
 from __future__ import annotations
 
 import random
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.faults.config import FaultConfig
 from repro.kernel.bus import EventBus, FaultInjected, FaultRecovered
+
+#: Seed offset of the lifecycle RNG stream.  Lifecycle faults draw from
+#: their own generator so enabling them never perturbs the established
+#: sensor/heartbeat/actuation fault schedules of the same seed.
+_LIFECYCLE_SEED_OFFSET = 0x9E3779B9
 
 
 class FaultInjector:
@@ -37,6 +42,7 @@ class FaultInjector:
         self.config = config
         self.bus = bus
         self.rng = random.Random(config.seed)
+        self.lifecycle_rng = random.Random(config.seed + _LIFECYCLE_SEED_OFFSET)
         #: Injection / recovery counts per fault kind.
         self.injected: Dict[str, int] = {}
         self.recovered: Dict[str, int] = {}
@@ -44,6 +50,7 @@ class FaultInjector:
         self._stuck_left = 0
         self._dropout_pending = False
         self._noise_pending = False
+        self._fired_schedule: Set[int] = set()
 
     # -- bookkeeping + bus announcements ----------------------------------
 
@@ -157,6 +164,46 @@ class FaultInjector:
         ):
             return ("heartbeat-jitter", self.rng.randint(1, cfg.heartbeat_jitter_ticks))
         return None
+
+    # -- application / controller lifecycle --------------------------------
+
+    def lifecycle_events(
+        self, now_s: float, dt: float, candidates: Sequence[str]
+    ) -> List[Tuple[str, str]]:
+        """Lifecycle faults firing during the tick ``[now, now + dt)``.
+
+        Returns ``(kind, target)`` pairs: scheduled events first (in
+        declaration order, each at most once), then rate-driven rolls —
+        one per live app per app channel, one for the controller channel
+        — in a fixed order so the schedule is reproducible.  The engine
+        resolves ``"*"`` targets and applies the faults; this method
+        only decides.
+        """
+        cfg = self.config
+        events: List[Tuple[str, str]] = []
+        for index, event in enumerate(cfg.lifecycle_schedule):
+            if index in self._fired_schedule:
+                continue
+            if event.at_s < now_s + dt - 1e-12:
+                self._fired_schedule.add(index)
+                events.append((event.kind, event.target))
+        rng = self.lifecycle_rng
+        for kind, rate in (
+            ("app_crash", cfg.app_crash_rate),
+            ("app_hang", cfg.app_hang_rate),
+            ("app_runaway", cfg.app_runaway_rate),
+        ):
+            if not rate:
+                continue
+            p = min(1.0, rate * dt)
+            for name in candidates:
+                if rng.random() < p:
+                    events.append((kind, name))
+        if cfg.controller_restart_rate:
+            p = min(1.0, cfg.controller_restart_rate * dt)
+            if rng.random() < p:
+                events.append(("controller_restart", "*"))
+        return events
 
     # -- actuation ---------------------------------------------------------
 

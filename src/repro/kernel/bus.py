@@ -18,7 +18,16 @@ dispatch is in flight only takes effect for subsequent events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.state import SystemState
@@ -92,6 +101,67 @@ class FaultInjected(Event):
     target: str
     time_s: float
     detail: str = ""
+
+
+@dataclass(frozen=True)
+class AppSuspected(Event):
+    """The supervisor marked an app suspect (first deadline trip).
+
+    ``kind`` is the suspected failure class (``crashed``, ``hung``,
+    ``runaway``); the app keeps its resources while suspect and returns
+    to healthy if evidence clears (a heartbeat arrives, the rate drops
+    back below the runaway threshold).
+    """
+
+    app_name: str
+    kind: str
+    time_s: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class AppQuarantined(Event):
+    """The supervisor quarantined an app (evidence persisted).
+
+    Quarantine is still reversible — a recovered app (late heartbeat,
+    rate back in range) transitions back to healthy; otherwise the next
+    deadline evicts it.
+    """
+
+    app_name: str
+    kind: str
+    time_s: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class AppEvicted(Event):
+    """The supervisor evicted an app: its resources were reclaimed.
+
+    The app is unregistered from the heartbeat registry, its
+    affinity/cpuset is cleared through the actuation façade, and the
+    managers repartition so survivors absorb the freed cores.
+    """
+
+    app_name: str
+    kind: str
+    time_s: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ControllerRestored(Event):
+    """A controller came back from a simulated crash+restart.
+
+    ``warm`` tells whether knowledge was restored from a checkpoint
+    (``checkpoint_time_s`` is the snapshot's timestamp) or the
+    controller had to re-converge from its cold initial state.
+    """
+
+    controller: str
+    time_s: float
+    warm: bool
+    checkpoint_time_s: Optional[float] = None
 
 
 @dataclass(frozen=True)

@@ -62,6 +62,8 @@ class Knowledge:
         self.estimation = estimation
         self.states_explored = 0
         self.adaptations = 0
+        #: Candidates skipped on estimation errors across all cycles.
+        self.estimation_failures = 0
         #: Manager-specific knowledge (MP-HARS keeps its per-app
         #: partition data and per-cluster bookkeeping here).
         self.domain: Dict[str, Any] = {}
@@ -118,6 +120,8 @@ class PlanResult:
     state: SystemState
     states_explored: int
     escaped: bool = False
+    #: Candidates the Algorithm 2 sweep skipped on estimation errors.
+    estimation_failures: int = 0
 
 
 @dataclass
@@ -155,12 +159,20 @@ class Monitor:
         self.polled = 0
 
     def observe(
-        self, app: "SimApp", heartbeat: Heartbeat
+        self, app: "SimApp", heartbeat: Heartbeat, force: bool = False
     ) -> Optional[Observation]:
+        """Sample the boundary rate (every heartbeat with ``force``).
+
+        ``force`` skips the adaptation-period boundary check — the
+        supervisor uses it to trigger an immediate repartition after an
+        eviction instead of waiting for the next boundary.
+        """
         for sensor in self.sensors:
             sensor(app, heartbeat)
         self.polled += 1
-        if heartbeat.index == 0 or heartbeat.index % self.adapt_every != 0:
+        if not force and (
+            heartbeat.index == 0 or heartbeat.index % self.adapt_every != 0
+        ):
             return None
         raw = app.monitor.current_rate()
         if raw is None:
@@ -246,6 +258,7 @@ class SearchPlanner:
             state=result.state,
             states_explored=result.states_explored,
             escaped=escaped,
+            estimation_failures=result.estimation_failures,
         )
 
 
@@ -316,10 +329,21 @@ class MapeLoop:
         self.held_cycles = 0
 
     def on_heartbeat(
-        self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat
+        self,
+        sim: "Simulation",
+        app: "SimApp",
+        heartbeat: Heartbeat,
+        force: bool = False,
     ) -> Optional[CycleContext]:
-        """Run one cycle; returns the context if Plan ran, else None."""
-        observation = self.monitor.observe(app, heartbeat)
+        """Run one cycle; returns the context if Plan ran, else None.
+
+        ``force`` runs a full cycle off-boundary and even when the rate
+        is inside the target window — used for the immediate
+        repartition after a supervisor eviction frees cores.  The
+        degraded-observation guards (non-positive, non-finite, stale
+        rates) still hold the last good state.
+        """
+        observation = self.monitor.observe(app, heartbeat, force=force)
         if observation is None:
             return None
         if observation.rate <= 0 or not math.isfinite(observation.rate):
@@ -345,7 +369,7 @@ class MapeLoop:
         for updater in self.updaters:
             updater.update(self.knowledge, app, current, observation)
         analysis = self.analyzer.analyze(observation.rate, app.target)
-        if not analysis.out_of_window:
+        if not analysis.out_of_window and not force:
             self.planner.notify_in_window(current)
             return None
         ctx = CycleContext(
@@ -357,6 +381,7 @@ class MapeLoop:
         plan = self.planner.plan(self.knowledge, ctx)
         ctx.plan = plan
         self.knowledge.states_explored += plan.states_explored
+        self.knowledge.estimation_failures += plan.estimation_failures
         ctx.adapted = plan.state != current
         if ctx.adapted and self.count_adaptations:
             self.knowledge.adaptations += 1

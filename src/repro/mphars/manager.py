@@ -30,7 +30,7 @@ all little cores taken and must settle for big cores (Section 5.2.2).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.core.perf_estimator import PerformanceEstimator
 from repro.core.policy import HarsPolicy
@@ -100,6 +100,15 @@ class MpHarsManager(Controller):
         self._clusters: Dict[str, ClusterData] = {}
         self._released: Dict[str, bool] = {}
         self._targets: Dict[str, object] = {}
+        #: Apps evicted by the supervisor — never re-admitted, even
+        #: across a controller restart.
+        self._removed: Set[str] = set()
+        #: Survivors owed a forced adaptation cycle after an eviction
+        #: returned cores to the free pool.
+        self._repartition_pending: Set[str] = set()
+        #: Set by the supervision Checkpointer (if one is attached);
+        #: consulted by :meth:`simulate_restart` for a warm restore.
+        self.checkpoint_store = None
         self.knowledge = Knowledge(
             EstimationLayer(
                 perf_estimator, power_estimator, cached=cache_estimates
@@ -208,7 +217,13 @@ class MpHarsManager(Controller):
     ) -> None:
         if app.name not in self._apps:
             return
-        self.mape.on_heartbeat(sim, app, heartbeat)
+        force = app.name in self._repartition_pending
+        ctx = self.mape.on_heartbeat(sim, app, heartbeat, force=force)
+        if force and ctx is not None:
+            # The forced cycle actually ran (Plan executed); a degraded
+            # observation leaves the app pending so the next beat
+            # retries the repartition.
+            self._repartition_pending.discard(app.name)
 
     def current_allocation(self, app_name: str) -> Optional[Tuple[int, int]]:
         data = self._apps.get(app_name)
@@ -224,7 +239,11 @@ class MpHarsManager(Controller):
     def _sense(self, app: "SimApp", heartbeat: Heartbeat) -> None:
         """Per-heartbeat sensor (Algorithm 3 lines 8–15): drain freezing
         counts, refresh flags, record the last-seen rate."""
-        data = self._apps[app.name]
+        data = self._apps.get(app.name)
+        if data is None:
+            # The app unregistered (finished or was evicted) between the
+            # heartbeat being queued and the sensor running.
+            return
         data.tick_freezing_counts()
         self._refresh_frozen_flags()
         rate = app.monitor.current_rate()
@@ -237,8 +256,13 @@ class MpHarsManager(Controller):
 
     def _current_state_of(
         self, sim: "Simulation", app: "SimApp"
-    ) -> SystemState:
-        return self._current_state(sim, app, self._apps[app.name])
+    ) -> Optional[SystemState]:
+        data = self._apps.get(app.name)
+        if data is None:
+            # Unregistered mid-cycle: no current point in the search
+            # space — the MAPE loop abandons the cycle.
+            return None
+        return self._current_state(sim, app, data)
 
     def _constraint(
         self, ctx: CycleContext
@@ -249,7 +273,13 @@ class MpHarsManager(Controller):
         unfreeze a drained cluster as a side effect) and stashes them in
         the cycle context for the Execute stage.
         """
-        data = self._apps[ctx.app.name]
+        data = self._apps.get(ctx.app.name)
+        if data is None:
+            # Unregistered between Analyze and Plan: reject the whole
+            # neighbourhood; the forced-fallback execute is then a no-op
+            # thanks to the same guard in ``_execute_plan``.
+            ctx.notes["decisions"] = {BIG: None, LITTLE: None}
+            return lambda candidate, cur: False
         satisfaction = ctx.analysis.satisfaction
         decisions = {
             cluster: self._cluster_decision(cluster, data, satisfaction)
@@ -278,7 +308,10 @@ class MpHarsManager(Controller):
         self, sim: "Simulation", ctx: CycleContext, state: SystemState
     ) -> None:
         app = ctx.app
-        data = self._apps[app.name]
+        data = self._apps.get(app.name)
+        if data is None:
+            # Unregistered between Plan and Execute: nothing to place.
+            return
         self._apply(
             sim, app, data, state, ctx.analysis.satisfaction,
             ctx.notes["decisions"],
@@ -353,6 +386,31 @@ class MpHarsManager(Controller):
         """``setSysStateAndScheduleThreads`` with partitioned cores."""
         actuator = sim.actuator
         changed = False
+        # A forced-fallback "current" state can describe more cores than
+        # Algorithm 4 could grant: an unpartitioned app GTS-spread over
+        # cores owned by co-runners reports them as its own, and when
+        # the candidate filter rejects the whole neighbourhood that
+        # state is executed as-is.  Clamp the request to the grantable
+        # bound; filter-passing candidates already satisfy it, so this
+        # is a no-op on every non-degenerate cycle.
+        want_big = min(
+            state.c_big, data.owned_big + self._clusters[BIG].free_count
+        )
+        want_little = min(
+            state.c_little,
+            data.owned_little + self._clusters[LITTLE].free_count,
+        )
+        if (want_big, want_little) != (state.c_big, state.c_little):
+            if want_big == 0 and want_little == 0:
+                # Nothing grantable at all: hold — keep running on
+                # whatever free/shared cores GTS gives the app.
+                return
+            state = SystemState(
+                c_big=want_big,
+                c_little=want_little,
+                f_big_mhz=state.f_big_mhz,
+                f_little_mhz=state.f_little_mhz,
+            )
         # Core ownership via Algorithm 4.
         if (state.c_big, state.c_little) != (data.owned_big, data.owned_little):
             changed = True
@@ -382,6 +440,25 @@ class MpHarsManager(Controller):
                 self._set_freezing_counts(cluster)
 
         # Thread placement over the owned cores (Table 3.1 split).
+        self._place_owned(sim, app, data, state)
+        if changed:
+            self.knowledge.adaptations += 1
+        actuator.announce(app.name, state, data.owned_big, data.owned_little)
+        self._refresh_unpartitioned_cpusets(sim)
+
+    def _place_owned(
+        self,
+        sim: "Simulation",
+        app: "SimApp",
+        data: AppData,
+        state: SystemState,
+    ) -> None:
+        """Pin the app's threads over its owned cores (Table 3.1 split).
+
+        Shared with checkpoint restore, which re-pins every surviving
+        app from its snapshotted ownership without replaying frequency
+        moves."""
+        actuator = sim.actuator
         estimate = self.perf_estimator.estimate(state, app.n_threads)
         assignment = estimate.assignment
         big_ids = sorted(
@@ -399,10 +476,6 @@ class MpHarsManager(Controller):
             app, assignment, big_ids, little_ids, self.policy.scheduler
         )
         data.desired_state = state
-        if changed:
-            self.knowledge.adaptations += 1
-        actuator.announce(app.name, state, data.owned_big, data.owned_little)
-        self._refresh_unpartitioned_cpusets(sim)
 
     # -- freezing ------------------------------------------------------------------
 
@@ -457,9 +530,302 @@ class MpHarsManager(Controller):
             data = self._apps.get(app.name)
             if data is None or data.owned_big or data.owned_little:
                 continue
-            if app.is_done():
+            if app.is_done() or app.halted:
                 continue
             sim.actuator.set_cpuset(app, free_ids if free_ids else None)
+
+    # -- supervision hooks --------------------------------------------------------
+
+    def unregister_app(self, sim: "Simulation", app_name: str) -> None:
+        """Supervisor eviction: drop the app, repartition survivors.
+
+        The evicted app's partition returns to the free pool at once,
+        and every survivor is owed a *forced* adaptation cycle on its
+        next heartbeat — the freed cores are reabsorbed within one
+        adaptation period instead of waiting for a window violation to
+        trigger Algorithm 2.
+        """
+        data = self._apps.pop(app_name, None)
+        if data is None:
+            return
+        self._removed.add(app_name)
+        if not self._released.get(app_name):
+            release_all(data, self._clusters[BIG], self._clusters[LITTLE])
+        self._released[app_name] = True
+        self._last_rate.pop(app_name, None)
+        self._repartition_pending.update(self._apps)
+        self._refresh_unpartitioned_cpusets(sim)
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    @property
+    def checkpoint_id(self) -> str:
+        """Store key; one MP-HARS instance manages the whole machine."""
+        return "mp-hars"
+
+    def checkpoint(self, now_s: float) -> Dict[str, Any]:
+        """Snapshot the shared-knowledge core of MP-HARS: per-app
+        partition/freeze records (Table 4.1), per-cluster bookkeeping
+        (Table 4.2), last-seen rates, and the fitted power model."""
+        # Lazy import: serialize sits above the manager layer.
+        from repro.experiments.serialize import (
+            checkpoint_payload,
+            power_model_to_dict,
+        )
+
+        apps: Dict[str, Any] = {}
+        for name, data in self._apps.items():
+            desired = data.desired_state
+            apps[name] = {
+                "use_b_core": [bool(v) for v in data.use_b_core],
+                "use_l_core": [bool(v) for v in data.use_l_core],
+                "nprocs_b": data.nprocs_b,
+                "nprocs_l": data.nprocs_l,
+                "freezing_cnt_b": data.freezing_cnt_b,
+                "freezing_cnt_l": data.freezing_cnt_l,
+                "dec_big_core_cnt": data.dec_big_core_cnt,
+                "dec_little_core_cnt": data.dec_little_core_cnt,
+                "adaptation_index": data.adaptation_index,
+                "heartbeat_rate": data.heartbeat_rate,
+                "desired_state": (
+                    [
+                        desired.c_big,
+                        desired.c_little,
+                        desired.f_big_mhz,
+                        desired.f_little_mhz,
+                    ]
+                    if desired is not None
+                    else None
+                ),
+            }
+        return checkpoint_payload(
+            self.checkpoint_id,
+            now_s,
+            {
+                "controller": type(self).__name__,
+                "apps": apps,
+                "clusters": {
+                    name: {
+                        "frozen": cluster.frozen,
+                        "free_core": [bool(v) for v in cluster.free_core],
+                        "freq_mhz": cluster.freq_mhz,
+                    }
+                    for name, cluster in self._clusters.items()
+                },
+                "last_rate": dict(self._last_rate),
+                "released": dict(self._released),
+                "removed": sorted(self._removed),
+                "power_model": power_model_to_dict(self.power_estimator),
+                "counters": {
+                    "adaptations": self.knowledge.adaptations,
+                    "states_explored": self.knowledge.states_explored,
+                    "estimation_failures": self.knowledge.estimation_failures,
+                    "held_cycles": self.mape.held_cycles,
+                    "polled": self.mape.monitor.polled,
+                },
+            },
+        )
+
+    def restore_checkpoint(
+        self, sim: "Simulation", payload: Dict[str, Any]
+    ) -> None:
+        """Warm restore: rebuild partitions and re-pin survivors.
+
+        Frequencies are driven back to the snapshotted per-cluster
+        values; apps that finished or were halted *after* the snapshot
+        are released rather than resurrected.  Raises
+        :class:`~repro.errors.ConfigurationError` on a malformed
+        payload — the caller falls back to a cold start.
+        """
+        from repro.experiments.serialize import (
+            power_model_from_dict,
+            validate_checkpoint,
+        )
+
+        body = validate_checkpoint(payload)
+        spec = sim.spec
+        try:
+            snapshot_apps = body["apps"]
+            snapshot_clusters = body["clusters"]
+            apps: Dict[str, AppData] = {}
+            for name, entry in snapshot_apps.items():
+                desired = entry["desired_state"]
+                apps[name] = AppData(
+                    name=name,
+                    n_big_slots=spec.big.n_cores,
+                    n_little_slots=spec.little.n_cores,
+                    nprocs_b=int(entry["nprocs_b"]),
+                    nprocs_l=int(entry["nprocs_l"]),
+                    use_b_core=[bool(v) for v in entry["use_b_core"]],
+                    use_l_core=[bool(v) for v in entry["use_l_core"]],
+                    adaptation_index=int(entry["adaptation_index"]),
+                    heartbeat_rate=float(entry["heartbeat_rate"]),
+                    freezing_cnt_b=int(entry["freezing_cnt_b"]),
+                    freezing_cnt_l=int(entry["freezing_cnt_l"]),
+                    dec_big_core_cnt=int(entry["dec_big_core_cnt"]),
+                    dec_little_core_cnt=int(entry["dec_little_core_cnt"]),
+                    desired_state=(
+                        SystemState(*(int(v) for v in desired))
+                        if desired is not None
+                        else None
+                    ),
+                )
+            clusters: Dict[str, ClusterData] = {}
+            for name, entry in snapshot_clusters.items():
+                template = self._clusters[name]
+                clusters[name] = ClusterData(
+                    name=name,
+                    n_cores=template.n_cores,
+                    first_core_id=template.first_core_id,
+                    frozen=bool(entry["frozen"]),
+                    free_core=[bool(v) for v in entry["free_core"]],
+                    freq_mhz=int(entry["freq_mhz"]),
+                )
+            last_rate = {
+                str(k): (float(v) if v is not None else None)
+                for k, v in body["last_rate"].items()
+            }
+            released = {
+                str(k): bool(v) for k, v in body["released"].items()
+            }
+            removed = {str(v) for v in body.get("removed", [])}
+            power_estimator = power_model_from_dict(body["power_model"])
+        except (KeyError, ValueError, TypeError, ConfigurationError) as exc:
+            raise ConfigurationError(
+                f"malformed mp-hars checkpoint: {exc}"
+            ) from None
+        # Adopt the snapshot.  The domain dicts are mutated in place so
+        # the Knowledge references stay valid.
+        self._apps.clear()
+        self._apps.update(apps)
+        self._clusters.clear()
+        self._clusters.update(clusters)
+        self._last_rate.clear()
+        self._last_rate.update(last_rate)
+        self._released.clear()
+        self._released.update(released)
+        self._removed |= removed
+        self.power_estimator = power_estimator
+        counters = body.get("counters") or {}
+        self.knowledge.adaptations = int(
+            counters.get("adaptations", self.knowledge.adaptations)
+        )
+        self.knowledge.states_explored = int(
+            counters.get("states_explored", self.knowledge.states_explored)
+        )
+        self.knowledge.estimation_failures = int(
+            counters.get(
+                "estimation_failures", self.knowledge.estimation_failures
+            )
+        )
+        self.mape.held_cycles = int(
+            counters.get("held_cycles", self.mape.held_cycles)
+        )
+        self.mape.monitor.polled = int(
+            counters.get("polled", self.mape.monitor.polled)
+        )
+        # Reconcile against the live system: apps gone since the
+        # snapshot release their partition; survivors are re-pinned.
+        for cluster, cdata in self._clusters.items():
+            if sim.machine.freq_mhz(cluster) != cdata.freq_mhz:
+                if not sim.actuator.set_frequency(cluster, cdata.freq_mhz):
+                    cdata.freq_mhz = sim.machine.freq_mhz(cluster)
+        for app in sim.apps:
+            data = self._apps.get(app.name)
+            if data is None:
+                continue
+            if app.is_done() or app.halted:
+                if not self._released.get(app.name):
+                    release_all(
+                        data, self._clusters[BIG], self._clusters[LITTLE]
+                    )
+                    self._released[app.name] = True
+                continue
+            if data.desired_state is not None and (
+                data.owned_big or data.owned_little
+            ):
+                self._place_owned(sim, app, data, data.desired_state)
+                sim.actuator.announce(
+                    app.name,
+                    data.desired_state,
+                    data.owned_big,
+                    data.owned_little,
+                )
+        self._refresh_unpartitioned_cpusets(sim)
+
+    def _forget_volatile(self, sim: "Simulation") -> None:
+        """What dies with the controller process: every Table 4.1/4.2
+        record, last-seen rates, and the estimation cache.  The dicts
+        are cleared in place — Knowledge.domain aliases them."""
+        self._apps.clear()
+        self._last_rate.clear()
+        self._released.clear()
+        self._repartition_pending.clear()
+        for cluster in self._clusters.values():
+            cluster.frozen = False
+            cluster.free_core = [True] * cluster.n_cores
+        self.knowledge.estimation.invalidate()
+
+    def simulate_restart(self, sim: "Simulation") -> None:
+        """Model a controller crash+restart (``controller_restart``).
+
+        With a valid checkpoint the manager restores its partitions and
+        re-pins survivors (warm); without one it cold-starts: max
+        frequencies, empty partitions, and a full re-convergence — the
+        cost Figure-style benchmarks measure.
+        """
+        from repro.kernel.bus import ControllerRestored
+
+        self._forget_volatile(sim)
+        store = getattr(self, "checkpoint_store", None)
+        snapshot = (
+            store.get(self.checkpoint_id) if store is not None else None
+        )
+        warm = False
+        if snapshot is not None:
+            try:
+                self.restore_checkpoint(sim, snapshot)
+                warm = True
+            except ConfigurationError:
+                snapshot = None
+        if not warm:
+            self._cold_start(sim)
+        sim.bus.publish(
+            ControllerRestored(
+                controller=self.checkpoint_id,
+                time_s=sim.clock.now_s,
+                warm=warm,
+                checkpoint_time_s=(
+                    snapshot["time_s"] if snapshot is not None else None
+                ),
+            )
+        )
+
+    def _cold_start(self, sim: "Simulation") -> None:
+        """Restart with zero knowledge, mid-run: like :meth:`on_start`
+        but never re-admitting evicted apps or resurrecting finished
+        ones."""
+        spec = sim.spec
+        for name, cluster in self._clusters.items():
+            side = spec.big if name == BIG else spec.little
+            cluster.freq_mhz = side.max_freq_mhz
+        sim.actuator.set_max_frequencies()
+        for app in sim.apps:
+            if app.name in self._removed:
+                continue
+            self._apps[app.name] = AppData(
+                name=app.name,
+                n_big_slots=spec.big.n_cores,
+                n_little_slots=spec.little.n_cores,
+            )
+            self._last_rate[app.name] = None
+            # Finished apps own nothing in the fresh bookkeeping, so
+            # their (already empty) partition needs no release.
+            self._released[app.name] = app.is_done() or app.halted
+            self._targets[app.name] = app.target
+            if not (app.is_done() or app.halted):
+                sim.actuator.clear_affinities(app)
+        self._refresh_unpartitioned_cpusets(sim)
 
 
 def _freq_allowed(

@@ -68,7 +68,7 @@ class GtsScheduler(Scheduler):
         min_weight = self.MIN_TASK_WEIGHT
 
         for app in sim.apps:
-            if app.is_done():
+            if app.is_done() or app.halted:
                 continue
             cpuset = app.cpuset
             model = app.model

@@ -111,12 +111,16 @@ class Simulation:
         # without the fault layer.
         self.faults = faults
         self.fault_injector: Optional[FaultInjector] = None
+        self._lifecycle_enabled = False
         if faults is not None and faults.enabled:
             self.fault_injector = FaultInjector(faults, self.bus)
             if faults.sensor_enabled:
                 self.sensor.fault_hook = self.fault_injector.filter_power
             if faults.dvfs_failure_rate > 0:
                 self.dvfs.write_filter = self.fault_injector.dvfs_write_ok
+            self._lifecycle_enabled = faults.lifecycle_enabled
+        #: Apps in a runaway episode (re-escape their pinning each tick).
+        self._runaway_apps: List[SimApp] = []
         self.actuator = Actuator(self, faults=self.fault_injector)
         self.trace = TraceRecorder()
         #: Per-core utilization of the most recent tick (0..1), the
@@ -212,6 +216,8 @@ class Simulation:
         bus = self.bus
         if self._delayed_heartbeats:
             self._flush_delayed_heartbeats()
+        if self._lifecycle_enabled:
+            self._inject_lifecycle(dt)
         # Hot path: probe the handler table directly rather than
         # through subscriber_count() — three calls per tick add up.
         handlers = bus._handlers
@@ -311,6 +317,93 @@ class Simulation:
                     self.bus.publish(
                         AppFinished(app_name=app.name, time_s=end_time)
                     )
+
+    # -- lifecycle faults / supervision -------------------------------------------
+
+    def retire_app(self, name: str) -> None:
+        """Permanently remove an app from execution (supervision eviction).
+
+        The app's threads are never scheduled again and the run can
+        terminate without it; its unconsumed work units stay unconsumed.
+        No ``AppFinished`` is published — the app did not finish, and
+        the supervisor announces the eviction itself.
+        """
+        app = self.app(name)
+        app.halted = True
+        self._finished.add(name)
+
+    def _inject_lifecycle(self, dt: float) -> None:
+        """Roll and apply lifecycle faults for the tick about to run."""
+        injector = self.fault_injector
+        now = self.clock.now_s
+        alive = [
+            app.name
+            for app in self.apps
+            if not app.halted and app.name not in self._finished
+        ]
+        for kind, target in injector.lifecycle_events(now, dt, alive):
+            self._apply_lifecycle(kind, target, now)
+        # Runaway apps escape whatever pinning a manager re-applied
+        # since the last tick: clear it again before placement.
+        for app in self._runaway_apps:
+            if app.halted:
+                continue
+            if app.cpuset is not None:
+                app.set_cpuset(None)
+            for thread in app.threads:
+                if thread.affinity is not None:
+                    thread.set_affinity(None)
+
+    def _apply_lifecycle(self, kind: str, target: str, now_s: float) -> None:
+        injector = self.fault_injector
+        if kind == "controller_restart":
+            injector.note_injected(kind, "controller", now_s, "crash+restart")
+            for controller in self.controllers:
+                restart = getattr(controller, "simulate_restart", None)
+                if restart is not None:
+                    restart(self)
+            return
+        app = self._resolve_lifecycle_target(target)
+        if app is None:
+            return
+        if kind == "app_crash":
+            app.halted = True
+            self._finished.add(app.name)
+            injector.note_injected(
+                kind, app.name, now_s, "abrupt exit with work left"
+            )
+            if self.bus._handlers.get(AppFinished):
+                self.bus.publish(
+                    AppFinished(app_name=app.name, time_s=now_s)
+                )
+        elif kind == "app_hang":
+            app.halted = True
+            injector.note_injected(
+                kind, app.name, now_s, "stopped emitting heartbeats"
+            )
+        elif kind == "app_runaway":
+            if not app.runaway:
+                app.runaway = True
+                app.speed_factor = self.faults.app_runaway_speed_factor
+                self._runaway_apps.append(app)
+                injector.note_injected(
+                    kind,
+                    app.name,
+                    now_s,
+                    f"x{app.speed_factor:g} uncontrolled",
+                )
+
+    def _resolve_lifecycle_target(self, target: str) -> Optional[SimApp]:
+        """``"*"`` hits the first live app; named targets must be live."""
+        if target == "*":
+            for app in self.apps:
+                if not app.halted and app.name not in self._finished:
+                    return app
+            return None
+        app = self._apps_by_name.get(target)
+        if app is None or app.halted or app.name in self._finished:
+            return None
+        return app
 
     #: Maximum grant/advance rounds per tick.  Round 1 is the fair share;
     #: later rounds redistribute core time a blocking thread left unused
@@ -437,6 +530,10 @@ class Simulation:
                         speed = app.model.thread_speed(
                             cname, cluster.core_type, freq
                         )
+                        # Gated on != 1.0 so fault-free runs never
+                        # multiply (bit-identity with the pre-fault build).
+                        if app.speed_factor != 1.0:
+                            speed *= app.speed_factor
                         cluster_memo[app.name] = speed
                     app_grants = grants.get(app.name)
                     if app_grants is None:
@@ -570,6 +667,8 @@ class Simulation:
                     speed = app.model.thread_speed(
                         cluster.name, cluster.core_type, freq
                     )
+                    if app.speed_factor != 1.0:
+                        speed *= app.speed_factor
                     grants.setdefault(app.name, {})[thread.local_index] = (
                         share_s * speed
                     )

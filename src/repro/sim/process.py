@@ -42,6 +42,15 @@ class SimApp:
             SimThread(app_name=name, local_index=i)
             for i in range(model.n_threads)
         ]
+        #: Halted apps (crashed, hung, or evicted) are never scheduled
+        #: again; their work units stay unconsumed.
+        self.halted = False
+        #: A runaway app has escaped its pinning and runs uncontrolled.
+        self.runaway = False
+        #: Thread-speed multiplier (1.0 normally; > 1 during a runaway
+        #: episode — the engine gates on ``!= 1.0`` so healthy runs take
+        #: the exact pre-fault code path).
+        self.speed_factor = 1.0
 
     @property
     def n_threads(self) -> int:

@@ -1,0 +1,40 @@
+"""Application lifecycle supervision and controller checkpoint/restore.
+
+PR 2 hardened the runtime against lying *signals*; this package hardens
+it against lying *applications* and dying *controllers*:
+
+* :mod:`repro.supervision.supervisor` — a bus-attached Supervisor that
+  watches every registered app against per-app heartbeat deadlines,
+  classifies failures (crashed / hung / runaway), and drives the
+  quarantine state machine (healthy → suspect → quarantined →
+  recovered/evicted), reclaiming an evicted app's cores for survivors;
+* :mod:`repro.supervision.checkpoint` — versioned, schema-checked
+  snapshots of controller knowledge written on a bus-driven cadence, so
+  a controller crash+restart resumes warm instead of re-converging from
+  cold.
+
+With supervision attached but no lifecycle faults firing, both pieces
+are pure observers: the stack stays bit-identical to an unsupervised
+build.
+"""
+
+from repro.supervision.checkpoint import CheckpointStore, Checkpointer
+from repro.supervision.supervisor import (
+    AppHealth,
+    FailureKind,
+    QuarantineLedger,
+    QuarantineRecord,
+    Supervisor,
+    SupervisorConfig,
+)
+
+__all__ = [
+    "AppHealth",
+    "CheckpointStore",
+    "Checkpointer",
+    "FailureKind",
+    "QuarantineLedger",
+    "QuarantineRecord",
+    "Supervisor",
+    "SupervisorConfig",
+]

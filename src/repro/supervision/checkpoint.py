@@ -1,0 +1,147 @@
+"""Controller checkpoint/restore: warm restarts for the control plane.
+
+A controller crash loses exactly the knowledge that took longest to
+earn: fitted power-model coefficients, the learned big/little ratio, the
+partition layout, per-app MAPE hold state.  A cold-restarted MP-HARS
+re-runs its max-state bootstrap and re-converges from scratch — during
+which every app is out of its window.
+
+The :class:`Checkpointer` is a bus-attached controller that, on a fixed
+simulated-time cadence, asks every checkpoint-capable controller (one
+exposing ``checkpoint(now_s)`` / ``restore_checkpoint(sim, payload)``)
+for a versioned snapshot and keeps the latest in a
+:class:`CheckpointStore`.  When the fault layer injects a
+``controller_restart``, each controller's ``simulate_restart`` consults
+its store: snapshot present and valid → warm restore; absent or
+schema-rejected → cold start.  The snapshots go through the envelope in
+:mod:`repro.experiments.serialize` (``checkpoint_payload`` /
+``validate_checkpoint``), so what the store holds is exactly what a
+deployment would write to disk — :meth:`CheckpointStore.dump` /
+:meth:`CheckpointStore.load` round-trip it through JSON.
+
+Both classes are read-only observers of the running system; with no
+restart ever injected, a checkpointed run is bit-identical to an
+uncheckpointed one (minus wall-clock spent snapshotting, which the
+simulation does not model).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.kernel.bus import TickStart
+from repro.sim.controller import Controller
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulation
+
+
+class CheckpointStore:
+    """Latest validated checkpoint per controller id.
+
+    The store only accepts payloads that pass
+    :func:`~repro.experiments.serialize.validate_checkpoint`, so restore
+    paths can trust whatever they read back.
+    """
+
+    def __init__(self) -> None:
+        self._payloads: Dict[str, Dict[str, Any]] = {}
+        #: Total accepted snapshots (cadence observability).
+        self.writes = 0
+
+    def put(self, payload: Dict[str, Any]) -> None:
+        # Imported lazily: serialize pulls in the experiment figures,
+        # which pull in the runner, which attaches supervision.
+        from repro.experiments.serialize import validate_checkpoint
+
+        validate_checkpoint(payload)
+        self._payloads[payload["controller"]] = payload
+        self.writes += 1
+
+    def get(self, controller_id: str) -> Optional[Dict[str, Any]]:
+        return self._payloads.get(controller_id)
+
+    @property
+    def controller_ids(self) -> List[str]:
+        return sorted(self._payloads)
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def dump(self, path: str) -> None:
+        """Persist every snapshot to one JSON file."""
+        from repro.experiments.serialize import dump_json
+
+        dump_json(
+            {"kind": "checkpoint-store", "checkpoints": self._payloads}, path
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "CheckpointStore":
+        """Read a dumped store back, re-validating every snapshot."""
+        from repro.experiments.serialize import load_json
+
+        data = load_json(path)
+        if data.get("kind") != "checkpoint-store":
+            raise ConfigurationError(f"{path}: not a checkpoint store")
+        checkpoints = data.get("checkpoints")
+        if not isinstance(checkpoints, dict):
+            raise ConfigurationError(f"{path}: malformed checkpoint store")
+        store = cls()
+        for payload in checkpoints.values():
+            store.put(payload)
+        store.writes = len(store._payloads)
+        return store
+
+
+class Checkpointer(Controller):
+    """Snapshots every checkpoint-capable controller on a cadence."""
+
+    def __init__(
+        self, cadence_s: float = 1.0, store: Optional[CheckpointStore] = None
+    ):
+        if cadence_s <= 0:
+            raise ConfigurationError("checkpoint cadence must be positive")
+        self.cadence_s = cadence_s
+        self.store = store if store is not None else CheckpointStore()
+        self._last_snapshot_s: Optional[float] = None
+
+    def attach(self, sim: "Simulation") -> None:
+        sim.bus.subscribe(TickStart, lambda event: self._on_tick(sim, event))
+
+    def on_start(self, sim: "Simulation") -> None:
+        # Hand every checkpoint-capable controller its store, so a
+        # later ``simulate_restart`` knows where to look for warmth.
+        for controller in self._capable(sim):
+            controller.checkpoint_store = self.store
+
+    def _on_tick(self, sim: "Simulation", event: TickStart) -> None:
+        if (
+            self._last_snapshot_s is not None
+            and event.time_s - self._last_snapshot_s < self.cadence_s
+        ):
+            return
+        self.snapshot_now(sim, now_s=event.time_s)
+
+    def snapshot_now(
+        self, sim: "Simulation", now_s: Optional[float] = None
+    ) -> int:
+        """Snapshot all capable controllers; returns how many."""
+        if now_s is None:
+            now_s = sim.clock.now_s
+        count = 0
+        for controller in self._capable(sim):
+            self.store.put(controller.checkpoint(now_s))
+            count += 1
+        self._last_snapshot_s = now_s
+        return count
+
+    @staticmethod
+    def _capable(sim: "Simulation") -> List[Controller]:
+        return [
+            controller
+            for controller in sim.controllers
+            if hasattr(controller, "checkpoint")
+            and hasattr(controller, "restore_checkpoint")
+        ]

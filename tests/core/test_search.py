@@ -211,3 +211,69 @@ class TestPerfPerPower:
 
     def test_positive_power_divides(self):
         assert self._evaluated(2.0).perf_per_power == pytest.approx(0.5)
+
+
+class _FlakyPerfEstimator(PerformanceEstimator):
+    """Raises EstimationError for a chosen set of candidate states."""
+
+    def __init__(self, poisoned):
+        super().__init__()
+        self.poisoned = poisoned
+
+    def estimate(self, state, n_threads):
+        if state in self.poisoned:
+            raise EstimationError(f"poisoned candidate {state!r}")
+        return super().estimate(state, n_threads)
+
+
+class TestEstimationFailures:
+    """One bad candidate degrades the sweep; it never aborts the cycle."""
+
+    def test_poisoned_candidate_is_skipped_and_counted(
+        self, xu3, power_estimator
+    ):
+        current = SystemState(2, 2, 1200, 1000)
+        target = PerformanceTarget(0.5, 0.6, 0.7)
+        space = SearchSpace(1, 0, 1)
+        clean = _search(
+            xu3, power_estimator, PerformanceEstimator(), current, 2.0,
+            target, space,
+        )
+        poisoned_state = SystemState(1, 2, 1200, 1000)
+        flaky = _search(
+            xu3, power_estimator, _FlakyPerfEstimator({poisoned_state}),
+            current, 2.0, target, space,
+        )
+        assert flaky.estimation_failures == 1
+        assert flaky.states_explored == clean.states_explored - 1
+        assert flaky.state != poisoned_state
+        assert not flaky.forced_fallback
+
+    def test_all_neighbours_poisoned_still_returns_current(
+        self, xu3, power_estimator
+    ):
+        current = SystemState(2, 2, 1200, 1000)
+        target = PerformanceTarget(0.5, 0.6, 0.7)
+
+        class _OnlyCurrent(PerformanceEstimator):
+            def estimate(self, state, n_threads):
+                if state != current:
+                    raise EstimationError("poisoned")
+                return super().estimate(state, n_threads)
+
+        result = _search(
+            xu3, power_estimator, _OnlyCurrent(), current, 2.0, target,
+            SearchSpace(1, 1, 2),
+        )
+        assert result.state == current
+        assert result.states_explored == 1
+        assert result.estimation_failures > 0
+
+    def test_clean_sweep_reports_zero_failures(
+        self, xu3, power_estimator, perf_est
+    ):
+        result = _search(
+            xu3, power_estimator, perf_est, SystemState(2, 2, 1200, 1000),
+            2.0, PerformanceTarget(0.5, 0.6, 0.7), SearchSpace(1, 1, 2),
+        )
+        assert result.estimation_failures == 0

@@ -1,0 +1,71 @@
+"""HeartbeatRegistry lifecycle: registration order, unregister, re-use.
+
+The supervision layer made ``unregister`` a hot path (evictions detach
+apps mid-run), so its interactions with iteration order and re-
+registration get explicit coverage.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.heartbeats.registry import HeartbeatRegistry
+from repro.heartbeats.targets import PerformanceTarget
+
+
+@pytest.fixture
+def target():
+    return PerformanceTarget(1.0, 1.25, 1.5)
+
+
+class TestRegistryLifecycle:
+    def test_registration_order_is_iteration_order(self, target):
+        registry = HeartbeatRegistry()
+        for name in ("c", "a", "b"):
+            registry.register(name, target)
+        assert registry.app_names == ("c", "a", "b")
+        assert [name for name, _ in registry] == ["c", "a", "b"]
+
+    def test_duplicate_registration_rejected(self, target):
+        registry = HeartbeatRegistry()
+        registry.register("a", target)
+        with pytest.raises(ConfigurationError):
+            registry.register("a", target)
+
+    def test_unregister_removes_everything(self, target):
+        registry = HeartbeatRegistry()
+        registry.register("a", target)
+        registry.register("b", target)
+        registry.unregister("a")
+        assert "a" not in registry
+        assert registry.app_names == ("b",)
+        assert len(registry) == 1
+        with pytest.raises(ConfigurationError):
+            registry.log("a")
+        with pytest.raises(ConfigurationError):
+            registry.monitor("a")
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            HeartbeatRegistry().unregister("ghost")
+
+    def test_reregistration_after_unregister_starts_fresh(self, target):
+        registry = HeartbeatRegistry()
+        log = registry.register("a", target)
+        log.emit(1.0)
+        registry.unregister("a")
+        fresh = registry.register("a", target)
+        assert fresh is not log
+        assert len(fresh) == 0
+        # Re-registration goes to the back of the iteration order.
+        registry.register("b", target)
+        registry.unregister("a")
+        registry.register("a", target)
+        assert registry.app_names == ("b", "a")
+
+    def test_current_rates_skips_nothing(self, target):
+        registry = HeartbeatRegistry()
+        registry.register("a", target)
+        registry.register("b", target)
+        rates = registry.current_rates()
+        assert set(rates) == {"a", "b"}
+        assert all(rate is None for rate in rates.values())

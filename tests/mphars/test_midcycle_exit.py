@@ -1,0 +1,102 @@
+"""Regression tests: an app unregistering mid-cycle must not poison
+MP-HARS (supervisor evictions land between any two MAPE stages)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.state import SystemState
+from repro.experiments.runner import RunShape, build_target
+from repro.experiments.versions import attach_multi_app_version
+from repro.heartbeats.targets import Satisfaction
+from repro.mphars.manager import MpHarsManager
+from repro.sim.engine import Simulation
+from repro.sim.process import SimApp
+from repro.workloads.parsec import make_benchmark, resolve_name
+
+
+@pytest.fixture
+def mp_sim(xu3):
+    shapes = [
+        RunShape(benchmark="swaptions", n_units=400,
+                 target_fraction=0.75, seed=1),
+        RunShape(benchmark="bodytrack", n_units=400,
+                 target_fraction=0.75, seed=2),
+    ]
+    sim = Simulation(xu3, tick_s=0.01)
+    apps = []
+    for position, shape in enumerate(shapes):
+        target = build_target(xu3, shape)
+        model = make_benchmark(shape.benchmark, shape.n_units, 8)
+        model.reset(shape.seed)
+        name = f"{resolve_name(shape.benchmark)}-{position}"
+        apps.append(sim.add_app(SimApp(name, model, target)))
+    controllers = attach_multi_app_version(sim, "mp-hars-e")
+    sim.run(until_s=20.0)
+    manager = next(c for c in controllers if isinstance(c, MpHarsManager))
+    return sim, apps, manager
+
+
+class TestUnregisterApp:
+    def test_unregister_drops_state_and_forces_repartition(self, mp_sim):
+        sim, (victim, survivor), manager = mp_sim
+        assert manager.current_allocation(victim.name) is not None
+        manager.unregister_app(sim, victim.name)
+        assert manager.current_allocation(victim.name) is None
+        assert victim.name in manager._removed
+        assert victim.name not in manager._last_rate
+        # Every survivor is owed a forced Algorithm 2/4 pass.
+        assert survivor.name in manager._repartition_pending
+
+    def test_unregister_unknown_app_is_a_no_op(self, mp_sim):
+        sim, _, manager = mp_sim
+        before = dict(manager._apps)
+        manager.unregister_app(sim, "ghost")
+        assert manager._apps == before
+        assert "ghost" not in manager._removed
+
+
+class TestMidCycleGuards:
+    """Each MAPE stage tolerates the app vanishing just before it runs."""
+
+    def _fake_ctx(self, app):
+        return SimpleNamespace(
+            app=app,
+            analysis=SimpleNamespace(satisfaction=Satisfaction.ACHIEVE),
+            notes={},
+        )
+
+    def test_sense_ignores_unregistered_app(self, mp_sim):
+        sim, (victim, _), manager = mp_sim
+        manager.unregister_app(sim, victim.name)
+        manager._sense(victim, victim.log.last)
+        assert victim.name not in manager._last_rate
+
+    def test_current_state_is_none_for_unregistered_app(self, mp_sim):
+        sim, (victim, _), manager = mp_sim
+        manager.unregister_app(sim, victim.name)
+        assert manager._current_state_of(sim, victim) is None
+
+    def test_constraint_rejects_everything_for_unregistered_app(self, mp_sim):
+        sim, (victim, _), manager = mp_sim
+        manager.unregister_app(sim, victim.name)
+        ctx = self._fake_ctx(victim)
+        allowed = manager._constraint(ctx)
+        state = SystemState(1, 1, 800, 800)
+        assert allowed(state, state) is False
+        assert set(ctx.notes["decisions"].values()) == {None}
+
+    def test_execute_plan_is_a_no_op_for_unregistered_app(self, mp_sim):
+        sim, (victim, _), manager = mp_sim
+        manager.unregister_app(sim, victim.name)
+        adaptations = manager.knowledge.adaptations
+        manager._execute_plan(
+            sim, self._fake_ctx(victim), SystemState(1, 1, 800, 800)
+        )
+        assert manager.knowledge.adaptations == adaptations
+
+    def test_heartbeat_after_unregister_does_not_raise(self, mp_sim):
+        sim, (victim, _), manager = mp_sim
+        manager.unregister_app(sim, victim.name)
+        assert victim.log.last is not None
+        manager.on_heartbeat(sim, victim, victim.log.last)

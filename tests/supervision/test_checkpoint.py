@@ -1,0 +1,120 @@
+"""Unit tests for the checkpoint envelope, store, and checkpointer."""
+
+import pytest
+
+from repro.core.power_estimator import PowerEstimator
+from repro.errors import ConfigurationError
+from repro.experiments.serialize import (
+    checkpoint_payload,
+    power_model_from_dict,
+    power_model_to_dict,
+    validate_checkpoint,
+)
+from repro.supervision import CheckpointStore, Checkpointer
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        payload = checkpoint_payload("mp-hars", 12.5, {"x": 1})
+        assert validate_checkpoint(payload) == {"x": 1}
+        assert payload["controller"] == "mp-hars"
+        assert payload["time_s"] == 12.5
+
+    def test_payload_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            checkpoint_payload("", 0.0, {})
+        with pytest.raises(ConfigurationError):
+            checkpoint_payload("ok", 0.0, "not-a-dict")
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("kind"),
+            lambda p: p.update(kind="something-else"),
+            lambda p: p.update(schema=999),
+            lambda p: p.update(controller=""),
+            lambda p: p.update(time_s="yesterday"),
+            lambda p: p.update(time_s=True),
+            lambda p: p.update(body=[1, 2]),
+        ],
+    )
+    def test_validate_rejects_malformed_envelopes(self, mutate):
+        payload = checkpoint_payload("c", 1.0, {})
+        mutate(payload)
+        with pytest.raises(ConfigurationError):
+            validate_checkpoint(payload)
+
+    def test_validate_rejects_non_dict(self):
+        with pytest.raises(ConfigurationError):
+            validate_checkpoint(None)
+
+
+class TestPowerModelSnapshot:
+    def test_roundtrip(self, power_estimator):
+        snapshot = power_model_to_dict(power_estimator)
+        assert snapshot, "calibrated estimator must have fit points"
+        restored = power_model_from_dict(snapshot)
+        assert isinstance(restored, PowerEstimator)
+        assert power_model_to_dict(restored) == snapshot
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {},
+            "nope",
+            {"no-separator": [1.0, 2.0, 0.9]},
+            {"big@notanint": [1.0, 2.0, 0.9]},
+            {"big@1000": [1.0]},
+            {"big@1000": "words"},
+        ],
+    )
+    def test_malformed_snapshots_rejected(self, data):
+        with pytest.raises(ConfigurationError):
+            power_model_from_dict(data)
+
+
+class TestCheckpointStore:
+    def test_put_keeps_latest_per_controller(self):
+        store = CheckpointStore()
+        store.put(checkpoint_payload("a", 1.0, {"v": 1}))
+        store.put(checkpoint_payload("b", 1.0, {"v": 2}))
+        store.put(checkpoint_payload("a", 2.0, {"v": 3}))
+        assert len(store) == 2
+        assert store.writes == 3
+        assert store.controller_ids == ["a", "b"]
+        assert store.get("a")["body"] == {"v": 3}
+        assert store.get("missing") is None
+
+    def test_put_validates(self):
+        store = CheckpointStore()
+        with pytest.raises(ConfigurationError):
+            store.put({"kind": "junk"})
+        assert store.writes == 0
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        store = CheckpointStore()
+        store.put(checkpoint_payload("a", 1.0, {"v": 1}))
+        store.put(checkpoint_payload("b", 2.0, {"v": [1, 2]}))
+        path = str(tmp_path / "store.json")
+        store.dump(path)
+        loaded = CheckpointStore.load(path)
+        assert loaded.controller_ids == ["a", "b"]
+        assert loaded.get("b")["body"] == {"v": [1, 2]}
+
+    def test_load_rejects_other_json(self, tmp_path):
+        path = str(tmp_path / "other.json")
+        from repro.experiments.serialize import dump_json
+
+        dump_json({"kind": "perf-watt-comparison"}, path)
+        with pytest.raises(ConfigurationError):
+            CheckpointStore.load(path)
+
+
+class TestCheckpointer:
+    def test_cadence_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            Checkpointer(cadence_s=0.0)
+
+    def test_shared_store_is_allowed(self):
+        store = CheckpointStore()
+        assert Checkpointer(store=store).store is store

@@ -1,0 +1,96 @@
+"""Supervision must be a pure observer on healthy runs, and degrade
+gracefully — never crash — under a seeded storm of lifecycle faults."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.runner import RunShape, run_multi, run_single
+from repro.faults import FaultConfig
+from repro.supervision import AppHealth, SupervisorConfig
+
+
+def _snapshot(outcome):
+    return (
+        dataclasses.asdict(outcome.metrics),
+        tuple(
+            (name, outcome.trace.points(name))
+            for name in sorted(outcome.trace.app_names)
+        ),
+    )
+
+
+class TestZeroFaultIdentity:
+    def test_single_app_supervised_run_is_bit_identical(self):
+        shape = RunShape(benchmark="swaptions", n_units=120, seed=3)
+        plain = run_single("hars-e", shape)
+        supervised = run_single(
+            "hars-e", shape, supervision=True, checkpoint=1.0
+        )
+        assert _snapshot(supervised) == _snapshot(plain)
+        assert supervised.supervisor.evictions == 0
+        assert supervised.checkpoint_store.writes > 0
+        assert supervised.supervisor.ledger.status_of(
+            "swaptions"
+        ) is AppHealth.DONE
+
+    def test_multi_app_supervised_run_is_bit_identical(self):
+        shapes = [
+            RunShape(benchmark="swaptions", n_units=120,
+                     target_fraction=0.5, seed=1),
+            RunShape(benchmark="bodytrack", n_units=120,
+                     target_fraction=0.5, seed=2),
+        ]
+        plain = run_multi("mp-hars-e", shapes)
+        supervised = run_multi(
+            "mp-hars-e", shapes, supervision=True, checkpoint=1.0
+        )
+        assert _snapshot(supervised) == _snapshot(plain)
+        assert supervised.supervisor.evictions == 0
+
+
+class TestChaosSweep:
+    """Seeded lifecycle storms with a degradation budget.
+
+    Crashes, hangs, runaways, and controller restarts all fire from one
+    seeded hazard stream; whatever happens, the run must complete, the
+    ledger must account for every app, and survivors must still deliver
+    most of their target performance.
+    """
+
+    SHAPES = [
+        RunShape(benchmark="swaptions", n_units=120,
+                 target_fraction=0.5, seed=1),
+        RunShape(benchmark="bodytrack", n_units=120,
+                 target_fraction=0.5, seed=2),
+    ]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_storm_completes_with_budget(self, seed):
+        faults = FaultConfig(
+            seed=seed,
+            app_crash_rate=0.002,
+            app_hang_rate=0.002,
+            app_runaway_rate=0.002,
+            controller_restart_rate=0.002,
+        )
+        outcome = run_multi(
+            "mp-hars-e",
+            self.SHAPES,
+            faults=faults,
+            supervision=SupervisorConfig(grace_factor=4.0),
+            checkpoint=2.0,
+        )
+        ledger = outcome.supervisor.ledger
+        statuses = {
+            row["app_name"]: row["status"] for row in ledger.rows()
+        }
+        assert set(statuses) == {"swaptions-0", "bodytrack-1"}
+        # Every app ends accounted for: completed or formally evicted.
+        assert set(statuses.values()) <= {"done", "evicted"}
+        assert outcome.supervisor.evictions == len(ledger.evicted())
+        # Degradation budget: apps that ran to completion still
+        # delivered most of their target performance.
+        for app in outcome.metrics.apps:
+            if statuses[app.app_name] == "done":
+                assert app.mean_normalized_perf >= 0.5
