@@ -14,13 +14,13 @@ performance (baseline) < ondemand < HARS-E.
 
 from conftest import bench_units, run_once
 
-from repro.experiments.runner import RunShape, run_single
+from repro.experiments.runner import RunShape, run
 
 
 def _governor_comparison(units):
     outcomes = {}
     for version in ("baseline", "ondemand", "hars-e"):
-        metrics = run_single(
+        metrics = run(
             version, RunShape("bodytrack", n_units=units)
         ).metrics
         outcomes[version] = {

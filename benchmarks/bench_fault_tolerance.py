@@ -23,7 +23,12 @@ import dataclasses
 from conftest import bench_units, run_once
 
 from repro.core.calibration import calibrate
-from repro.experiments.runner import RunShape, measure_max_rate, run_single
+from repro.experiments.runner import (
+    RunConfig,
+    RunShape,
+    measure_max_rate,
+    run,
+)
 from repro.faults import FaultConfig
 from repro.platform.spec import odroid_xu3
 
@@ -47,14 +52,16 @@ def _sweep(units):
     shape = RunShape(benchmark="swaptions", n_units=units)
     measure_max_rate(spec, shape)
     calibrate(spec)
-    clean = run_single("hars-e", shape, spec=spec)
-    supervised = run_single(
-        "hars-e", shape, spec=spec, supervision=True, checkpoint=1.0
+    clean = run("hars-e", shape, RunConfig(spec=spec))
+    supervised = run(
+        "hars-e",
+        shape,
+        RunConfig(spec=spec, supervision=True, checkpoint=1.0),
     )
     rows = []
     for factor in RATES:
         faults = FaultConfig.defaults().scaled(factor)
-        outcome = run_single("hars-e", shape, spec=spec, faults=faults)
+        outcome = run("hars-e", shape, RunConfig(spec=spec, faults=faults))
         app = outcome.metrics.apps[0]
         injector = outcome.fault_injector
         rows.append(

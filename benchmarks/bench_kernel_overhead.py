@@ -21,7 +21,12 @@ import time
 from conftest import bench_units, run_once
 
 from repro.core.calibration import calibrate
-from repro.experiments.runner import RunShape, measure_max_rate, run_single
+from repro.experiments.runner import (
+    RunConfig,
+    RunShape,
+    measure_max_rate,
+    run,
+)
 from repro.platform.spec import odroid_xu3
 
 #: Timed repetitions per configuration (best-of, to shed scheduler noise).
@@ -39,12 +44,12 @@ def _snapshot(outcome):
     )
 
 
-def _timed_run(shape, spec, **kwargs):
+def _timed_run(shape, config):
     best = float("inf")
     outcome = None
     for _ in range(REPEATS):
         start = time.perf_counter()
-        outcome = run_single("hars-e", shape, spec=spec, **kwargs)
+        outcome = run("hars-e", shape, config)
         best = min(best, time.perf_counter() - start)
     return _snapshot(outcome), best
 
@@ -56,11 +61,12 @@ def _compare(units):
     # neither configuration pays them inside the timed region.
     measure_max_rate(spec, shape)
     calibrate(spec)
-    old_kwargs = dict(profile="legacy", cache_estimates=False)
-    run_single("hars-e", shape, spec=spec)  # warmup (imports, allocs)
-    run_single("hars-e", shape, spec=spec, **old_kwargs)
-    new_snap, new_s = _timed_run(shape, spec)
-    old_snap, old_s = _timed_run(shape, spec, **old_kwargs)
+    new_config = RunConfig(spec=spec)
+    old_config = new_config.with_(profile="legacy", cache_estimates=False)
+    run("hars-e", shape, new_config)  # warmup (imports, allocs)
+    run("hars-e", shape, old_config)
+    new_snap, new_s = _timed_run(shape, new_config)
+    old_snap, old_s = _timed_run(shape, old_config)
     return new_snap, new_s, old_snap, old_s
 
 

@@ -18,7 +18,7 @@ numbers the acceptance criteria are phrased in:
 
 from conftest import bench_units, run_once
 
-from repro.experiments.runner import RunShape, run_multi
+from repro.experiments.runner import RunConfig, RunShape, run
 from repro.faults import FaultConfig, LifecycleEvent
 from repro.supervision import SupervisorConfig
 
@@ -77,9 +77,12 @@ def _hang_reclaim(units):
     faults = FaultConfig(seed=3, lifecycle_schedule=(
         LifecycleEvent("app_hang", at_s=hang_at, target="swaptions-0"),
     ))
-    outcome = run_multi(
-        "mp-hars-e", shapes, faults=faults,
-        supervision=SupervisorConfig(grace_factor=3.0),
+    outcome = run(
+        "mp-hars-e",
+        shapes,
+        RunConfig(
+            faults=faults, supervision=SupervisorConfig(grace_factor=3.0)
+        ),
     )
     record = outcome.supervisor.ledger.record("swaptions-0")
     survivor_period = _adaptation_period_s(outcome, "bodytrack-1")
@@ -112,8 +115,10 @@ def _restart_recovery(units):
     faults = FaultConfig(seed=3, lifecycle_schedule=(
         LifecycleEvent("controller_restart", at_s=restart_at),
     ))
-    warm = run_multi("mp-hars-e", shapes, faults=faults, checkpoint=2.0)
-    cold = run_multi("mp-hars-e", shapes, faults=faults)
+    warm = run(
+        "mp-hars-e", shapes, RunConfig(faults=faults, checkpoint=2.0)
+    )
+    cold = run("mp-hars-e", shapes, RunConfig(faults=faults))
     rows = []
     for shape, app_name in zip(shapes, ("swaptions-0", "bodytrack-1")):
         rows.append(

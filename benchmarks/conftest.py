@@ -33,3 +33,22 @@ def run_once(benchmark, fn, *args, **kwargs):
     multi-minute grid.
     """
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def export_telemetry(outcome, fmt: str = "summary") -> str:
+    """Render an instrumented run's registry in one exporter format.
+
+    The shared helper behind every benchmark that prints telemetry:
+    ``fmt`` is one of ``summary`` / ``jsonl`` / ``prometheus`` / ``csv``
+    (the :data:`repro.cli.TELEMETRY_FORMATS`).  The outcome must come
+    from a run with ``RunConfig(telemetry=...)`` enabled.
+    """
+    from repro.telemetry import exporters
+
+    renderers = {
+        "summary": exporters.summary_table,
+        "jsonl": exporters.snapshot_to_jsonl,
+        "prometheus": exporters.snapshot_to_prometheus,
+        "csv": exporters.snapshot_to_csv,
+    }
+    return renderers[fmt](outcome.telemetry.registry.snapshot())

@@ -14,7 +14,7 @@ multi-application runtimes are compared —
 Run with:  python examples/multi_app_partitioning.py
 """
 
-from repro.experiments import RunShape, run_multi
+from repro.experiments import RunShape, run
 from repro.experiments.report import sampled_series
 
 CASE4 = [
@@ -26,7 +26,7 @@ CASE4 = [
 def main():
     results = {}
     for version in ("baseline", "cons-i", "mp-hars-i", "mp-hars-e"):
-        outcome = run_multi(version, CASE4)
+        outcome = run(version, CASE4)
         results[version] = outcome
         metrics = outcome.metrics
         perfs = "  ".join(

@@ -1,84 +1,58 @@
 #!/usr/bin/env python
 """Quickstart: run one self-adaptive application under HARS.
 
-Builds the ODROID-XU3 platform model, calibrates HARS's power estimator
-from the microbenchmark sweep, sets a 50 % ± 5 % performance target for
-the swaptions benchmark, and lets the exhaustive HARS runtime (HARS-E)
-drive the system state.  Compares the outcome against the Linux-GTS
-baseline.
+Everything here uses the *stable* surface — ``import repro`` is the only
+import a script needs.  We set a 50 % ± 5 % performance target for the
+swaptions benchmark, let the exhaustive HARS runtime (HARS-E) drive the
+system state, compare against the Linux-GTS baseline, and pull a few
+telemetry counters from the same run.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.baselines import BaselineController
-from repro.core import HARS_E, HarsManager, PerformanceEstimator, calibrate
-from repro.heartbeats import PerformanceTarget
-from repro.platform import odroid_xu3
-from repro.sim import SimApp, Simulation
-from repro.workloads import make_benchmark
-
-
-def run_version(spec, attach, target, n_units=150):
-    """Run swaptions once; ``attach(sim, app)`` installs the controller."""
-    sim = Simulation(spec)
-    app = sim.add_app(SimApp("swaptions", make_benchmark("SW", n_units), target))
-    attach(sim, app)
-    sim.run(until_s=1200)
-    return {
-        "rate": app.log.overall_rate(),
-        "norm_perf": app.monitor.mean_normalized_performance(),
-        "watts": sim.sensor.average_power_w(),
-    }
+import repro
 
 
 def main():
-    spec = odroid_xu3()
-    print(f"Platform: {spec.name} — {spec.big.n_cores} big "
-          f"(0.8–{spec.big.max_freq_mhz / 1000:.1f} GHz) + "
-          f"{spec.little.n_cores} little "
-          f"(0.8–{spec.little.max_freq_mhz / 1000:.1f} GHz)")
+    shape = repro.RunShape("swaptions", n_units=150)
+    config = repro.RunConfig(telemetry=True)
 
-    # 1. Calibrate the linear power estimator (Section 3.1.2).
-    power_estimator = calibrate(spec)
-    print(f"Calibrated {len(power_estimator.fitted_points)} "
-          "(cluster, frequency) power models from the microbenchmark sweep")
+    # One call per version: the runner measures the maximum achievable
+    # rate with a solo baseline probe, sets the paper's default target
+    # (50 % ± 5 % of it), builds the platform model, and runs.
+    baseline = repro.run("baseline", shape, config)
+    hars = repro.run("hars-e", shape, config)
 
-    # 2. Measure the maximum achievable rate with a baseline run and set
-    #    the paper's default target: 50 % ± 5 % of it.
-    probe = run_version(
-        spec,
-        lambda sim, app: sim.add_controller(BaselineController()),
-        PerformanceTarget(1.0, 1.0, 1.0),
-        n_units=80,
-    )
-    target = PerformanceTarget.fraction_of(probe["rate"], 0.5)
-    print(f"Max achievable rate {probe['rate']:.2f} HPS → target window "
+    target = hars.target
+    print(f"Max achievable rate {hars.max_rate:.2f} HPS → target window "
           f"[{target.min_rate:.2f}, {target.max_rate:.2f}] HPS")
-
-    # 3. Run the baseline and HARS-E against that target.
-    baseline = run_version(
-        spec,
-        lambda sim, app: sim.add_controller(BaselineController()),
-        target,
-    )
-    hars = run_version(
-        spec,
-        lambda sim, app: sim.add_controller(
-            HarsManager("swaptions", HARS_E, PerformanceEstimator(),
-                        power_estimator)
-        ),
-        target,
-    )
 
     print("\n            rate(HPS)  norm perf  watts  perf/watt")
     for name, outcome in (("baseline", baseline), ("HARS-E", hars)):
-        pp = outcome["norm_perf"] / outcome["watts"]
-        print(f"  {name:9s} {outcome['rate']:8.2f}  {outcome['norm_perf']:9.3f}"
-              f"  {outcome['watts']:5.2f}  {pp:9.3f}")
-    gain = (hars["norm_perf"] / hars["watts"]) / (
-        baseline["norm_perf"] / baseline["watts"]
-    )
+        app = outcome.metrics.apps[0]
+        print(f"  {name:9s} {app.overall_rate:8.2f}  "
+              f"{app.mean_normalized_perf:9.3f}  "
+              f"{outcome.metrics.avg_power_w:5.2f}  "
+              f"{outcome.metrics.perf_per_watt:9.3f}")
+    gain = hars.metrics.perf_per_watt / baseline.metrics.perf_per_watt
     print(f"\nHARS-E improves perf/watt by {gain:.2f}x over the baseline")
+
+    # The same run, seen through the telemetry registry: every run with
+    # telemetry enabled carries a metrics snapshot (provably without
+    # changing a single result float).
+    flat = repro.telemetry.flatten_snapshot(
+        hars.telemetry.registry.snapshot()
+    )
+    print("\nHARS-E run, as telemetry sees it:")
+    for name, labels in (
+        ("sim_ticks_total", ()),
+        ("heartbeats_total", (("app", "swaptions"),)),
+        ("states_applied_total", (("app", "swaptions"),)),
+        ("energy_joules_total", (("rail", "total"),)),
+    ):
+        label_text = ",".join(f"{k}={v}" for k, v in labels)
+        series = f"{name}{{{label_text}}}" if label_text else name
+        print(f"  {series:38s} {flat[(name, labels)]:.1f}")
 
 
 if __name__ == "__main__":

@@ -11,9 +11,32 @@ Layout:
 * :mod:`repro.core`       — HARS itself (estimators, search, manager)
 * :mod:`repro.mphars`     — MP-HARS multi-application extension
 * :mod:`repro.baselines`  — baseline and static-optimal versions
+* :mod:`repro.telemetry`  — metrics registry, spans, and exporters
 * :mod:`repro.experiments`— every table/figure of the evaluation
+
+The names re-exported here (``__all__``) are the *stable* surface — a
+script needs only ``import repro`` to configure, run, and observe an
+experiment (see ``examples/quickstart.py``).  Everything else is
+internal layering and may move between releases.
 """
 
-__version__ = "1.0.0"
+from repro.experiments.runner import RunConfig, RunOutcome, RunShape, run
+from repro.faults import FaultConfig
+from repro.sim.tracing import TraceRecorder
+from repro.supervision import SupervisorConfig
+from repro.telemetry import MetricsRegistry, TelemetryConfig
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "FaultConfig",
+    "MetricsRegistry",
+    "RunConfig",
+    "RunOutcome",
+    "RunShape",
+    "SupervisorConfig",
+    "TelemetryConfig",
+    "TraceRecorder",
+    "__version__",
+    "run",
+]

@@ -8,6 +8,7 @@ Regenerates the paper's tables and figures from the terminal::
     hars-repro fig5.3 [--quick]
     hars-repro fig5.4 [--quick]
     hars-repro fig5.5-7 [--quick]
+    hars-repro telemetry [--quick] [--format summary|jsonl|prometheus|csv]
     hars-repro all [--quick]
 
 ``--quick`` scales the workloads down (~80 heartbeats per benchmark) for
@@ -46,8 +47,12 @@ _EXPERIMENTS = (
     "fig5.4",
     "fig5.5-7",
     "accuracy",
+    "telemetry",
     "all",
 )
+
+#: Export formats the ``telemetry`` experiment understands.
+TELEMETRY_FORMATS = ("summary", "jsonl", "prometheus", "csv")
 
 
 def _run_table3_1(_: Optional[int], __: Optional[List[str]]):
@@ -127,6 +132,36 @@ def _run_accuracy(n_units: Optional[int], benchmarks: Optional[List[str]]):
     return {"kind": "estimator-accuracy", "mape": payload}
 
 
+def _run_telemetry(
+    n_units: Optional[int],
+    benchmarks: Optional[List[str]],
+    fmt: str = "summary",
+):
+    """One instrumented HARS-E run, exported in the chosen format.
+
+    The run itself is a standard Figure 5.1-style single-application run
+    (first ``--bench`` entry, default swaptions); the output is its full
+    metrics-registry snapshot through one of the
+    :mod:`repro.telemetry.exporters`.
+    """
+    from repro.experiments.runner import RunConfig, RunShape, run
+    from repro.telemetry import exporters
+    from repro.workloads.parsec import resolve_name
+
+    name = resolve_name(benchmarks[0]) if benchmarks else "swaptions"
+    shape = RunShape(benchmark=name, n_units=n_units)
+    outcome = run("hars-e", shape, RunConfig(telemetry=True))
+    snapshot = outcome.telemetry.registry.snapshot()
+    renderers = {
+        "summary": exporters.summary_table,
+        "jsonl": exporters.snapshot_to_jsonl,
+        "prometheus": exporters.snapshot_to_prometheus,
+        "csv": exporters.snapshot_to_csv,
+    }
+    print(renderers[fmt](snapshot).rstrip("\n"))
+    return {"kind": "telemetry-snapshot", "snapshot": snapshot}
+
+
 _RUNNERS = {
     "table3.1": _run_table3_1,
     "fig5.1": _run_fig5_1,
@@ -135,6 +170,7 @@ _RUNNERS = {
     "fig5.4": _run_fig5_4,
     "accuracy": _run_accuracy,
     "fig5.5-7": _run_fig5_5_7,
+    "telemetry": _run_telemetry,
 }
 
 
@@ -167,6 +203,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="PATH",
         help="also write the experiment's results as JSON",
     )
+    parser.add_argument(
+        "--format",
+        choices=TELEMETRY_FORMATS,
+        default="summary",
+        help="export format for the telemetry experiment",
+    )
     args = parser.parse_args(argv)
     n_units = args.units if args.units is not None else (
         QUICK_UNITS if args.quick else None
@@ -180,7 +222,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     payloads = {}
     for name in names:
         print(f"=== {name} ===")
-        payload = _RUNNERS[name](n_units, benchmarks)
+        if name == "telemetry":
+            payload = _run_telemetry(n_units, benchmarks, fmt=args.format)
+        else:
+            payload = _RUNNERS[name](n_units, benchmarks)
         if payload is not None:
             payloads[name] = payload
         print()

@@ -71,12 +71,16 @@ class SearchResult:
     ``estimation_failures`` counts candidates skipped because their
     estimate raised :class:`~repro.errors.EstimationError` — one bad
     candidate degrades the sweep, never aborts the adaptation cycle.
+    ``pruned`` counts box candidates the Manhattan-distance prune
+    rejected before estimation (the telemetry layer's
+    ``search_pruned_total``).
     """
 
     best: EvaluatedState
     states_explored: int
     forced_fallback: bool = False
     estimation_failures: int = 0
+    pruned: int = 0
 
     @property
     def state(self) -> SystemState:
@@ -155,7 +159,10 @@ def get_next_sys_state(
     best: Optional[EvaluatedState] = None
     explored = 0
     estimation_failures = 0
-    for candidate in neighbourhood(spec, current, space.m, space.n, space.d):
+    sweep_stats: dict = {}
+    for candidate in neighbourhood(
+        spec, current, space.m, space.n, space.d, stats=sweep_stats
+    ):
         if candidate_filter is not None and not candidate_filter(
             candidate, current
         ):
@@ -203,9 +210,11 @@ def get_next_sys_state(
             states_explored=explored,
             forced_fallback=True,
             estimation_failures=estimation_failures,
+            pruned=sweep_stats.get("pruned", 0),
         )
     return SearchResult(
         best=best,
         states_explored=explored,
         estimation_failures=estimation_failures,
+        pruned=sweep_stats.get("pruned", 0),
     )

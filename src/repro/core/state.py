@@ -10,7 +10,7 @@ of Algorithm 2 is a step count, not a physical quantity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Dict, Iterator, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.platform.cluster import BIG, LITTLE
@@ -89,6 +89,7 @@ def neighbourhood(
     m: int,
     n: int,
     d: int,
+    stats: Optional[Dict[str, int]] = None,
 ) -> Iterator[SystemState]:
     """Candidate states of Algorithm 2's four nested loops.
 
@@ -96,6 +97,11 @@ def neighbourhood(
     the platform's ranges, and prunes candidates whose Manhattan distance
     from ``current`` exceeds ``d``.  The current state itself (distance 0)
     is included, as in the paper.
+
+    ``stats`` (optional, mutated in place) counts what the sweep did:
+    ``stats["pruned"]`` accumulates the box candidates rejected by the
+    Manhattan-distance prune — the telemetry layer's
+    ``search_pruned_total`` series.
     """
     if m < 0 or n < 0:
         raise ConfigurationError("m and n must be non-negative")
@@ -106,6 +112,7 @@ def neighbourhood(
     cl_range = _clamped_range(cl0, m, n, 0, spec.little.n_cores)
     fb_range = _clamped_range(ifb0, m, n, 0, len(spec.big.frequencies_mhz) - 1)
     fl_range = _clamped_range(ifl0, m, n, 0, len(spec.little.frequencies_mhz) - 1)
+    pruned = 0
     for cb in cb_range:
         for cl in cl_range:
             if cb == 0 and cl == 0:
@@ -119,8 +126,11 @@ def neighbourhood(
                         + abs(ifl - ifl0)
                     )
                     if dist > d:
+                        pruned += 1
                         continue
                     yield from_indices(spec, cb, cl, ifb, ifl)
+    if stats is not None:
+        stats["pruned"] = stats.get("pruned", 0) + pruned
 
 
 def _clamped_range(center: int, m: int, n: int, low: int, high: int) -> range:

@@ -26,11 +26,13 @@ from repro.experiments.metrics import (
     normalize_to_baseline,
 )
 from repro.experiments.runner import (
+    RunConfig,
     RunOutcome,
     RunShape,
     build_target,
     clear_max_rate_cache,
     measure_max_rate,
+    run,
     run_multi,
     run_single,
 )
@@ -86,6 +88,7 @@ __all__ = [
     "MULTI_APP_VERSIONS",
     "MultiAppComparison",
     "PerfWattComparison",
+    "RunConfig",
     "RunMetrics",
     "RunOutcome",
     "RunShape",
@@ -115,6 +118,7 @@ __all__ = [
     "normalize_to_baseline",
     "regime_of",
     "render_table",
+    "run",
     "run_behaviour",
     "run_fig5_1",
     "run_fig5_2",

@@ -17,7 +17,7 @@ from repro.experiments.metrics import (
     normalize_to_baseline,
 )
 from repro.experiments.report import grouped_bars
-from repro.experiments.runner import RunShape, run_single
+from repro.experiments.runner import RunConfig, RunShape, run
 from repro.experiments.versions import SINGLE_APP_VERSIONS, version_label
 from repro.platform.spec import PlatformSpec, odroid_xu3
 from repro.workloads.parsec import BENCHMARKS, SHORT_CODES
@@ -89,7 +89,9 @@ def run_perf_watt_comparison(
         )
         per_version: Dict[str, RunMetrics] = {}
         for version in versions:
-            per_version[version] = run_single(version, shape, spec).metrics
+            per_version[version] = run(
+                version, shape, RunConfig(spec=spec)
+            ).metrics
         code = SHORT_CODES.get(name, name.upper())
         comparison.raw[code] = per_version
         comparison.normalized[code] = normalize_to_baseline(per_version)

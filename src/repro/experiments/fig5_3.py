@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.report import format_table
-from repro.experiments.runner import RunShape, run_single
+from repro.experiments.runner import RunConfig, RunShape, run
 from repro.platform.spec import PlatformSpec, odroid_xu3
 from repro.units import geometric_mean, mean
 from repro.workloads.parsec import BENCHMARKS
@@ -89,7 +89,9 @@ def run_fig5_3(
                 seed=seed,
             )
             for distance in distances:
-                metrics = run_single(f"hars-d{distance}", shape, spec).metrics
+                metrics = run(
+                    f"hars-d{distance}", shape, RunConfig(spec=spec)
+                ).metrics
                 raw_pp[distance].append(metrics.perf_per_watt)
                 raw_cpu[distance].append(metrics.manager_cpu_percent)
         gm = {d: geometric_mean(raw_pp[d]) for d in distances}

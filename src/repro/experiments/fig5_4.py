@@ -19,7 +19,7 @@ from repro.experiments.metrics import (
     normalize_to_baseline,
 )
 from repro.experiments.report import grouped_bars
-from repro.experiments.runner import RunShape, run_multi
+from repro.experiments.runner import RunConfig, RunShape, run
 from repro.experiments.versions import MULTI_APP_VERSIONS, version_label
 from repro.platform.spec import PlatformSpec, odroid_xu3
 from repro.workloads.parsec import SHORT_CODES, resolve_name
@@ -88,7 +88,9 @@ def run_fig5_4(
         ]
         per_version: Dict[str, RunMetrics] = {}
         for version in versions:
-            per_version[version] = run_multi(version, shapes, spec).metrics
+            per_version[version] = run(
+                version, shapes, RunConfig(spec=spec)
+            ).metrics
         label = case_label(pair, index)
         comparison.raw[label] = per_version
         comparison.normalized[label] = normalize_to_baseline(per_version)

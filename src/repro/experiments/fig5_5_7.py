@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.report import sampled_series
-from repro.experiments.runner import RunOutcome, RunShape, run_multi
+from repro.experiments.runner import RunConfig, RunOutcome, RunShape, run
 from repro.heartbeats.targets import PerformanceTarget
 from repro.platform.spec import PlatformSpec, odroid_xu3
 from repro.sim.tracing import TraceRecorder
@@ -95,13 +95,13 @@ def run_behaviour(
     """Trace one version's case-4 run."""
     spec = spec or odroid_xu3()
     shapes = [RunShape(benchmark=name, n_units=n_units, seed=seed) for name in pair]
-    outcome = run_multi(version, shapes, spec)
-    run = BehaviourRun(version=version, outcome=outcome)
+    outcome = run(version, shapes, RunConfig(spec=spec))
+    behaviour = BehaviourRun(version=version, outcome=outcome)
     for app in outcome.metrics.apps:
-        run.targets[app.app_name] = PerformanceTarget(
+        behaviour.targets[app.app_name] = PerformanceTarget(
             app.target_min, app.target_avg, app.target_max
         )
-    return run
+    return behaviour
 
 
 def run_fig5_5_7(

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.runner import RunShape, run_single
+from repro.experiments.runner import RunConfig, RunShape, run
 from repro.platform.spec import PlatformSpec, odroid_xu3
 
 
@@ -72,7 +72,9 @@ def repeat_single(
             tick_s=shape.tick_s,
             adapt_every=shape.adapt_every,
         )
-        values.append(run_single(version, seeded, spec).metrics.perf_per_watt)
+        values.append(
+            run(version, seeded, RunConfig(spec=spec)).metrics.perf_per_watt
+        )
     return spread_of(values), values
 
 

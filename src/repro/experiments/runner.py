@@ -16,8 +16,9 @@ figure sweeps revisit them constantly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+import warnings
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.manager import HarsManager
 from repro.errors import ConfigurationError
@@ -29,7 +30,7 @@ from repro.experiments.versions import (
 )
 from repro.heartbeats.targets import PerformanceTarget
 from repro.platform.spec import PlatformSpec, odroid_xu3
-from repro.sim.engine import Simulation
+from repro.sim.engine import PROFILES, Simulation
 from repro.sim.process import SimApp
 from repro.sim.tracing import TraceRecorder
 from repro.supervision import (
@@ -38,12 +39,17 @@ from repro.supervision import (
     Supervisor,
     SupervisorConfig,
 )
+from repro.telemetry.hub import TelemetryConfig, TelemetryHub
 from repro.workloads.parsec import make_benchmark, resolve_name
 
 #: Default target window half-width (the paper's ±5 %).
 DEFAULT_TOLERANCE = 0.05
 
 _MAX_RATE_CACHE: Dict[Tuple, float] = {}
+
+#: Sentinel distinguishing "kwarg not passed" from an explicit default
+#: on the deprecated ``run_single``/``run_multi`` signatures.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -65,6 +71,54 @@ class RunShape:
             raise ConfigurationError("target fraction must be in (0, 1]")
 
 
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything that configures a run apart from version and shapes.
+
+    One frozen object replaces the keyword list that grew by one per
+    PR: :func:`run` (and the deprecated :func:`run_single` /
+    :func:`run_multi` wrappers) take a ``RunConfig`` and thread it
+    through unchanged.  All fields default to the plain fast-profile
+    run every figure uses.
+
+    ``profile`` and ``cache_estimates`` change speed only, never
+    results; ``faults`` / ``supervision`` / ``checkpoint`` attach the
+    PR-2/3 resilience layers; ``telemetry`` attaches the observation
+    hub (:class:`~repro.telemetry.hub.TelemetryHub`) — ``True`` for the
+    default :class:`~repro.telemetry.hub.TelemetryConfig`, and provably
+    result-neutral either way.
+    """
+
+    spec: Optional[PlatformSpec] = None
+    profile: str = "fast"
+    cache_estimates: bool = True
+    faults: Optional[FaultConfig] = None
+    supervision: Union[SupervisorConfig, bool, None] = None
+    checkpoint: Optional[float] = None
+    telemetry: Union[TelemetryConfig, bool, None] = None
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ConfigurationError(
+                f"unknown profile {self.profile!r}; valid: {PROFILES}"
+            )
+        if self.checkpoint is not None and self.checkpoint <= 0:
+            raise ConfigurationError("checkpoint cadence must be positive")
+
+    def with_(self, **changes) -> "RunConfig":
+        """A copy with some fields replaced (sweep convenience)."""
+        return replace(self, **changes)
+
+    @property
+    def telemetry_config(self) -> Optional[TelemetryConfig]:
+        """The effective telemetry configuration, or ``None`` if off."""
+        if not self.telemetry:
+            return None
+        if isinstance(self.telemetry, TelemetryConfig):
+            return self.telemetry
+        return TelemetryConfig()
+
+
 @dataclass
 class RunOutcome:
     """Runner output: metrics plus the artefacts figures need."""
@@ -82,6 +136,10 @@ class RunOutcome:
     #: Present when ``checkpoint=`` was passed; the latest controller
     #: snapshots.
     checkpoint_store: Optional[CheckpointStore] = None
+    #: Present when ``telemetry`` was enabled; carries the metrics
+    #: registry (``outcome.telemetry.registry``) and the trace, ready
+    #: for the :mod:`repro.telemetry.exporters`.
+    telemetry: Optional[TelemetryHub] = None
 
 
 def _attach_supervision(
@@ -153,50 +211,76 @@ def build_target(spec: PlatformSpec, shape: RunShape) -> PerformanceTarget:
     )
 
 
-def run_single(
-    version: str,
-    shape: RunShape,
-    spec: Optional[PlatformSpec] = None,
-    profile: str = "fast",
-    cache_estimates: bool = True,
-    faults: Optional[FaultConfig] = None,
-    supervision: Union[SupervisorConfig, bool, None] = None,
-    checkpoint: Optional[float] = None,
-) -> RunOutcome:
-    """Run one benchmark under one version and collect metrics.
+def _attach_telemetry(
+    sim: Simulation, version: str, config: RunConfig
+) -> Optional[TelemetryHub]:
+    """Attach the telemetry hub last, so it observes everything."""
+    telemetry_config = config.telemetry_config
+    if telemetry_config is None:
+        return None
+    hub = TelemetryHub(telemetry_config)
+    hub.set_run_info(version=version, profile=config.profile)
+    sim.add_controller(hub)
+    return hub
 
-    ``profile`` selects the engine execution profile (see
-    :class:`~repro.sim.engine.Simulation`) and ``cache_estimates``
-    the kernel's estimation cache; both knobs change speed only, never
-    results, so only benchmarks pass non-defaults.  ``faults`` injects
-    seeded sensor/heartbeat/actuation faults (the baseline that measures
-    the max achievable rate always runs fault-free).  ``supervision``
-    attaches a lifecycle :class:`~repro.supervision.Supervisor` (``True``
-    for defaults, or a :class:`SupervisorConfig`); ``checkpoint``
-    attaches a :class:`~repro.supervision.Checkpointer` snapshotting
-    every checkpoint-capable controller at the given simulated-seconds
-    cadence.
+
+def run(
+    version: str,
+    shapes: Union[RunShape, Sequence[RunShape]],
+    config: Optional[RunConfig] = None,
+) -> RunOutcome:
+    """Run ``version`` over ``shapes`` under one :class:`RunConfig`.
+
+    The unified entry point every figure, benchmark, and example uses:
+
+    * a single :class:`RunShape` runs one application (the Figure
+      5.1–5.3 methodology — targets as fractions of a solo baseline's
+      maximum achievable rate);
+    * a sequence of shapes runs them concurrently under a multi-app
+      version (the Figure 5.4 / Section 5.2.1 methodology).
+
+    ``config`` defaults to ``RunConfig()`` — fast profile, cached
+    estimates, no faults, no supervision, no telemetry.
     """
-    spec = spec or odroid_xu3()
+    config = config or RunConfig()
+    if isinstance(shapes, RunShape):
+        return _run_single(version, shapes, config)
+    shapes = list(shapes)
+    if any(not isinstance(shape, RunShape) for shape in shapes):
+        raise ConfigurationError(
+            "run() takes one RunShape or a sequence of RunShapes"
+        )
+    return _run_multi(version, shapes, config)
+
+
+def _run_single(version: str, shape: RunShape, config: RunConfig) -> RunOutcome:
+    spec = config.spec or odroid_xu3()
     max_rate = measure_max_rate(spec, shape)
     target = PerformanceTarget.fraction_of(
         max_rate, shape.target_fraction, shape.tolerance
     )
-    sim = Simulation(spec, tick_s=shape.tick_s, profile=profile, faults=faults)
+    sim = Simulation(
+        spec, tick_s=shape.tick_s, profile=config.profile, faults=config.faults
+    )
     model = make_benchmark(shape.benchmark, shape.n_units, shape.n_threads)
     model.reset(shape.seed)
     app = sim.add_app(SimApp(shape.benchmark, model, target))
     controllers = attach_single_app_version(
         sim, app, version,
         adapt_every=shape.adapt_every,
-        cache_estimates=cache_estimates,
+        cache_estimates=config.cache_estimates,
     )
-    supervisor, store = _attach_supervision(sim, supervision, checkpoint)
+    supervisor, store = _attach_supervision(
+        sim, config.supervision, config.checkpoint
+    )
+    hub = _attach_telemetry(sim, version, config)
     elapsed = sim.run(
         until_s=_safety_horizon(
             model.total_heartbeats(), rate_floor=target.min_rate / 4
         )
     )
+    if hub is not None:
+        hub.finalize()
     return RunOutcome(
         metrics=_collect(version, sim, [app], controllers, elapsed),
         trace=sim.trace,
@@ -205,35 +289,21 @@ def run_single(
         fault_injector=sim.fault_injector,
         supervisor=supervisor,
         checkpoint_store=store,
+        telemetry=hub,
     )
 
 
-def run_multi(
-    version: str,
-    shapes: List[RunShape],
-    spec: Optional[PlatformSpec] = None,
-    profile: str = "fast",
-    cache_estimates: bool = True,
-    faults: Optional[FaultConfig] = None,
-    supervision: Union[SupervisorConfig, bool, None] = None,
-    checkpoint: Optional[float] = None,
+def _run_multi(
+    version: str, shapes: List[RunShape], config: RunConfig
 ) -> RunOutcome:
-    """Run several applications concurrently under one multi-app version.
-
-    All applications start at the same time (the paper's Section 5.2.1
-    methodology); each gets its own target as a fraction of *its own*
-    maximum achievable rate measured by a solo baseline run.  The run
-    finishes when every application completes its work (evicted apps
-    count as finished).  ``supervision`` / ``checkpoint`` attach the
-    lifecycle supervisor and the controller checkpointer, as in
-    :func:`run_single`.
-    """
     if not shapes:
-        raise ConfigurationError("run_multi needs at least one shape")
-    spec = spec or odroid_xu3()
+        raise ConfigurationError("a multi-app run needs at least one shape")
+    spec = config.spec or odroid_xu3()
     tick_s = shapes[0].tick_s
     adapt_every = shapes[0].adapt_every
-    sim = Simulation(spec, tick_s=tick_s, profile=profile, faults=faults)
+    sim = Simulation(
+        spec, tick_s=tick_s, profile=config.profile, faults=config.faults
+    )
     apps: List[SimApp] = []
     slowest_floor = float("inf")
     total_beats = 0
@@ -249,12 +319,19 @@ def run_multi(
         slowest_floor = min(slowest_floor, target.min_rate / 4)
         total_beats = max(total_beats, model.total_heartbeats())
     controllers = attach_multi_app_version(
-        sim, version, adapt_every=adapt_every, cache_estimates=cache_estimates
+        sim, version,
+        adapt_every=adapt_every,
+        cache_estimates=config.cache_estimates,
     )
-    supervisor, store = _attach_supervision(sim, supervision, checkpoint)
+    supervisor, store = _attach_supervision(
+        sim, config.supervision, config.checkpoint
+    )
+    hub = _attach_telemetry(sim, version, config)
     elapsed = sim.run(
         until_s=2 * _safety_horizon(total_beats, rate_floor=slowest_floor)
     )
+    if hub is not None:
+        hub.finalize()
     return RunOutcome(
         metrics=_collect(version, sim, apps, controllers, elapsed),
         trace=sim.trace,
@@ -263,6 +340,109 @@ def run_multi(
         fault_injector=sim.fault_injector,
         supervisor=supervisor,
         checkpoint_store=store,
+        telemetry=hub,
+    )
+
+
+#: The legacy per-call keywords RunConfig replaced, in signature order.
+_LEGACY_KWARGS = (
+    "spec",
+    "profile",
+    "cache_estimates",
+    "faults",
+    "supervision",
+    "checkpoint",
+)
+
+
+def _coerce_legacy_config(
+    caller: str, config: Optional[RunConfig], legacy: Dict[str, object]
+) -> RunConfig:
+    """Fold deprecated per-call keywords into a :class:`RunConfig`.
+
+    Passing any legacy keyword emits a :class:`DeprecationWarning`;
+    mixing them with ``config=`` is ambiguous and refused.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if not passed:
+        return config or RunConfig()
+    if config is not None:
+        raise ConfigurationError(
+            f"{caller}: pass either config= or the legacy keywords "
+            f"({', '.join(sorted(passed))}), not both"
+        )
+    warnings.warn(
+        f"{caller}({', '.join(sorted(passed))}=...) is deprecated; "
+        f"build a RunConfig and call repro.experiments.run() instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return RunConfig(**passed)
+
+
+def run_single(
+    version: str,
+    shape: RunShape,
+    spec=_UNSET,
+    profile=_UNSET,
+    cache_estimates=_UNSET,
+    faults=_UNSET,
+    supervision=_UNSET,
+    checkpoint=_UNSET,
+    config: Optional[RunConfig] = None,
+) -> RunOutcome:
+    """Deprecated single-app wrapper around :func:`run`.
+
+    Kept for downstream callers; the per-call keywords are deprecated
+    in favour of ``config=`` (a :class:`RunConfig`) or calling
+    :func:`run` directly.
+    """
+    legacy = dict(
+        spec=spec,
+        profile=profile,
+        cache_estimates=cache_estimates,
+        faults=faults,
+        supervision=supervision,
+        checkpoint=checkpoint,
+    )
+    return _run_single(
+        version, shape, _coerce_legacy_config("run_single", config, legacy)
+    )
+
+
+def run_multi(
+    version: str,
+    shapes: List[RunShape],
+    spec=_UNSET,
+    profile=_UNSET,
+    cache_estimates=_UNSET,
+    faults=_UNSET,
+    supervision=_UNSET,
+    checkpoint=_UNSET,
+    config: Optional[RunConfig] = None,
+) -> RunOutcome:
+    """Deprecated multi-app wrapper around :func:`run`.
+
+    All applications start at the same time (the paper's Section 5.2.1
+    methodology); each gets its own target as a fraction of *its own*
+    maximum achievable rate measured by a solo baseline run.  The run
+    finishes when every application completes its work (evicted apps
+    count as finished).
+    """
+    if not shapes:
+        raise ConfigurationError("run_multi needs at least one shape")
+    legacy = dict(
+        spec=spec,
+        profile=profile,
+        cache_estimates=cache_estimates,
+        faults=faults,
+        supervision=supervision,
+        checkpoint=checkpoint,
+    )
+    return _run_multi(
+        version,
+        list(shapes),
+        _coerce_legacy_config("run_multi", config, legacy),
     )
 
 

@@ -224,13 +224,7 @@ def sweep_to_dict(sweep: DistanceSweep) -> Dict[str, Any]:
 
 def behaviour_to_dict(run: BehaviourRun) -> Dict[str, Any]:
     """Serialize one behaviour trace (Figures 5.5–5.7)."""
-    columns = (
-        "rate",
-        "big_cores",
-        "little_cores",
-        "big_freq_mhz",
-        "little_freq_mhz",
-    )
+    columns = run.trace.columns()
     return {
         "schema": _SCHEMA_VERSION,
         "kind": "behaviour-run",

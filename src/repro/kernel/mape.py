@@ -64,6 +64,9 @@ class Knowledge:
         self.adaptations = 0
         #: Candidates skipped on estimation errors across all cycles.
         self.estimation_failures = 0
+        #: Box candidates rejected by the Manhattan-distance prune
+        #: across all cycles (telemetry's ``search_pruned_total``).
+        self.states_pruned = 0
         #: Manager-specific knowledge (MP-HARS keeps its per-app
         #: partition data and per-cluster bookkeeping here).
         self.domain: Dict[str, Any] = {}
@@ -122,6 +125,8 @@ class PlanResult:
     escaped: bool = False
     #: Candidates the Algorithm 2 sweep skipped on estimation errors.
     estimation_failures: int = 0
+    #: Box candidates the Manhattan-distance prune rejected.
+    pruned: int = 0
 
 
 @dataclass
@@ -259,6 +264,7 @@ class SearchPlanner:
             states_explored=result.states_explored,
             escaped=escaped,
             estimation_failures=result.estimation_failures,
+            pruned=result.pruned,
         )
 
 
@@ -294,6 +300,11 @@ class MapeLoop:
     refresh partitions); ``count_adaptations`` controls whether the
     loop increments ``knowledge.adaptations`` on a state change
     (managers that meter adaptation themselves switch it off).
+
+    ``telemetry`` is an optional per-phase observer (the telemetry
+    hub's :class:`~repro.telemetry.hub.MapeTelemetry`) installed after
+    construction; it is read-only — with or without one the cycle's
+    decisions are identical — and ``None`` (the default) costs nothing.
     """
 
     def __init__(
@@ -327,6 +338,9 @@ class MapeLoop:
         #: observation channel was degraded (non-positive, non-finite,
         #: or stale rate) — the graceful-degradation counter.
         self.held_cycles = 0
+        #: Optional MAPE-phase observer (``MapeTelemetry``); installed
+        #: by the telemetry hub, never by the loop itself.
+        self.telemetry: Optional[Any] = None
 
     def on_heartbeat(
         self,
@@ -343,7 +357,10 @@ class MapeLoop:
         degraded-observation guards (non-positive, non-finite, stale
         rates) still hold the last good state.
         """
+        telemetry = self.telemetry
         observation = self.monitor.observe(app, heartbeat, force=force)
+        if telemetry is not None:
+            telemetry.on_monitor(observation)
         if observation is None:
             return None
         if observation.rate <= 0 or not math.isfinite(observation.rate):
@@ -351,6 +368,8 @@ class MapeLoop:
             # rate filter): planning on it would crash the search or
             # thrash the platform.  Hold the last good state instead.
             self.held_cycles += 1
+            if telemetry is not None:
+                telemetry.on_held()
             return None
         if (
             self.stale_after_s is not None
@@ -359,6 +378,8 @@ class MapeLoop:
             # The heartbeat's delivery stalled long enough that the rate
             # no longer describes the present: hold the last good state.
             self.held_cycles += 1
+            if telemetry is not None:
+                telemetry.on_held()
             return None
         if self.current_state_fn is not None:
             current = self.current_state_fn(sim, app)
@@ -369,6 +390,8 @@ class MapeLoop:
         for updater in self.updaters:
             updater.update(self.knowledge, app, current, observation)
         analysis = self.analyzer.analyze(observation.rate, app.target)
+        if telemetry is not None:
+            telemetry.on_analysis(analysis)
         if not analysis.out_of_window and not force:
             self.planner.notify_in_window(current)
             return None
@@ -380,11 +403,16 @@ class MapeLoop:
         )
         plan = self.planner.plan(self.knowledge, ctx)
         ctx.plan = plan
+        if telemetry is not None:
+            telemetry.on_plan(plan)
         self.knowledge.states_explored += plan.states_explored
         self.knowledge.estimation_failures += plan.estimation_failures
+        self.knowledge.states_pruned += plan.pruned
         ctx.adapted = plan.state != current
         if ctx.adapted and self.count_adaptations:
             self.knowledge.adaptations += 1
         if ctx.adapted or self.always_execute:
             self.executor.execute(sim, ctx, plan.state)
+            if telemetry is not None:
+                telemetry.on_execute(ctx.adapted)
         return ctx

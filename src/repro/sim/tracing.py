@@ -11,6 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import ConfigurationError
+
 
 @dataclass(frozen=True)
 class TracePoint:
@@ -25,11 +27,31 @@ class TracePoint:
     little_freq_mhz: int
 
 
+#: The behaviour-graph value columns a :class:`TracePoint` carries
+#: (``time_s``/``hb_index`` are the row keys, not columns).
+TRACE_COLUMNS: Tuple[str, ...] = (
+    "rate",
+    "big_cores",
+    "little_cores",
+    "big_freq_mhz",
+    "little_freq_mhz",
+)
+
+
 class TraceRecorder:
     """Per-application time series of :class:`TracePoint` rows."""
 
     def __init__(self) -> None:
         self._points: Dict[str, List[TracePoint]] = {}
+
+    @staticmethod
+    def columns() -> Tuple[str, ...]:
+        """The column names :meth:`series` accepts, in schema order.
+
+        The telemetry exporters iterate this instead of hard-coding the
+        row layout.
+        """
+        return TRACE_COLUMNS
 
     def record(self, app_name: str, point: TracePoint) -> None:
         """Append one row for an application."""
@@ -46,9 +68,14 @@ class TraceRecorder:
     def series(self, app_name: str, column: str) -> List[Tuple[int, float]]:
         """``(hb_index, value)`` pairs for one behaviour-graph column.
 
-        ``column`` is one of ``rate``, ``big_cores``, ``little_cores``,
-        ``big_freq_mhz``, ``little_freq_mhz``.
+        ``column`` is one of :meth:`columns`; anything else raises
+        :class:`~repro.errors.ConfigurationError` up front instead of an
+        ``AttributeError`` mid-iteration.
         """
+        if column not in TRACE_COLUMNS:
+            raise ConfigurationError(
+                f"unknown trace column {column!r}; valid: {TRACE_COLUMNS}"
+            )
         out: List[Tuple[int, float]] = []
         for point in self._points.get(app_name, ()):
             value = getattr(point, column)

@@ -1,0 +1,152 @@
+"""The metrics registry: one namespace of typed instruments.
+
+A :class:`MetricsRegistry` is the single object a run's telemetry hangs
+off: instrumentation sites get-or-create instruments by name, exporters
+read one deterministic :meth:`~MetricsRegistry.snapshot` at the end.
+
+Snapshots are plain JSON-compatible dicts with every instrument and
+every label series in sorted order, so two identical runs produce
+byte-identical exports — the determinism contract every experiment in
+this repository relies on (``docs/modelling.md`` §9 and §12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.telemetry.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelledInstrument,
+    Timer,
+)
+
+#: Snapshot schema version (bumped whenever the layout changes; the
+#: JSONL reader refuses other versions).
+SNAPSHOT_SCHEMA = 1
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled instruments."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, LabelledInstrument] = {}
+
+    def _get_or_create(
+        self, cls: Type[LabelledInstrument], name: str, help: str, **kwargs
+    ) -> LabelledInstrument:
+        got = self._instruments.get(name)
+        if got is not None:
+            if not isinstance(got, cls):
+                raise ConfigurationError(
+                    f"instrument {name!r} already registered as {got.kind}, "
+                    f"not {cls.kind}"
+                )
+            return got
+        made = cls(name, help, **kwargs)
+        self._instruments[name] = made
+        return made
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> Histogram:
+        if buckets is not None:
+            return self._get_or_create(
+                Histogram, name, help, buckets=buckets
+            )
+        return self._get_or_create(Histogram, name, help)
+
+    def timer(self, name: str, help: str = "") -> Timer:
+        return self._get_or_create(Timer, name, help)
+
+    def get(self, name: str) -> Optional[LabelledInstrument]:
+        """The instrument registered under ``name``, if any."""
+        return self._instruments.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered instrument names, sorted."""
+        return tuple(sorted(self._instruments))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    # -- snapshot -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything measured so far, as a sorted plain-data dict."""
+        instruments: List[Dict[str, Any]] = []
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            entry: Dict[str, Any] = {
+                "name": name,
+                "kind": instrument.kind,
+                "help": instrument.help,
+            }
+            if isinstance(instrument, Histogram):
+                entry["buckets"] = list(instrument.buckets)
+            series = []
+            for labels, child in instrument.series():
+                row: Dict[str, Any] = {"labels": dict(labels)}
+                if isinstance(instrument, (Counter, Gauge)):
+                    row["value"] = child.value
+                elif isinstance(instrument, Histogram):
+                    row["counts"] = list(child.counts)
+                    row["sum"] = child.sum
+                    row["count"] = child.count
+                else:  # Timer
+                    row["count"] = child.count
+                    row["sum_s"] = child.sum_s
+                    row["max_s"] = child.max_s
+                series.append(row)
+            entry["series"] = series
+            instruments.append(entry)
+        return {"schema": SNAPSHOT_SCHEMA, "instruments": instruments}
+
+
+def flatten_snapshot(
+    snapshot: Dict[str, Any]
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Flatten a snapshot to ``{(sample_name, labels): value}``.
+
+    This is the common denominator the exporter round-trip tests compare
+    on: histograms expand to ``_bucket``/``_sum``/``_count`` samples and
+    timers to ``_count``/``_sum_s``/``_max_s``, exactly the samples the
+    Prometheus exporter writes.
+    """
+    flat: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+
+    def put(name: str, labels: Dict[str, str], value: float) -> None:
+        flat[(name, tuple(sorted(labels.items())))] = float(value)
+
+    for entry in snapshot["instruments"]:
+        name = entry["name"]
+        for row in entry["series"]:
+            labels = row["labels"]
+            kind = entry["kind"]
+            if kind in ("counter", "gauge"):
+                put(name, labels, row["value"])
+            elif kind == "histogram":
+                bounds = [*entry["buckets"], float("inf")]
+                for bound, count in zip(bounds, row["counts"]):
+                    le = "+Inf" if bound == float("inf") else repr(bound)
+                    put(f"{name}_bucket", {**labels, "le": le}, count)
+                put(f"{name}_sum", labels, row["sum"])
+                put(f"{name}_count", labels, row["count"])
+            elif kind == "timer":
+                put(f"{name}_count", labels, row["count"])
+                put(f"{name}_sum_s", labels, row["sum_s"])
+                put(f"{name}_max_s", labels, row["max_s"])
+            else:  # pragma: no cover - future kinds
+                raise ConfigurationError(f"unknown instrument kind {kind!r}")
+    return flat

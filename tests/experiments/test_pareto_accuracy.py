@@ -65,10 +65,10 @@ class TestParetoFrontier:
     def test_hars_settles_near_the_frontier(self, xu3, sw_frontier):
         """The point of the analysis: a HARS run's settled operating
         point sits within ~35 % of the oracle frontier."""
-        from repro.experiments.runner import RunShape, run_single
+        from repro.experiments.runner import RunConfig, RunShape, run
 
-        metrics = run_single(
-            "hars-e", RunShape("swaptions", n_units=60), xu3
+        metrics = run(
+            "hars-e", RunShape("swaptions", n_units=60), RunConfig(spec=xu3)
         ).metrics
         rate = metrics.apps[0].overall_rate
         excess = sw_frontier.excess_ratio(rate, metrics.avg_power_w)

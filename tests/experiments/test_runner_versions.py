@@ -4,12 +4,12 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.runner import (
+    RunConfig,
     RunShape,
     build_target,
     clear_max_rate_cache,
     measure_max_rate,
-    run_multi,
-    run_single,
+    run,
 )
 from repro.experiments.versions import (
     MULTI_APP_VERSIONS,
@@ -51,7 +51,7 @@ class TestMaxRate:
 
 class TestRunSingle:
     def test_baseline_run(self, xu3):
-        outcome = run_single("baseline", _SHAPE, xu3)
+        outcome = run("baseline", _SHAPE, RunConfig(spec=xu3))
         metrics = outcome.metrics
         assert metrics.version == "baseline"
         assert metrics.apps[0].heartbeats == 40
@@ -59,22 +59,22 @@ class TestRunSingle:
         assert metrics.apps[0].mean_normalized_perf == pytest.approx(1.0)
 
     def test_hars_run_beats_baseline(self, xu3):
-        baseline = run_single("baseline", _SHAPE, xu3).metrics
-        hars = run_single("hars-e", _SHAPE, xu3).metrics
+        baseline = run("baseline", _SHAPE, RunConfig(spec=xu3)).metrics
+        hars = run("hars-e", _SHAPE, RunConfig(spec=xu3)).metrics
         assert hars.perf_per_watt > 1.5 * baseline.perf_per_watt
         assert hars.final_state != ""
         assert hars.manager_overhead_s > 0
 
     def test_sweep_version(self, xu3):
-        outcome = run_single("hars-d3", _SHAPE, xu3)
+        outcome = run("hars-d3", _SHAPE, RunConfig(spec=xu3))
         assert outcome.metrics.version == "hars-d3"
 
     def test_unknown_version_rejected(self, xu3):
         with pytest.raises(ConfigurationError):
-            run_single("hars-x", _SHAPE, xu3)
+            run("hars-x", _SHAPE, RunConfig(spec=xu3))
 
     def test_trace_available(self, xu3):
-        outcome = run_single("baseline", _SHAPE, xu3)
+        outcome = run("baseline", _SHAPE, RunConfig(spec=xu3))
         assert len(outcome.trace.points("swaptions")) == 40
 
 
@@ -84,7 +84,7 @@ class TestRunMulti:
             RunShape("swaptions", n_units=30),
             RunShape("bodytrack", n_units=30),
         ]
-        outcome = run_multi("mp-hars-e", shapes, xu3)
+        outcome = run("mp-hars-e", shapes, RunConfig(spec=xu3))
         assert len(outcome.metrics.apps) == 2
         for app in outcome.metrics.apps:
             assert app.heartbeats == 30
@@ -94,13 +94,13 @@ class TestRunMulti:
             RunShape("swaptions", n_units=20),
             RunShape("swaptions", n_units=20),
         ]
-        outcome = run_multi("baseline", shapes, xu3)
+        outcome = run("baseline", shapes, RunConfig(spec=xu3))
         names = {a.app_name for a in outcome.metrics.apps}
         assert names == {"swaptions-0", "swaptions-1"}
 
     def test_empty_shapes_rejected(self, xu3):
         with pytest.raises(ConfigurationError):
-            run_multi("baseline", [], xu3)
+            run("baseline", [], RunConfig(spec=xu3))
 
 
 class TestVersionLabels:
@@ -128,7 +128,7 @@ class TestVersionLabels:
 
 class TestExtraVersions:
     def test_ondemand_single_app_version(self, xu3):
-        outcome = run_single("ondemand", _SHAPE, xu3)
+        outcome = run("ondemand", _SHAPE, RunConfig(spec=xu3))
         assert outcome.metrics.apps[0].heartbeats == 40
 
     def test_mp_hars_ei_multi_version(self, xu3):
@@ -136,6 +136,6 @@ class TestExtraVersions:
             RunShape("swaptions", n_units=20),
             RunShape("bodytrack", n_units=20),
         ]
-        outcome = run_multi("mp-hars-ei", shapes, xu3)
+        outcome = run("mp-hars-ei", shapes, RunConfig(spec=xu3))
         assert len(outcome.metrics.apps) == 2
         assert version_label("mp-hars-ei") == "MP-HARS-EI"

@@ -16,7 +16,7 @@ import dataclasses
 
 import pytest
 
-from repro.experiments.runner import RunShape, run_single
+from repro.experiments.runner import RunConfig, RunShape, run
 from repro.faults import FaultConfig
 from repro.heartbeats.targets import PerformanceTarget
 from repro.kernel.bus import EventBus, FaultInjected, FaultRecovered, HeartbeatEmitted
@@ -56,17 +56,21 @@ def _app(n_threads=4, n_units=30, unit_work=4.0):
 
 class TestZeroRateIdentity:
     def test_disabled_config_is_bit_identical(self, xu3):
-        clean = run_single("hars-e", _shape(), xu3)
-        disabled = run_single(
-            "hars-e", _shape(), xu3, faults=FaultConfig.disabled()
+        clean = run("hars-e", _shape(), RunConfig(spec=xu3))
+        disabled = run(
+            "hars-e",
+            _shape(),
+            RunConfig(spec=xu3, faults=FaultConfig.disabled()),
         )
         assert disabled.fault_injector is None
         assert _snapshot(disabled) == _snapshot(clean)
 
     def test_scaled_to_zero_is_bit_identical(self, xu3):
-        clean = run_single("hars-e", _shape(), xu3)
-        zeroed = run_single(
-            "hars-e", _shape(), xu3, faults=FaultConfig.defaults().scaled(0.0)
+        clean = run("hars-e", _shape(), RunConfig(spec=xu3))
+        zeroed = run(
+            "hars-e",
+            _shape(),
+            RunConfig(spec=xu3, faults=FaultConfig.defaults().scaled(0.0)),
         )
         assert zeroed.fault_injector is None
         assert _snapshot(zeroed) == _snapshot(clean)
@@ -107,8 +111,10 @@ class TestDefaultFaultMix:
         assert by_kind == inj.injected
 
     def test_runner_surfaces_the_injector(self, xu3):
-        outcome = run_single(
-            "hars-e", _shape(), xu3, faults=FaultConfig.defaults()
+        outcome = run(
+            "hars-e",
+            _shape(),
+            RunConfig(spec=xu3, faults=FaultConfig.defaults()),
         )
         assert outcome.fault_injector is not None
         assert outcome.fault_injector.total_injected > 0
@@ -120,7 +126,7 @@ class TestDefaultFaultMix:
 class TestExtremeRates:
     def test_certain_dvfs_failure_does_not_crash(self, xu3):
         faults = FaultConfig(dvfs_failure_rate=1.0)
-        outcome = run_single("hars-e", _shape(), xu3, faults=faults)
+        outcome = run("hars-e", _shape(), RunConfig(spec=xu3, faults=faults))
         assert outcome.metrics.apps[0].heartbeats == _UNITS
         inj = outcome.fault_injector
         assert inj.injected.get("dvfs", 0) > 0
@@ -128,7 +134,7 @@ class TestExtremeRates:
 
     def test_certain_dropout_degrades_to_integrated_power(self, xu3):
         faults = FaultConfig(sensor_dropout_rate=1.0)
-        outcome = run_single("hars-e", _shape(), xu3, faults=faults)
+        outcome = run("hars-e", _shape(), RunConfig(spec=xu3, faults=faults))
         assert outcome.metrics.apps[0].heartbeats == _UNITS
         assert outcome.metrics.avg_power_w > 0  # integrated channel intact
 

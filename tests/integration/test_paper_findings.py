@@ -8,7 +8,7 @@ harness regenerates the full-size figures.
 import pytest
 
 from repro.experiments.fig5_1 import run_perf_watt_comparison
-from repro.experiments.runner import RunShape, run_multi, run_single
+from repro.experiments.runner import RunConfig, RunShape, run
 
 _UNITS = 70
 
@@ -18,7 +18,7 @@ def swaptions_grid(xu3):
     """Baseline + HARS versions for one benchmark, shared by tests."""
     shape = RunShape("swaptions", n_units=_UNITS)
     return {
-        version: run_single(version, shape, xu3).metrics
+        version: run(version, shape, RunConfig(spec=xu3)).metrics
         for version in ("baseline", "so", "hars-i", "hars-e")
     }
 
@@ -46,8 +46,8 @@ class TestFig51Findings:
         """The paper: HARS assumes r0 = 1.5 but blackscholes measures
         1.0, so SO largely outperforms HARS on it."""
         shape = RunShape("blackscholes", n_units=_UNITS)
-        so = run_single("so", shape, xu3).metrics
-        hars = run_single("hars-e", shape, xu3).metrics
+        so = run("so", shape, RunConfig(spec=xu3)).metrics
+        hars = run("hars-e", shape, RunConfig(spec=xu3)).metrics
         assert so.perf_per_watt > 1.1 * hars.perf_per_watt
 
     def test_interleaving_helps_ferret_at_mixed_states(self, xu3):
@@ -97,8 +97,8 @@ class TestFig52Finding:
         shape_high = RunShape("bodytrack", n_units=_UNITS, target_fraction=0.75)
 
         def gain(shape):
-            base = run_single("baseline", shape, xu3).metrics.perf_per_watt
-            hars = run_single("hars-e", shape, xu3).metrics.perf_per_watt
+            base = run("baseline", shape, RunConfig(spec=xu3)).metrics.perf_per_watt
+            hars = run("hars-e", shape, RunConfig(spec=xu3)).metrics.perf_per_watt
             return hars / base
 
         assert gain(shape_high) < gain(shape_default)
@@ -107,15 +107,15 @@ class TestFig52Finding:
 class TestFig53Finding:
     def test_larger_distance_explores_more_and_costs_more(self, xu3):
         shape = RunShape("fluidanimate", n_units=_UNITS)
-        d1 = run_single("hars-d1", shape, xu3).metrics
-        d9 = run_single("hars-d9", shape, xu3).metrics
+        d1 = run("hars-d1", shape, RunConfig(spec=xu3)).metrics
+        d9 = run("hars-d9", shape, RunConfig(spec=xu3)).metrics
         assert d9.manager_overhead_s > d1.manager_overhead_s
         assert d9.manager_cpu_percent < 10.0  # paper: small overhead
 
     def test_wide_search_at_least_as_efficient(self, xu3):
         shape = RunShape("fluidanimate", n_units=_UNITS)
-        d1 = run_single("hars-d1", shape, xu3).metrics
-        d7 = run_single("hars-d7", shape, xu3).metrics
+        d1 = run("hars-d1", shape, RunConfig(spec=xu3)).metrics
+        d7 = run("hars-d7", shape, RunConfig(spec=xu3)).metrics
         assert d7.perf_per_watt > 0.9 * d1.perf_per_watt
 
 
@@ -127,7 +127,7 @@ class TestFig54Findings:
             RunShape("fluidanimate", n_units=90),
         ]
         return {
-            version: run_multi(version, shapes, xu3).metrics
+            version: run(version, shapes, RunConfig(spec=xu3)).metrics
             for version in ("baseline", "cons-i", "mp-hars-i", "mp-hars-e")
         }
 

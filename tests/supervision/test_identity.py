@@ -5,7 +5,7 @@ import dataclasses
 
 import pytest
 
-from repro.experiments.runner import RunShape, run_multi, run_single
+from repro.experiments.runner import RunConfig, RunShape, run
 from repro.faults import FaultConfig
 from repro.supervision import AppHealth, SupervisorConfig
 
@@ -23,9 +23,9 @@ def _snapshot(outcome):
 class TestZeroFaultIdentity:
     def test_single_app_supervised_run_is_bit_identical(self):
         shape = RunShape(benchmark="swaptions", n_units=120, seed=3)
-        plain = run_single("hars-e", shape)
-        supervised = run_single(
-            "hars-e", shape, supervision=True, checkpoint=1.0
+        plain = run("hars-e", shape)
+        supervised = run(
+            "hars-e", shape, RunConfig(supervision=True, checkpoint=1.0)
         )
         assert _snapshot(supervised) == _snapshot(plain)
         assert supervised.supervisor.evictions == 0
@@ -41,9 +41,9 @@ class TestZeroFaultIdentity:
             RunShape(benchmark="bodytrack", n_units=120,
                      target_fraction=0.5, seed=2),
         ]
-        plain = run_multi("mp-hars-e", shapes)
-        supervised = run_multi(
-            "mp-hars-e", shapes, supervision=True, checkpoint=1.0
+        plain = run("mp-hars-e", shapes)
+        supervised = run(
+            "mp-hars-e", shapes, RunConfig(supervision=True, checkpoint=1.0)
         )
         assert _snapshot(supervised) == _snapshot(plain)
         assert supervised.supervisor.evictions == 0
@@ -74,12 +74,14 @@ class TestChaosSweep:
             app_runaway_rate=0.002,
             controller_restart_rate=0.002,
         )
-        outcome = run_multi(
+        outcome = run(
             "mp-hars-e",
             self.SHAPES,
-            faults=faults,
-            supervision=SupervisorConfig(grace_factor=4.0),
-            checkpoint=2.0,
+            RunConfig(
+                faults=faults,
+                supervision=SupervisorConfig(grace_factor=4.0),
+                checkpoint=2.0,
+            ),
         )
         ledger = outcome.supervisor.ledger
         statuses = {

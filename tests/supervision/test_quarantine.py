@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.runner import RunShape, build_target, run_multi
+from repro.experiments.runner import RunConfig, RunShape, build_target, run
 from repro.faults import FaultConfig, LifecycleEvent
 from repro.heartbeats.registry import HeartbeatRegistry
 from repro.kernel.bus import AppEvicted, AppQuarantined, AppSuspected, TickStart
@@ -102,9 +102,13 @@ class TestLifecycleIntegration:
         faults = FaultConfig(seed=3, lifecycle_schedule=(
             LifecycleEvent("app_hang", at_s=10.0, target="swaptions-0"),
         ))
-        return run_multi(
-            "mp-hars-e", shapes, faults=faults,
-            supervision=SupervisorConfig(grace_factor=3.0),
+        return run(
+            "mp-hars-e",
+            shapes,
+            RunConfig(
+                faults=faults,
+                supervision=SupervisorConfig(grace_factor=3.0),
+            ),
         )
 
     def test_hung_app_walks_the_state_machine(self, hang_outcome):
@@ -145,8 +149,8 @@ class TestLifecycleIntegration:
         faults = FaultConfig(seed=3, lifecycle_schedule=(
             LifecycleEvent("app_crash", at_s=10.0, target="bodytrack-1"),
         ))
-        outcome = run_multi(
-            "mp-hars-e", shapes, faults=faults, supervision=True
+        outcome = run(
+            "mp-hars-e", shapes, RunConfig(faults=faults, supervision=True)
         )
         record = outcome.supervisor.ledger.record("bodytrack-1")
         assert record.status is AppHealth.EVICTED

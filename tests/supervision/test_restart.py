@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.manager import HarsManager
-from repro.experiments.runner import RunShape, build_target, run_multi
+from repro.experiments.runner import RunConfig, RunShape, build_target, run
 from repro.experiments.serialize import checkpoint_payload
 from repro.experiments.versions import attach_single_app_version
 from repro.faults import FaultConfig, LifecycleEvent
@@ -51,8 +51,10 @@ class TestWarmVsColdAcceptance:
         faults = FaultConfig(seed=3, lifecycle_schedule=(
             LifecycleEvent("controller_restart", at_s=120.0),
         ))
-        warm = run_multi("mp-hars-e", shapes, faults=faults, checkpoint=2.0)
-        cold = run_multi("mp-hars-e", shapes, faults=faults)
+        warm = run(
+            "mp-hars-e", shapes, RunConfig(faults=faults, checkpoint=2.0)
+        )
+        cold = run("mp-hars-e", shapes, RunConfig(faults=faults))
         return warm, cold
 
     def test_checkpoints_were_written(self, runs):

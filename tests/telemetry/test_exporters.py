@@ -1,0 +1,128 @@
+"""Exporter round-trips: JSONL, Prometheus, CSV over one snapshot."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.tracing import TracePoint, TraceRecorder
+from repro.telemetry import (
+    MetricsRegistry,
+    flatten_snapshot,
+    parse_prometheus,
+    read_jsonl,
+    snapshot_from_jsonl,
+    snapshot_to_csv,
+    snapshot_to_jsonl,
+    snapshot_to_prometheus,
+    summary_table,
+    trace_to_csv,
+    write_jsonl,
+)
+
+
+@pytest.fixture()
+def registry():
+    """A registry exercising all four instrument kinds and labels."""
+    reg = MetricsRegistry()
+    reg.counter("beats_total", "Heartbeats.").inc(42, app="sw-0")
+    reg.counter("beats_total", "Heartbeats.").inc(7, app="bt-1")
+    reg.gauge("cores", "Allocated cores.").set(3, app="sw-0", cluster="big")
+    hist = reg.histogram("rate", "Observed rates.", buckets=(1.0, 2.5, 5.0))
+    hist.observe(0.4)
+    hist.observe(1.7)
+    hist.observe(99.0)
+    reg.timer("plan_s", "Plan cost.").record(0.125, controller="hars")
+    reg.gauge("run_info", "Run labels.").set(
+        1.0, version="hars-e", note='quo"te,comma'
+    )
+    return reg
+
+
+class TestJsonlRoundTrip:
+    def test_exact_snapshot_reconstruction(self, registry):
+        snapshot = registry.snapshot()
+        assert snapshot_from_jsonl(snapshot_to_jsonl(snapshot)) == snapshot
+
+    def test_file_round_trip(self, registry, tmp_path):
+        snapshot = registry.snapshot()
+        path = str(tmp_path / "telemetry.jsonl")
+        write_jsonl(snapshot, path)
+        assert read_jsonl(path) == snapshot
+
+    def test_schema_mismatch_rejected(self, registry):
+        text = snapshot_to_jsonl(registry.snapshot())
+        bad = text.replace('"schema": 1', '"schema": 99', 1)
+        with pytest.raises(ConfigurationError):
+            snapshot_from_jsonl(bad)
+
+    def test_orphan_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            snapshot_from_jsonl(
+                '{"record": "header", "schema": 1}\n'
+                '{"record": "series", "name": "x", "labels": {}, "value": 1}\n'
+            )
+
+
+class TestPrometheusRoundTrip:
+    def test_flat_samples_survive(self, registry):
+        snapshot = registry.snapshot()
+        text = snapshot_to_prometheus(snapshot)
+        assert parse_prometheus(text) == flatten_snapshot(snapshot)
+
+    def test_histogram_uses_cumulative_buckets(self, registry):
+        text = snapshot_to_prometheus(registry.snapshot())
+        assert 'rate_bucket{le="1.0"} 1.0' in text
+        assert 'rate_bucket{le="2.5"} 2.0' in text
+        assert 'rate_bucket{le="+Inf"} 3.0' in text
+        assert "rate_count 3.0" in text
+
+    def test_label_escaping_round_trips(self, registry):
+        flat = parse_prometheus(snapshot_to_prometheus(registry.snapshot()))
+        labels = dict(
+            next(k[1] for k in flat if k[0] == "run_info")
+        )
+        assert labels["note"] == 'quo"te,comma'
+
+    def test_help_and_type_lines_present(self, registry):
+        text = snapshot_to_prometheus(registry.snapshot())
+        assert "# HELP beats_total Heartbeats." in text
+        assert "# TYPE beats_total counter" in text
+        assert "# TYPE rate histogram" in text
+
+
+class TestCsvAndSummary:
+    def test_csv_covers_every_flat_sample(self, registry):
+        snapshot = registry.snapshot()
+        lines = snapshot_to_csv(snapshot).strip().splitlines()
+        assert lines[0] == "sample,labels,value"
+        assert len(lines) - 1 == len(flatten_snapshot(snapshot))
+
+    def test_summary_table_renders(self, registry):
+        table = summary_table(registry.snapshot())
+        assert "beats_total" in table
+        assert "app=sw-0" in table
+
+    def test_empty_registry_summary(self):
+        assert "no telemetry" in summary_table(MetricsRegistry().snapshot())
+
+
+class TestTraceCsv:
+    def test_follows_recorder_columns(self):
+        trace = TraceRecorder()
+        trace.record(
+            "sw-0",
+            TracePoint(
+                time_s=0.5,
+                hb_index=1,
+                rate=None,
+                big_cores=2,
+                little_cores=4,
+                big_freq_mhz=1400,
+                little_freq_mhz=1100,
+            ),
+        )
+        text = trace_to_csv(trace)
+        header, row = text.strip().splitlines()
+        assert header == "app,time_s,hb_index," + ",".join(trace.columns())
+        assert row.startswith("sw-0,0.5,1,")
+        # A None rate exports as an empty cell, not "None".
+        assert ",None," not in row
