@@ -22,14 +22,16 @@ internal layering and may move between releases.
 
 from repro.experiments.runner import RunConfig, RunOutcome, RunShape, run
 from repro.faults import FaultConfig
+from repro.guardrails import GuardrailConfig
 from repro.sim.tracing import TraceRecorder
 from repro.supervision import SupervisorConfig
 from repro.telemetry import MetricsRegistry, TelemetryConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FaultConfig",
+    "GuardrailConfig",
     "MetricsRegistry",
     "RunConfig",
     "RunOutcome",

@@ -136,21 +136,32 @@ def _run_telemetry(
     n_units: Optional[int],
     benchmarks: Optional[List[str]],
     fmt: str = "summary",
+    power_cap_w: Optional[float] = None,
 ):
     """One instrumented HARS-E run, exported in the chosen format.
 
     The run itself is a standard Figure 5.1-style single-application run
     (first ``--bench`` entry, default swaptions); the output is its full
     metrics-registry snapshot through one of the
-    :mod:`repro.telemetry.exporters`.
+    :mod:`repro.telemetry.exporters`.  ``--power-cap`` additionally
+    attaches the guardrail layer with a run-wide budget, so the snapshot
+    carries the trip counters and throttle stats.
     """
     from repro.experiments.runner import RunConfig, RunShape, run
+    from repro.guardrails import GuardrailConfig
     from repro.telemetry import exporters
     from repro.workloads.parsec import resolve_name
 
     name = resolve_name(benchmarks[0]) if benchmarks else "swaptions"
     shape = RunShape(benchmark=name, n_units=n_units)
-    outcome = run("hars-e", shape, RunConfig(telemetry=True))
+    guardrails = (
+        GuardrailConfig(power_cap_w=power_cap_w)
+        if power_cap_w is not None
+        else None
+    )
+    outcome = run(
+        "hars-e", shape, RunConfig(telemetry=True, guardrails=guardrails)
+    )
     snapshot = outcome.telemetry.registry.snapshot()
     renderers = {
         "summary": exporters.summary_table,
@@ -209,6 +220,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="summary",
         help="export format for the telemetry experiment",
     )
+    parser.add_argument(
+        "--power-cap",
+        type=float,
+        default=None,
+        metavar="WATTS",
+        help="telemetry experiment only: attach the guardrail layer "
+        "with this run-wide power budget",
+    )
     args = parser.parse_args(argv)
     n_units = args.units if args.units is not None else (
         QUICK_UNITS if args.quick else None
@@ -223,7 +242,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         print(f"=== {name} ===")
         if name == "telemetry":
-            payload = _run_telemetry(n_units, benchmarks, fmt=args.format)
+            payload = _run_telemetry(
+                n_units,
+                benchmarks,
+                fmt=args.format,
+                power_cap_w=args.power_cap,
+            )
         else:
             payload = _RUNNERS[name](n_units, benchmarks)
         if payload is not None:

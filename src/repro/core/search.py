@@ -73,7 +73,10 @@ class SearchResult:
     candidate degrades the sweep, never aborts the adaptation cycle.
     ``pruned`` counts box candidates the Manhattan-distance prune
     rejected before estimation (the telemetry layer's
-    ``search_pruned_total``).
+    ``search_pruned_total``); ``filtered`` counts candidates the
+    *guardrail* filter vetoed (``search_filtered_total``) — kept
+    separate so telemetry can distinguish "pruned by d" from "vetoed
+    by budget".
     """
 
     best: EvaluatedState
@@ -81,6 +84,7 @@ class SearchResult:
     forced_fallback: bool = False
     estimation_failures: int = 0
     pruned: int = 0
+    filtered: int = 0
 
     @property
     def state(self) -> SystemState:
@@ -143,6 +147,7 @@ def get_next_sys_state(
     perf_estimator: PerformanceEstimator,
     power_estimator: PowerEstimator,
     candidate_filter: Optional[CandidateFilter] = None,
+    guard_filter: Optional[CandidateFilter] = None,
 ) -> SearchResult:
     """Algorithm 2: sweep, estimate, and select the next system state.
 
@@ -153,12 +158,20 @@ def get_next_sys_state(
     ``states_explored`` counts candidates actually *estimated* (after the
     distance prune and the filter), which is what the Figure 5.3(b)
     overhead accounting meters.
+
+    ``candidate_filter`` encodes *structural* constraints (MP-HARS
+    partitions, frozen states) and its rejections are uncounted;
+    ``guard_filter`` is the guardrail veto (budget caps) and its
+    rejections are reported as ``filtered``.  The guard runs after the
+    structural filter, so ``filtered`` counts only vetoes among
+    structurally-admissible candidates.
     """
     if observed_rate <= 0:
         raise EstimationError("search needs a positive observed rate")
     best: Optional[EvaluatedState] = None
     explored = 0
     estimation_failures = 0
+    filtered = 0
     sweep_stats: dict = {}
     for candidate in neighbourhood(
         spec, current, space.m, space.n, space.d, stats=sweep_stats
@@ -166,6 +179,9 @@ def get_next_sys_state(
         if candidate_filter is not None and not candidate_filter(
             candidate, current
         ):
+            continue
+        if guard_filter is not None and not guard_filter(candidate, current):
+            filtered += 1
             continue
         # A candidate whose estimate raises (missing coefficients after
         # a partial restore, degenerate power prediction, …) is skipped
@@ -211,10 +227,12 @@ def get_next_sys_state(
             forced_fallback=True,
             estimation_failures=estimation_failures,
             pruned=sweep_stats.get("pruned", 0),
+            filtered=filtered,
         )
     return SearchResult(
         best=best,
         states_explored=explored,
         estimation_failures=estimation_failures,
         pruned=sweep_stats.get("pruned", 0),
+        filtered=filtered,
     )

@@ -24,6 +24,7 @@ from repro.core.manager import HarsManager
 from repro.errors import ConfigurationError
 from repro.experiments.metrics import AppRunMetrics, RunMetrics
 from repro.faults import FaultConfig, FaultInjector
+from repro.guardrails import GuardrailConfig, GuardrailLayer
 from repro.experiments.versions import (
     attach_multi_app_version,
     attach_single_app_version,
@@ -86,7 +87,10 @@ class RunConfig:
     PR-2/3 resilience layers; ``telemetry`` attaches the observation
     hub (:class:`~repro.telemetry.hub.TelemetryHub`) — ``True`` for the
     default :class:`~repro.telemetry.hub.TelemetryConfig`, and provably
-    result-neutral either way.
+    result-neutral either way; ``guardrails`` attaches the runtime
+    guardrail layer (:class:`~repro.guardrails.GuardrailLayer`) —
+    ``None`` or an all-default :class:`~repro.guardrails.GuardrailConfig`
+    attaches nothing and is bit-identical to a run without the layer.
     """
 
     spec: Optional[PlatformSpec] = None
@@ -96,6 +100,7 @@ class RunConfig:
     supervision: Union[SupervisorConfig, bool, None] = None
     checkpoint: Optional[float] = None
     telemetry: Union[TelemetryConfig, bool, None] = None
+    guardrails: Optional[GuardrailConfig] = None
 
     def __post_init__(self) -> None:
         if self.profile not in PROFILES:
@@ -140,6 +145,9 @@ class RunOutcome:
     #: registry (``outcome.telemetry.registry``) and the trace, ready
     #: for the :mod:`repro.telemetry.exporters`.
     telemetry: Optional[TelemetryHub] = None
+    #: Present when ``guardrails=`` enabled at least one guardrail;
+    #: carries trip counters, budget shares, and watchdog residuals.
+    guardrails: Optional[GuardrailLayer] = None
 
 
 def _attach_supervision(
@@ -211,6 +219,22 @@ def build_target(spec: PlatformSpec, shape: RunShape) -> PerformanceTarget:
     )
 
 
+def _attach_guardrails(
+    sim: Simulation, config: RunConfig
+) -> Optional[GuardrailLayer]:
+    """Attach the guardrail layer between supervision and telemetry.
+
+    A missing or all-default :class:`GuardrailConfig` attaches nothing:
+    the run stays bit-identical to one predating the guardrail layer.
+    """
+    guardrail_config = config.guardrails
+    if guardrail_config is None or not guardrail_config.enabled:
+        return None
+    layer = GuardrailLayer(guardrail_config)
+    sim.add_controller(layer)
+    return layer
+
+
 def _attach_telemetry(
     sim: Simulation, version: str, config: RunConfig
 ) -> Optional[TelemetryHub]:
@@ -273,6 +297,7 @@ def _run_single(version: str, shape: RunShape, config: RunConfig) -> RunOutcome:
     supervisor, store = _attach_supervision(
         sim, config.supervision, config.checkpoint
     )
+    guardrails = _attach_guardrails(sim, config)
     hub = _attach_telemetry(sim, version, config)
     elapsed = sim.run(
         until_s=_safety_horizon(
@@ -290,6 +315,7 @@ def _run_single(version: str, shape: RunShape, config: RunConfig) -> RunOutcome:
         supervisor=supervisor,
         checkpoint_store=store,
         telemetry=hub,
+        guardrails=guardrails,
     )
 
 
@@ -326,6 +352,7 @@ def _run_multi(
     supervisor, store = _attach_supervision(
         sim, config.supervision, config.checkpoint
     )
+    guardrails = _attach_guardrails(sim, config)
     hub = _attach_telemetry(sim, version, config)
     elapsed = sim.run(
         until_s=2 * _safety_horizon(total_beats, rate_floor=slowest_floor)
@@ -341,6 +368,7 @@ def _run_multi(
         supervisor=supervisor,
         checkpoint_store=store,
         telemetry=hub,
+        guardrails=guardrails,
     )
 
 

@@ -25,6 +25,7 @@ FAULT_KINDS = (
     "sensor-dropout",
     "sensor-noise",
     "sensor-stuck",
+    "thermal-ramp",
     "heartbeat-stall",
     "heartbeat-jitter",
     "dvfs",
@@ -44,6 +45,7 @@ _RATE_FIELDS = (
     "sensor_dropout_rate",
     "sensor_noise_rate",
     "sensor_stuck_rate",
+    "thermal_ramp_rate",
     "heartbeat_stall_rate",
     "heartbeat_jitter_rate",
     "dvfs_failure_rate",
@@ -105,6 +107,16 @@ class FaultConfig:
     sensor_stuck_rate: float = 0.0
     #: Length of a stuck-at episode, in samples (including the first).
     sensor_stuck_samples: int = 8
+    #: Probability a sample starts a thermal-ramp episode: ambient heating
+    #: adds a triangular power excursion (ramp up, peak, ramp back) to the
+    #: board and total rails over the next ``thermal_ramp_samples``
+    #: readings — the sustained-drift shape that exercises the guardrail
+    #: thermal model, unlike the instantaneous noise/stuck faults.
+    thermal_ramp_rate: float = 0.0
+    #: Peak extra watts at the middle of a thermal-ramp episode.
+    thermal_ramp_heat_w: float = 1.5
+    #: Length of a thermal-ramp episode, in samples (including the first).
+    thermal_ramp_samples: int = 16
 
     # -- heartbeat delivery ----------------------------------------------
     #: Probability a heartbeat's delivery to the runtime stalls.
@@ -149,12 +161,15 @@ class FaultConfig:
                 )
         if self.sensor_noise_std < 0:
             raise ConfigurationError("sensor_noise_std must be >= 0")
+        if self.thermal_ramp_heat_w < 0:
+            raise ConfigurationError("thermal_ramp_heat_w must be >= 0")
         if self.app_runaway_speed_factor <= 1.0:
             raise ConfigurationError(
                 "app_runaway_speed_factor must be > 1 (a runaway speeds up)"
             )
         for name in (
             "sensor_stuck_samples",
+            "thermal_ramp_samples",
             "heartbeat_stall_ticks",
             "heartbeat_jitter_ticks",
         ):
@@ -185,6 +200,7 @@ class FaultConfig:
             self.sensor_dropout_rate > 0
             or self.sensor_noise_rate > 0
             or self.sensor_stuck_rate > 0
+            or self.thermal_ramp_rate > 0
         )
 
     @property

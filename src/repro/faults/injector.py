@@ -34,6 +34,11 @@ from repro.kernel.bus import EventBus, FaultInjected, FaultRecovered
 #: sensor/heartbeat/actuation fault schedules of the same seed.
 _LIFECYCLE_SEED_OFFSET = 0x9E3779B9
 
+#: Seed offset of the thermal-ramp RNG stream, separate for the same
+#: reason: enabling the ramp must not shift the per-sample dropout /
+#: stuck / noise draws of an established seed.
+_THERMAL_SEED_OFFSET = 0x85EBCA6B
+
 
 class FaultInjector:
     """Turns a :class:`FaultConfig` into concrete fault decisions."""
@@ -43,6 +48,7 @@ class FaultInjector:
         self.bus = bus
         self.rng = random.Random(config.seed)
         self.lifecycle_rng = random.Random(config.seed + _LIFECYCLE_SEED_OFFSET)
+        self.thermal_rng = random.Random(config.seed + _THERMAL_SEED_OFFSET)
         #: Injection / recovery counts per fault kind.
         self.injected: Dict[str, int] = {}
         self.recovered: Dict[str, int] = {}
@@ -50,6 +56,8 @@ class FaultInjector:
         self._stuck_left = 0
         self._dropout_pending = False
         self._noise_pending = False
+        self._ramp_total = 0
+        self._ramp_left = 0
         self._fired_schedule: Set[int] = set()
 
     # -- bookkeeping + bus announcements ----------------------------------
@@ -100,7 +108,50 @@ class FaultInjector:
         Returns the watts the sensor reader *observes*: ``None`` for a
         dropped sample, a frozen copy during a stuck-at episode, a
         noise-scaled reading, or the true reading when no fault fires.
+        An active thermal-ramp episode then adds its excursion on top of
+        whatever the sample faults produced (except a full dropout).
         """
+        observed = self._sample_fault(time_s, watts)
+        cfg = self.config
+        if (
+            self._ramp_left == 0
+            and cfg.thermal_ramp_rate
+            and self.thermal_rng.random() < cfg.thermal_ramp_rate
+        ):
+            self._ramp_total = cfg.thermal_ramp_samples
+            self._ramp_left = cfg.thermal_ramp_samples
+            self.note_injected(
+                "thermal-ramp",
+                "power",
+                time_s,
+                f"{cfg.thermal_ramp_samples} samples, "
+                f"peak +{cfg.thermal_ramp_heat_w}W",
+            )
+        if self._ramp_left > 0:
+            # Triangular excursion: 0 at the episode edges, peak heat in
+            # the middle.  Only the board and total rails heat up, so the
+            # per-cluster big + little + board = total additivity holds.
+            pos = self._ramp_total - self._ramp_left
+            if self._ramp_total > 1:
+                frac = 1.0 - abs(2.0 * pos / (self._ramp_total - 1) - 1.0)
+            else:
+                frac = 1.0
+            extra = cfg.thermal_ramp_heat_w * frac
+            self._ramp_left -= 1
+            if observed is not None and extra > 0:
+                heated = dict(observed)
+                for channel in ("board", "total"):
+                    if channel in heated:
+                        heated[channel] += extra
+                observed = heated
+            if self._ramp_left == 0:
+                self.note_recovered("thermal-ramp", "power", time_s)
+        return observed
+
+    def _sample_fault(
+        self, time_s: float, watts: Mapping[str, float]
+    ) -> Optional[Mapping[str, float]]:
+        """The per-sample dropout / stuck / noise fault chain."""
         cfg = self.config
         if self._stuck_left > 0:
             self._stuck_left -= 1

@@ -1,0 +1,21 @@
+"""Runtime guardrails: budget enforcement, damping, misprediction watchdog.
+
+The layer is strictly opt-in: a :class:`~repro.experiments.runner.RunConfig`
+without a :class:`GuardrailConfig` (or with an all-default one) attaches
+nothing and is bit-identical to a run predating this package.
+"""
+
+from repro.guardrails.config import GuardrailConfig
+from repro.guardrails.damper import OscillationDamper
+from repro.guardrails.layer import BudgetEnforcer, GuardrailLayer
+from repro.guardrails.thermal import ThermalModel
+from repro.guardrails.watchdog import MispredictionWatchdog
+
+__all__ = [
+    "BudgetEnforcer",
+    "GuardrailConfig",
+    "GuardrailLayer",
+    "MispredictionWatchdog",
+    "OscillationDamper",
+    "ThermalModel",
+]

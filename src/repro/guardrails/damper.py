@@ -1,0 +1,167 @@
+"""Oscillation damper: hysteresis against A↔B state thrashing.
+
+HARS-E's exhaustive search has no memory: when no reachable state sits
+inside a tight target window, every adaptation period flips between the
+nearest state *below* the window and the nearest state *above* it —
+each DVFS write and thread migration costing real time and power for
+zero satisfaction gain.  Tight windows also produce longer limit
+cycles — A→B→C→A every three periods — with the same cost profile.
+The damper watches a sliding window of planned boundary states per
+app; when the window is dominated by a small recurring set of states
+(at most ``states`` distinct members, two by default) with enough
+flips between them, it trips, picks the *cheapest* member (by
+estimated power), and holds it for a cooldown of K adaptation periods
+before letting the search move again.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.core.state import SystemState
+
+
+class _AppDamper:
+    """Per-app sliding window and hold state."""
+
+    __slots__ = ("history", "hold_left", "held_state")
+
+    def __init__(self, window: int):
+        self.history: Deque[SystemState] = deque(maxlen=window)
+        self.hold_left = 0
+        self.held_state: Optional[SystemState] = None
+
+
+class OscillationDamper:
+    """Detects small-cycle thrash and holds the cheapest state."""
+
+    def __init__(
+        self, window: int, flips: int, hold_periods: int, states: int = 2
+    ):
+        self.window = window
+        self.flips = flips
+        self.hold_periods = hold_periods
+        self.states = states
+        self._apps: Dict[str, _AppDamper] = {}
+        #: Thrash episodes detected (→ ``GuardrailTripped``).
+        self.trips = 0
+        #: Boundary cycles spent inside a hold.
+        self.held_cycles = 0
+
+    def _of(self, app_name: str) -> _AppDamper:
+        data = self._apps.get(app_name)
+        if data is None:
+            data = self._apps[app_name] = _AppDamper(self.window)
+        return data
+
+    def holding(self, app_name: str) -> bool:
+        data = self._apps.get(app_name)
+        return data is not None and data.hold_left > 0
+
+    def filter_plan(
+        self,
+        app_name: str,
+        planned: SystemState,
+        cheaper_of: Callable[[SystemState, SystemState], SystemState],
+    ) -> Tuple[SystemState, str]:
+        """One boundary decision through the damper.
+
+        Returns ``(state_to_apply, transition)`` where ``transition`` is
+        ``"trip"`` when a new hold starts, ``"release"`` when the
+        current hold expires after this cycle, and ``""`` otherwise.
+        """
+        data = self._of(app_name)
+        if data.hold_left > 0:
+            data.hold_left -= 1
+            self.held_cycles += 1
+            held = data.held_state
+            assert held is not None
+            if data.hold_left == 0:
+                data.held_state = None
+                # History restarts empty after a hold so the cooldown
+                # actually buys K undisturbed periods of evidence.
+                data.history.clear()
+                return held, "release"
+            return held, ""
+        data.history.append(planned)
+        if len(data.history) < self.window:
+            return planned, ""
+        # First-seen order keeps the reduction below deterministic.
+        distinct = []
+        for state in data.history:
+            if state not in distinct:
+                distinct.append(state)
+        if not 2 <= len(distinct) <= self.states:
+            return planned, ""
+        flips = sum(
+            1
+            for earlier, later in zip(
+                tuple(data.history), tuple(data.history)[1:]
+            )
+            if earlier != later
+        )
+        if flips < self.flips:
+            return planned, ""
+        hold = distinct[0]
+        for other in distinct[1:]:
+            hold = cheaper_of(hold, other)
+        self.trips += 1
+        self.held_cycles += 1
+        data.held_state = hold
+        # The tripping cycle counts as the first held period.
+        data.hold_left = self.hold_periods - 1
+        data.history.clear()
+        if data.hold_left == 0:
+            # Degenerate one-period hold: the caller pairs the release
+            # itself (``holding()`` is already False again).
+            data.held_state = None
+        return hold, "trip"
+
+    def forget(self, app_name: str) -> None:
+        """Drop per-app state (the app finished or was evicted)."""
+        self._apps.pop(app_name, None)
+
+    def reset(self) -> None:
+        """Cold start: windows and holds are volatile."""
+        self._apps.clear()
+
+    # -- checkpoint plumbing ----------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-serializable hold state (history windows are volatile)."""
+        return {
+            "trips": self.trips,
+            "held_cycles": self.held_cycles,
+            "holds": {
+                name: {
+                    "hold_left": data.hold_left,
+                    "held_state": (
+                        [
+                            data.held_state.c_big,
+                            data.held_state.c_little,
+                            data.held_state.f_big_mhz,
+                            data.held_state.f_little_mhz,
+                        ]
+                        if data.held_state is not None
+                        else None
+                    ),
+                }
+                for name, data in self._apps.items()
+                if data.hold_left > 0
+            },
+        }
+
+    def restore(self, body: Dict[str, object]) -> None:
+        self.trips = int(body.get("trips", 0))
+        self.held_cycles = int(body.get("held_cycles", 0))
+        holds = body.get("holds") or {}
+        for name, entry in holds.items():
+            data = self._of(str(name))
+            data.hold_left = int(entry.get("hold_left", 0))
+            values = entry.get("held_state")
+            data.held_state = (
+                SystemState(*(int(v) for v in values))
+                if values is not None
+                else None
+            )

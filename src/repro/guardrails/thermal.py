@@ -1,0 +1,75 @@
+"""First-order thermal model for the budget enforcer.
+
+The ODROID-XU3's A15 cluster throttles thermally long before its
+electrical limits; the enforcer models that with the standard
+single-pole RC abstraction: package temperature relaxes toward
+``ambient + c_per_w × power`` with time constant ``tau``.  Driven from
+the engine's per-tick power samples this is deterministic, cheap, and
+captures the property the guardrail needs — *sustained* power near the
+cap heats the package over tens of seconds even when no single sample
+violates it.
+
+The hot/cool decision carries hysteresis (``throttle_c`` to trip,
+``release_c`` to clear) so the tightened cap does not chatter around
+the threshold.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class ThermalModel:
+    """``dT/dt = (ambient + c_per_w·P − T) / tau`` with hysteresis."""
+
+    def __init__(
+        self,
+        ambient_c: float,
+        tau_s: float,
+        c_per_w: float,
+        throttle_c: float,
+        release_c: float,
+    ):
+        self.ambient_c = ambient_c
+        self.tau_s = tau_s
+        self.c_per_w = c_per_w
+        self.throttle_c = throttle_c
+        self.release_c = release_c
+        self.temp_c = ambient_c
+        #: Whether the model is currently in the tightened-cap regime.
+        self.hot = False
+        #: Highest temperature the model reached.
+        self.peak_c = ambient_c
+
+    def update(self, dt_s: float, power_w: float) -> str:
+        """Advance one tick; returns ``"trip"`` / ``"release"`` / ``""``.
+
+        The exact exponential step (not the Euler approximation) keeps
+        the model stable for any ``dt``/``tau`` ratio.
+        """
+        if dt_s <= 0:
+            return ""
+        steady = self.ambient_c + self.c_per_w * power_w
+        alpha = 1.0 - math.exp(-dt_s / self.tau_s)
+        self.temp_c += (steady - self.temp_c) * alpha
+        if self.temp_c > self.peak_c:
+            self.peak_c = self.temp_c
+        if not self.hot and self.temp_c >= self.throttle_c:
+            self.hot = True
+            return "trip"
+        if self.hot and self.temp_c <= self.release_c:
+            self.hot = False
+            return "release"
+        return ""
+
+    def restore(self, temp_c: float, hot: bool, peak_c: float) -> None:
+        """Adopt checkpointed thermal state (warm restart)."""
+        self.temp_c = float(temp_c)
+        self.hot = bool(hot)
+        self.peak_c = float(peak_c)
+
+    def reset(self) -> None:
+        """Cold start: back to ambient."""
+        self.temp_c = self.ambient_c
+        self.hot = False
+        self.peak_c = self.ambient_c

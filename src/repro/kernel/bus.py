@@ -165,6 +165,42 @@ class ControllerRestored(Event):
 
 
 @dataclass(frozen=True)
+class GuardrailTripped(Event):
+    """A runtime guardrail engaged a protective action.
+
+    ``guard`` names the tripping guardrail (``budget`` — the power cap
+    was exceeded at the sensor and an emergency down-throttle fired;
+    ``thermal`` — the modelled thermal state crossed its threshold and
+    the effective cap tightened; ``damper`` — A↔B state thrashing was
+    detected and the cheaper state is being held; ``watchdog`` — the
+    estimator residuals crossed the misprediction threshold and the
+    manager degraded to incremental safe mode).  ``app_name`` is ``"*"``
+    for run-wide guards (the budget/thermal pair watch the board rail,
+    not one app).
+    """
+
+    guard: str
+    app_name: str
+    time_s: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class GuardrailReleased(Event):
+    """A previously-tripped guardrail disengaged.
+
+    Paired with :class:`GuardrailTripped` by ``guard``/``app_name``:
+    power back under the cap, thermal state cooled below threshold, a
+    damper hold expired, watchdog residuals recovered.
+    """
+
+    guard: str
+    app_name: str
+    time_s: float
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class FaultRecovered(Event):
     """A previously-degraded channel produced a good result again.
 

@@ -67,6 +67,9 @@ class Knowledge:
         #: Box candidates rejected by the Manhattan-distance prune
         #: across all cycles (telemetry's ``search_pruned_total``).
         self.states_pruned = 0
+        #: Candidates vetoed by a guardrail filter across all cycles
+        #: (telemetry's ``search_filtered_total``).
+        self.states_filtered = 0
         #: Manager-specific knowledge (MP-HARS keeps its per-app
         #: partition data and per-cluster bookkeeping here).
         self.domain: Dict[str, Any] = {}
@@ -127,6 +130,12 @@ class PlanResult:
     estimation_failures: int = 0
     #: Box candidates the Manhattan-distance prune rejected.
     pruned: int = 0
+    #: Candidates a guardrail filter vetoed (budget caps).
+    filtered: int = 0
+    #: The winning candidate with its estimates
+    #: (:class:`~repro.core.search.EvaluatedState`) — what the
+    #: misprediction watchdog compares the next observation against.
+    evaluated: Optional[Any] = None
 
 
 @dataclass
@@ -213,6 +222,13 @@ class SearchPlanner:
       the search widens to ``escape_space(spec)``.
     * ``constraint`` — called with the cycle context, returns a
       candidate filter (MP-HARS's partition/freeze gating).
+    * ``guard`` — an optional guardrail hook
+      (:class:`~repro.guardrails.layer.GuardrailLayer`) installed after
+      construction, exactly like the loop's ``telemetry`` observer.  It
+      may narrow the search space (``adjust_space`` — the watchdog's
+      incremental safe mode) and veto candidates (``candidate_veto`` —
+      the budget cap); ``None`` (the default) costs nothing and the
+      plan is identical to an unguarded one.
     """
 
     def __init__(
@@ -229,6 +245,9 @@ class SearchPlanner:
         self.escape_space = escape_space
         self.constraint = constraint
         self.escapes = 0
+        #: Optional guardrail hook; installed by the guardrail layer,
+        #: never by the planner itself.
+        self.guard: Optional[Any] = None
 
     def notify_in_window(self, current: SystemState) -> None:
         if self.escape is not None:
@@ -248,6 +267,11 @@ class SearchPlanner:
         candidate_filter = (
             self.constraint(ctx) if self.constraint is not None else None
         )
+        guard = self.guard
+        guard_filter = None
+        if guard is not None:
+            space = guard.adjust_space(ctx, space)
+            guard_filter = guard.candidate_veto(knowledge, ctx)
         result = get_next_sys_state(
             spec=knowledge.spec,
             current=ctx.current,
@@ -258,6 +282,7 @@ class SearchPlanner:
             perf_estimator=knowledge.estimation.perf,
             power_estimator=knowledge.estimation.power,
             candidate_filter=candidate_filter,
+            guard_filter=guard_filter,
         )
         return PlanResult(
             state=result.state,
@@ -265,6 +290,8 @@ class SearchPlanner:
             escaped=escaped,
             estimation_failures=result.estimation_failures,
             pruned=result.pruned,
+            filtered=result.filtered,
+            evaluated=result.best,
         )
 
 
@@ -305,6 +332,14 @@ class MapeLoop:
     hub's :class:`~repro.telemetry.hub.MapeTelemetry`) installed after
     construction; it is read-only — with or without one the cycle's
     decisions are identical — and ``None`` (the default) costs nothing.
+
+    ``guard`` is the same pattern for the guardrail layer, but it is
+    *not* read-only: ``on_observation`` feeds the misprediction
+    watchdog, ``adjust_plan`` lets the oscillation damper override the
+    planned state (hysteresis holds), and ``note_cycle`` records the
+    decision for the sliding thrash window.  ``None`` (the default)
+    costs nothing and the loop behaves exactly as before the layer
+    existed.
     """
 
     def __init__(
@@ -341,6 +376,9 @@ class MapeLoop:
         #: Optional MAPE-phase observer (``MapeTelemetry``); installed
         #: by the telemetry hub, never by the loop itself.
         self.telemetry: Optional[Any] = None
+        #: Optional guardrail hook (``GuardrailLayer``); installed by
+        #: the guardrail layer, never by the loop itself.
+        self.guard: Optional[Any] = None
 
     def on_heartbeat(
         self,
@@ -387,6 +425,9 @@ class MapeLoop:
             current = self.knowledge.state_of(app.name)
         if current is None:
             return None
+        guard = self.guard
+        if guard is not None:
+            guard.on_observation(sim, app, current, observation)
         for updater in self.updaters:
             updater.update(self.knowledge, app, current, observation)
         analysis = self.analyzer.analyze(observation.rate, app.target)
@@ -394,7 +435,12 @@ class MapeLoop:
             telemetry.on_analysis(analysis)
         if not analysis.out_of_window and not force:
             self.planner.notify_in_window(current)
-            return None
+            # The guard can demand a cycle even inside the target window:
+            # a rate that satisfies the application tells nothing about a
+            # violated power budget, and only a planned (vetoed) search
+            # can shrink the allocation back under the cap.
+            if guard is None or not guard.wants_cycle(sim, app):
+                return None
         ctx = CycleContext(
             app=app,
             current=current,
@@ -402,12 +448,15 @@ class MapeLoop:
             analysis=analysis,
         )
         plan = self.planner.plan(self.knowledge, ctx)
+        if guard is not None:
+            plan = guard.adjust_plan(sim, self.knowledge, ctx, plan)
         ctx.plan = plan
         if telemetry is not None:
             telemetry.on_plan(plan)
         self.knowledge.states_explored += plan.states_explored
         self.knowledge.estimation_failures += plan.estimation_failures
         self.knowledge.states_pruned += plan.pruned
+        self.knowledge.states_filtered += plan.filtered
         ctx.adapted = plan.state != current
         if ctx.adapted and self.count_adaptations:
             self.knowledge.adaptations += 1
@@ -415,4 +464,8 @@ class MapeLoop:
             self.executor.execute(sim, ctx, plan.state)
             if telemetry is not None:
                 telemetry.on_execute(ctx.adapted)
+            if guard is not None:
+                guard.note_cycle(sim, ctx, executed=True)
+        elif guard is not None:
+            guard.note_cycle(sim, ctx, executed=False)
         return ctx

@@ -53,6 +53,11 @@ class PowerSensor:
         self.samples: List[PowerSample] = []
         #: Samples lost to an installed fault hook.
         self.dropped_samples = 0
+        #: Samples whose reading had at least one channel clamped to 0 —
+        #: real INA231 registers are unsigned, so a negative reading
+        #: (injected noise) can never reach a reader, and
+        #: :meth:`best_average_w` cannot be dragged down by one.
+        self.clamped_samples = 0
         #: Optional fault filter applied per periodic sample.
         self.fault_hook: Optional[SampleHook] = None
         self._energy_j: Dict[str, float] = {ch: 0.0 for ch in CHANNELS}
@@ -92,8 +97,15 @@ class PowerSensor:
             if observed is None:
                 self.dropped_samples += 1
             else:
+                captured = dict(observed)
+                if any(value < 0 for value in captured.values()):
+                    self.clamped_samples += 1
+                    captured = {
+                        ch: (value if value >= 0 else 0.0)
+                        for ch, value in captured.items()
+                    }
                 self.samples.append(
-                    PowerSample(time_s=next_sample_s, watts=dict(observed))
+                    PowerSample(time_s=next_sample_s, watts=captured)
                 )
             self._samples_seen += 1
             next_sample_s = (self._samples_seen + 1) * self.sample_period_s
@@ -146,6 +158,7 @@ class PowerSensor:
         """
         self.samples.clear()
         self.dropped_samples = 0
+        self.clamped_samples = 0
         self._energy_j = {ch: 0.0 for ch in CHANNELS}
         self._elapsed_s = 0.0
         self._samples_seen = 0

@@ -38,6 +38,8 @@ from repro.kernel.bus import (
     ControllerRestored,
     FaultInjected,
     FaultRecovered,
+    GuardrailReleased,
+    GuardrailTripped,
     HeartbeatEmitted,
     StateApplied,
 )
@@ -98,6 +100,7 @@ class MapeTelemetry:
         "_explored",
         "_pruned",
         "_failures",
+        "_filtered",
     )
 
     def __init__(
@@ -164,6 +167,11 @@ class MapeTelemetry:
             "search_estimation_failures_total",
             "Candidates skipped because their estimate raised.",
         ).child(controller=controller)
+        self._filtered = registry.counter(
+            "search_filtered_total",
+            "Candidates a guardrail filter vetoed (budget caps) — kept "
+            "separate from the Manhattan-distance prune.",
+        ).child(controller=controller)
 
     # -- hooks called by MapeLoop.on_heartbeat --------------------------------
 
@@ -191,6 +199,8 @@ class MapeTelemetry:
             self._pruned.inc(plan.pruned)
         if plan.estimation_failures:
             self._failures.inc(plan.estimation_failures)
+        if plan.filtered:
+            self._filtered.inc(plan.filtered)
         if plan.escaped:
             self._escapes.inc()
 
@@ -247,6 +257,14 @@ class TelemetryHub(Controller):
             "controller_restores_total",
             "Controller crash+restart recoveries, warm or cold.",
         )
+        self._guardrail_trips = reg.counter(
+            "guardrail_trips_total",
+            "Guardrail engagements on the bus, per guard.",
+        )
+        self._guardrail_releases = reg.counter(
+            "guardrail_releases_total",
+            "Guardrail disengagements on the bus, per guard.",
+        )
         self._ticks = reg.counter("sim_ticks_total", "Engine ticks executed.")
         self._power_w = reg.gauge(
             "power_watts", "Average per-rail power over the run."
@@ -279,6 +297,8 @@ class TelemetryHub(Controller):
         bus.subscribe(AppQuarantined, self._on_quarantined)
         bus.subscribe(AppEvicted, self._on_evicted)
         bus.subscribe(ControllerRestored, self._on_restored)
+        bus.subscribe(GuardrailTripped, self._on_guardrail_tripped)
+        bus.subscribe(GuardrailReleased, self._on_guardrail_released)
         # No TickStart/PowerSample subscriptions: the engine elides those
         # publishes entirely when unsubscribed, and listening would put
         # event construction + dispatch on every tick of the hot loop.
@@ -347,6 +367,12 @@ class TelemetryHub(Controller):
             warm="true" if event.warm else "false",
         )
 
+    def _on_guardrail_tripped(self, event: GuardrailTripped) -> None:
+        self._guardrail_trips.inc(guard=event.guard)
+
+    def _on_guardrail_released(self, event: GuardrailReleased) -> None:
+        self._guardrail_releases.inc(guard=event.guard)
+
     # -- end-of-run harvest ---------------------------------------------------
 
     def finalize(self) -> MetricsRegistry:
@@ -364,6 +390,12 @@ class TelemetryHub(Controller):
                 self._power_w.set(
                     sim.sensor.average_power_w(rail), rail=rail
                 )
+        clamped = getattr(sim.sensor, "clamped_samples", 0)
+        if clamped:
+            reg.counter(
+                "sensor_clamped_total",
+                "Periodic samples with a negative channel clamped to 0.",
+            ).inc(clamped)
         reg.gauge(
             "sim_time_seconds", "Simulated time at the end of the run."
         ).set(sim.clock.now_s)
@@ -386,6 +418,28 @@ class TelemetryHub(Controller):
             for key, value in stats().items():
                 model, _, result = key.partition("_")
                 cache.set(value, controller=name, model=model, result=result)
+        for controller in sim.controllers:
+            stats_fn = getattr(controller, "guardrail_stats", None)
+            if stats_fn is None:
+                continue
+            guard_gauge = reg.gauge(
+                "guardrail_stats",
+                "Guardrail-layer scalar stats (trips, streaks, margins).",
+            )
+            for stat, value in stats_fn().items():
+                guard_gauge.set(value, stat=stat)
+            residuals = controller.residuals()
+            if residuals:
+                hist = reg.histogram(
+                    "watchdog_residual",
+                    "Signed watchdog residuals: (observed-est)/est for "
+                    "rate and power of every applied state.",
+                    buckets=(
+                        -0.5, -0.25, -0.1, -0.05, 0.0, 0.05, 0.1, 0.25, 0.5
+                    ),
+                )
+                for residual in residuals:
+                    hist.observe(residual)
         return self.registry
 
     def snapshot(self):

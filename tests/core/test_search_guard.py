@@ -1,0 +1,133 @@
+"""Algorithm 2's guard filter: counted vetoes, separate from pruning.
+
+The structural ``candidate_filter`` (MP-HARS partitions) rejects
+silently; the guardrail ``guard_filter`` (budget caps) reports its
+rejections as ``SearchResult.filtered`` so telemetry can distinguish
+"pruned by Manhattan distance" from "vetoed by a budget".
+"""
+
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.core.perf_estimator import PerformanceEstimator
+from repro.core.policy import HARS_E
+from repro.core.search import get_next_sys_state
+from repro.core.state import from_indices, neighbourhood
+from repro.heartbeats.targets import PerformanceTarget, Satisfaction
+
+TARGET = PerformanceTarget(0.95, 1.0, 1.05)
+
+
+def _search(xu3, power_estimator, **kwargs):
+    current = from_indices(xu3, 2, 2, 4, 3)
+    defaults = dict(
+        spec=xu3,
+        current=current,
+        observed_rate=0.8,
+        n_threads=8,
+        target=TARGET,
+        space=HARS_E.space_for(Satisfaction.UNDERPERF),
+        perf_estimator=PerformanceEstimator(),
+        power_estimator=power_estimator,
+    )
+    defaults.update(kwargs)
+    return current, get_next_sys_state(**defaults)
+
+
+class TestFilteredCounter:
+    def test_unguarded_search_reports_zero_filtered(self, xu3, power_estimator):
+        _, result = _search(xu3, power_estimator)
+        assert result.filtered == 0
+        assert result.pruned > 0
+
+    def test_vetoes_are_counted(self, xu3, power_estimator):
+        current, plain = _search(xu3, power_estimator)
+        vetoed = []
+
+        def guard(candidate, cur):
+            allowed = candidate.c_big <= current.c_big
+            if not allowed:
+                vetoed.append(candidate)
+            return allowed
+
+        _, result = _search(xu3, power_estimator, guard_filter=guard)
+        assert result.filtered == len(vetoed) > 0
+        # Every estimated candidate passed the guard; the explored count
+        # shrinks by exactly the vetoed share (no estimation failures
+        # in this neighbourhood).
+        assert result.states_explored == plain.states_explored - len(vetoed)
+        assert result.state.c_big <= current.c_big
+
+    def test_filtered_is_separate_from_pruned(self, xu3, power_estimator):
+        _, plain = _search(xu3, power_estimator)
+        _, guarded = _search(
+            xu3, power_estimator, guard_filter=lambda cand, cur: False
+        )
+        # The distance prune happens before the guard and is unchanged.
+        assert guarded.pruned == plain.pruned
+        assert guarded.filtered > 0
+
+    def test_structural_filter_rejections_stay_uncounted(
+        self, xu3, power_estimator
+    ):
+        _, result = _search(
+            xu3,
+            power_estimator,
+            candidate_filter=lambda cand, cur: cand.c_big <= 2,
+        )
+        assert result.filtered == 0
+
+    def test_guard_runs_after_the_structural_filter(self, xu3, power_estimator):
+        structurally_seen = []
+
+        def structural(candidate, cur):
+            structurally_seen.append(candidate)
+            return candidate.c_big <= 2
+
+        guard_seen = []
+
+        def guard(candidate, cur):
+            guard_seen.append(candidate)
+            return True
+
+        _search(
+            xu3,
+            power_estimator,
+            candidate_filter=structural,
+            guard_filter=guard,
+        )
+        # The guard only ever sees structurally-admissible candidates.
+        assert guard_seen == [c for c in structurally_seen if c.c_big <= 2]
+
+
+class TestForcedFallback:
+    def test_total_veto_forces_a_hold(self, xu3, power_estimator):
+        current, result = _search(
+            xu3, power_estimator, guard_filter=lambda cand, cur: False
+        )
+        assert result.forced_fallback
+        assert result.state == current
+        assert result.states_explored == 0
+        # Every candidate in the box was vetoed and counted.
+        box = list(
+            neighbourhood(
+                xu3,
+                current,
+                HARS_E.space_for(Satisfaction.UNDERPERF).m,
+                HARS_E.space_for(Satisfaction.UNDERPERF).n,
+                HARS_E.space_for(Satisfaction.UNDERPERF).d,
+            )
+        )
+        assert result.filtered == len(box)
+
+    def test_current_state_admissible_guard_never_falls_back(
+        self, xu3, power_estimator
+    ):
+        current, result = _search(
+            xu3,
+            power_estimator,
+            guard_filter=lambda cand, cur: cand == cur,
+        )
+        assert not result.forced_fallback
+        assert result.state == current
+        assert result.states_explored == 1

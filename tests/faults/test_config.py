@@ -20,13 +20,18 @@ class TestValidation:
             "sensor_dropout_rate",
             "sensor_noise_rate",
             "sensor_stuck_rate",
+            "thermal_ramp_rate",
             "heartbeat_stall_rate",
             "heartbeat_jitter_rate",
             "dvfs_failure_rate",
             "affinity_failure_rate",
+            "app_crash_rate",
+            "app_hang_rate",
+            "app_runaway_rate",
+            "controller_restart_rate",
         ],
     )
-    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    @pytest.mark.parametrize("bad", [-0.1, -1e-9, 1.5])
     def test_rates_must_be_probabilities(self, field, bad):
         with pytest.raises(ConfigurationError):
             FaultConfig(**{field: bad})
@@ -35,9 +40,18 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             FaultConfig(sensor_noise_std=-0.01)
 
+    def test_thermal_ramp_heat_must_be_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(thermal_ramp_heat_w=-0.5)
+
     @pytest.mark.parametrize(
         "field",
-        ["sensor_stuck_samples", "heartbeat_stall_ticks", "heartbeat_jitter_ticks"],
+        [
+            "sensor_stuck_samples",
+            "thermal_ramp_samples",
+            "heartbeat_stall_ticks",
+            "heartbeat_jitter_ticks",
+        ],
     )
     def test_episode_lengths_must_be_at_least_one(self, field):
         with pytest.raises(ConfigurationError):
@@ -54,6 +68,12 @@ class TestEnablement:
         assert cfg.heartbeat_enabled
         assert not cfg.sensor_enabled
         assert not cfg.actuation_enabled
+
+    def test_thermal_ramp_is_a_sensor_channel(self):
+        cfg = FaultConfig(thermal_ramp_rate=0.1)
+        assert cfg.sensor_enabled
+        assert cfg.enabled
+        assert not cfg.heartbeat_enabled
 
 
 class TestPresets:
@@ -90,4 +110,5 @@ class TestPresets:
             "heartbeat-jitter",
             "dvfs",
             "affinity",
+            "thermal-ramp",
         }

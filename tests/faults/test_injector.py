@@ -82,6 +82,98 @@ class TestSensorFaults:
         assert not injected and not recovered
 
 
+class TestThermalRamp:
+    def _ramp_config(self, samples=5, heat=2.0):
+        return FaultConfig(
+            thermal_ramp_rate=1.0,
+            thermal_ramp_samples=samples,
+            thermal_ramp_heat_w=heat,
+            seed=0,
+        )
+
+    def test_triangular_excursion_on_board_and_total(self):
+        inj, injected, recovered = make(self._ramp_config())
+        extras = []
+        for i in range(5):
+            observed = inj.filter_power(0.26 * (i + 1), WATTS)
+            extras.append(observed["total"] - WATTS["total"])
+            # The cluster rails never heat: the excursion is ambient.
+            assert observed["big"] == WATTS["big"]
+            assert observed["little"] == WATTS["little"]
+            assert observed["board"] - WATTS["board"] == pytest.approx(
+                extras[-1]
+            )
+        # Ramp up to the peak at the middle, back down to zero.
+        assert extras == pytest.approx([0.0, 1.0, 2.0, 1.0, 0.0])
+        assert injected[0].kind == "thermal-ramp"
+        assert recovered[-1].kind == "thermal-ramp"
+
+    def test_single_sample_episode_is_the_peak(self):
+        inj, _, _ = make(self._ramp_config(samples=1))
+        observed = inj.filter_power(0.26, WATTS)
+        assert observed["total"] == pytest.approx(WATTS["total"] + 2.0)
+        assert inj.recovered.get("thermal-ramp") == 1
+
+    def test_additivity_of_rails_is_preserved(self):
+        inj, _, _ = make(self._ramp_config())
+        for i in range(5):
+            observed = inj.filter_power(0.26 * (i + 1), WATTS)
+            assert observed["total"] == pytest.approx(
+                observed["big"] + observed["little"] + observed["board"]
+            )
+
+    def test_episodes_are_deterministic_per_seed(self):
+        cfg = FaultConfig(thermal_ramp_rate=0.3, seed=9)
+        a, _, _ = make(cfg)
+        b, _, _ = make(cfg)
+        series_a = [a.filter_power(i * 0.26, WATTS) for i in range(300)]
+        series_b = [b.filter_power(i * 0.26, WATTS) for i in range(300)]
+        assert series_a == series_b
+        assert a.injected.get("thermal-ramp", 0) > 0
+
+    def test_separate_rng_stream_preserves_sample_faults(self):
+        # Enabling the ramp must not shift the dropout/stuck/noise
+        # schedule of an established seed: compare which samples drop.
+        base, _, _ = make(FaultConfig(sensor_dropout_rate=0.2, seed=7))
+        ramped, _, _ = make(
+            FaultConfig(
+                sensor_dropout_rate=0.2, thermal_ramp_rate=0.3, seed=7
+            )
+        )
+        drops_base = [
+            base.filter_power(i * 0.26, WATTS) is None for i in range(300)
+        ]
+        drops_ramped = [
+            ramped.filter_power(i * 0.26, WATTS) is None for i in range(300)
+        ]
+        assert drops_base == drops_ramped
+
+    def test_ramp_rides_on_top_of_noise(self):
+        # The excursion applies after the sample-fault chain, so a noisy
+        # reading still carries the extra watts on the heated rails.
+        inj, _, _ = make(
+            FaultConfig(
+                sensor_noise_rate=1.0,
+                sensor_noise_std=0.2,
+                thermal_ramp_rate=1.0,
+                thermal_ramp_samples=3,
+                thermal_ramp_heat_w=2.0,
+                seed=3,
+            )
+        )
+        inj.filter_power(0.26, WATTS)            # edge: +0 W
+        observed = inj.filter_power(0.52, WATTS)  # middle: +2 W peak
+        # Noise scales all rails by one factor; the ramp then adds the
+        # same excursion to board and total only.
+        factor = observed["big"] / WATTS["big"]
+        assert observed["board"] == pytest.approx(
+            WATTS["board"] * factor + 2.0
+        )
+        assert observed["total"] == pytest.approx(
+            WATTS["total"] * factor + 2.0
+        )
+
+
 class TestHeartbeatFaults:
     def test_stall_and_jitter_delays(self):
         inj, _, _ = make(FaultConfig(heartbeat_stall_rate=1.0, seed=0))

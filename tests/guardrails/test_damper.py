@@ -1,0 +1,150 @@
+"""Oscillation damper: thrash detection, hysteresis hold, cooldown."""
+
+from repro.core.state import SystemState
+from repro.guardrails import OscillationDamper
+
+A = SystemState(2, 2, 1400, 1100)
+B = SystemState(2, 3, 1400, 1100)
+C = SystemState(4, 4, 1800, 1400)
+
+
+def _always_a(first, second):
+    return A
+
+
+def _damper(window=4, flips=3, hold=3, states=2):
+    return OscillationDamper(
+        window=window, flips=flips, hold_periods=hold, states=states
+    )
+
+
+def _feed(damper, states, cheaper=_always_a, app="app"):
+    outcomes = []
+    for state in states:
+        outcomes.append(damper.filter_plan(app, state, cheaper))
+    return outcomes
+
+
+class TestDetection:
+    def test_alternating_pair_trips(self):
+        damper = _damper()
+        outcomes = _feed(damper, [A, B, A, B])
+        assert outcomes[-1] == (A, "trip")
+        assert damper.trips == 1
+
+    def test_short_history_never_trips(self):
+        damper = _damper()
+        outcomes = _feed(damper, [A, B, A])
+        assert all(change == "" for _, change in outcomes)
+        assert damper.trips == 0
+
+    def test_three_distinct_states_is_not_two_state_thrash(self):
+        # The default damper only treats a two-state ping-pong as
+        # thrash; a three-state limit cycle passes through untouched.
+        damper = _damper()
+        outcomes = _feed(damper, [A, B, C, A, B, C])
+        assert all(change == "" for _, change in outcomes)
+
+    def test_wider_state_budget_catches_a_three_state_cycle(self):
+        damper = _damper(states=3)
+        outcomes = _feed(damper, [A, B, C, A])
+        assert outcomes[-1] == (A, "trip")
+        assert damper.trips == 1
+
+    def test_cheapest_of_the_cycle_is_held(self):
+        # Reduction over the distinct set: the pairwise-cheaper callback
+        # must see every member, in first-seen order.
+        seen = []
+
+        def cheaper(first, second):
+            seen.append((first, second))
+            return second
+
+        damper = _damper(states=3)
+        outcomes = _feed(damper, [B, C, A, B], cheaper=cheaper)
+        assert outcomes[-1] == (A, "trip")
+        assert seen == [(B, C), (C, A)]
+
+    def test_too_few_flips_is_not_thrash(self):
+        # Window [A, A, B, B]: two states but only one flip.
+        damper = _damper(window=4, flips=2)
+        outcomes = _feed(damper, [A, A, B, B])
+        assert all(change == "" for _, change in outcomes)
+
+    def test_steady_state_never_trips(self):
+        damper = _damper()
+        outcomes = _feed(damper, [A] * 10)
+        assert all(change == "" for _, change in outcomes)
+
+
+class TestHold:
+    def test_hold_overrides_the_planner_for_k_periods(self):
+        damper = _damper(hold=3)
+        _feed(damper, [A, B, A, B])          # trips, holds A (period 1)
+        assert damper.holding("app")
+        state, change = damper.filter_plan("app", C, _always_a)
+        assert (state, change) == (A, "")    # period 2: C overridden
+        state, change = damper.filter_plan("app", C, _always_a)
+        assert (state, change) == (A, "release")  # period 3: last held
+        assert not damper.holding("app")
+        # After release the planner's choice passes through again.
+        state, change = damper.filter_plan("app", C, _always_a)
+        assert (state, change) == (C, "")
+        assert damper.held_cycles == 3
+
+    def test_history_restarts_empty_after_a_hold(self):
+        damper = _damper(window=4, flips=3, hold=2)
+        _feed(damper, [A, B, A, B, C])       # trip + one held period
+        assert not damper.holding("app")
+        # Three more plans: window not yet full again, so no trip even
+        # though they alternate.
+        outcomes = _feed(damper, [A, B, A])
+        assert all(change == "" for _, change in outcomes)
+
+    def test_one_period_hold_is_released_immediately(self):
+        damper = _damper(hold=1)
+        outcomes = _feed(damper, [A, B, A, B])
+        assert outcomes[-1] == (A, "trip")
+        # holding() already False: the layer pairs the release itself.
+        assert not damper.holding("app")
+
+    def test_cheaper_of_picks_the_held_state(self):
+        damper = _damper()
+        outcomes = _feed(damper, [A, B, A, B], cheaper=lambda f, s: B)
+        assert outcomes[-1] == (B, "trip")
+
+    def test_apps_are_independent(self):
+        damper = _damper()
+        _feed(damper, [A, B, A, B], app="one")
+        assert damper.holding("one")
+        assert not damper.holding("two")
+        state, change = damper.filter_plan("two", C, _always_a)
+        assert (state, change) == (C, "")
+
+
+class TestLifecycle:
+    def test_forget_drops_a_hold(self):
+        damper = _damper()
+        _feed(damper, [A, B, A, B])
+        damper.forget("app")
+        assert not damper.holding("app")
+
+    def test_reset_clears_everything_but_counters(self):
+        damper = _damper()
+        _feed(damper, [A, B, A, B])
+        damper.reset()
+        assert not damper.holding("app")
+        assert damper.trips == 1             # counters survive a restart
+
+    def test_snapshot_restore_round_trip(self):
+        damper = _damper(hold=4)
+        _feed(damper, [A, B, A, B])
+        body = damper.snapshot()
+        clone = _damper(hold=4)
+        clone.restore(body)
+        assert clone.trips == damper.trips
+        assert clone.held_cycles == damper.held_cycles
+        assert clone.holding("app")
+        # The restored hold keeps overriding with the same held state.
+        state, _ = clone.filter_plan("app", C, _always_a)
+        assert state == A

@@ -1,0 +1,92 @@
+"""First-order thermal model: RC dynamics and trip/release hysteresis."""
+
+import math
+
+import pytest
+
+from repro.guardrails import ThermalModel
+
+
+def _model(**overrides):
+    kwargs = dict(
+        ambient_c=45.0,
+        tau_s=10.0,
+        c_per_w=5.0,
+        throttle_c=85.0,
+        release_c=80.0,
+    )
+    kwargs.update(overrides)
+    return ThermalModel(**kwargs)
+
+
+class TestDynamics:
+    def test_relaxes_toward_steady_state(self):
+        model = _model()
+        # Sustained 10 W: steady state 45 + 5*10 = 95 °C, approached
+        # monotonically from ambient without ever overshooting.
+        previous = model.temp_c
+        for _ in range(100):
+            model.update(1.0, 10.0)
+            assert previous <= model.temp_c <= 95.0
+            previous = model.temp_c
+        assert model.temp_c == pytest.approx(95.0, abs=0.01)
+
+    def test_exact_exponential_step(self):
+        # One 2 s step equals two 1 s steps — the exact solution is
+        # step-size invariant (an Euler integrator is not).
+        one_step, two_steps = _model(), _model()
+        one_step.update(2.0, 8.0)
+        two_steps.update(1.0, 8.0)
+        two_steps.update(1.0, 8.0)
+        assert math.isclose(one_step.temp_c, two_steps.temp_c)
+
+    def test_zero_dt_is_a_no_op(self):
+        model = _model()
+        assert model.update(0.0, 50.0) == ""
+        assert model.temp_c == model.ambient_c
+
+    def test_peak_tracks_maximum(self):
+        model = _model()
+        for _ in range(50):
+            model.update(1.0, 10.0)
+        hot_peak = model.peak_c
+        for _ in range(50):
+            model.update(1.0, 0.0)
+        assert model.temp_c < hot_peak
+        assert model.peak_c == hot_peak
+
+
+class TestHysteresis:
+    def test_trip_then_release(self):
+        model = _model()
+        changes = []
+        for _ in range(100):
+            change = model.update(1.0, 10.0)
+            if change:
+                changes.append(change)
+        assert changes == ["trip"]
+        assert model.hot
+        for _ in range(100):
+            change = model.update(1.0, 0.0)
+            if change:
+                changes.append(change)
+        assert changes == ["trip", "release"]
+        assert not model.hot
+
+    def test_no_chatter_between_thresholds(self):
+        model = _model()
+        model.restore(temp_c=86.0, hot=True, peak_c=86.0)
+        # 7.4 W holds steady state at 82 °C — between release (80) and
+        # throttle (85): the model cools toward it but never releases.
+        for _ in range(200):
+            assert model.update(1.0, 7.4) == ""
+        assert model.hot
+
+    def test_reset_returns_to_ambient(self):
+        model = _model()
+        for _ in range(100):
+            model.update(1.0, 10.0)
+        model.reset()
+        assert model.temp_c == model.ambient_c
+        assert not model.hot
+        assert model.peak_c == model.ambient_c

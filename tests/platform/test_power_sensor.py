@@ -198,6 +198,46 @@ class TestPowerSensor:
         assert sensor.sampled_average_w() == pytest.approx(4.0)
         assert sensor.average_power_w() == pytest.approx(2.0)
 
+    def test_negative_readings_are_clamped_and_counted(self):
+        # INA231 registers are unsigned: an injected negative reading
+        # (noise can overshoot) reaches readers clamped at zero.
+        sensor = PowerSensor(sample_period_s=0.1)
+        sensor.fault_hook = lambda t, w: {ch: v - 1.0 for ch, v in w.items()}
+        for _ in range(10):
+            sensor.record(0.01, self._watts(2.0))
+        assert sensor.clamped_samples == 1
+        sample = sensor.samples[0].watts
+        assert all(value >= 0 for value in sample.values())
+        assert sample["board"] == 0.0          # 0.25 − 1.0 clamped
+        assert sample["total"] == pytest.approx(1.0)  # untouched rail
+
+    def test_clamp_counts_once_per_sample(self):
+        # Two negative channels in one reading are one clamped sample.
+        sensor = PowerSensor(sample_period_s=0.1)
+        sensor.fault_hook = lambda t, w: {ch: -v for ch, v in w.items()}
+        for _ in range(30):
+            sensor.record(0.01, self._watts(2.0))
+        assert sensor.clamped_samples == 3
+        assert all(
+            value == 0.0
+            for sample in sensor.samples
+            for value in sample.watts.values()
+        )
+
+    def test_clean_samples_never_count_as_clamped(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        for _ in range(30):
+            sensor.record(0.01, self._watts(2.0))
+        assert sensor.clamped_samples == 0
+
+    def test_reset_clears_clamped_counter(self):
+        sensor = PowerSensor(sample_period_s=0.1)
+        sensor.fault_hook = lambda t, w: {ch: -1.0 for ch in w}
+        sensor.record(0.1, self._watts())
+        assert sensor.clamped_samples == 1
+        sensor.reset()
+        assert sensor.clamped_samples == 0
+
     def test_best_average_prefers_samples(self):
         sensor = PowerSensor(sample_period_s=0.1)
         for _ in range(20):
