@@ -176,9 +176,22 @@ class HarsManager(Controller):
 
     def on_start(self, sim: "Simulation") -> None:
         self.knowledge.bind(sim.spec)
+        self._bind_planner_backend(sim)
         state = self._initial_state or max_state(sim.spec)
         state.validate(sim.spec)
         self._apply(sim, state)
+
+    def _bind_planner_backend(self, sim: "Simulation") -> None:
+        """Inherit the planner backend from the engine's profile.
+
+        Under the ``"vector"`` profile the engine carries a
+        :class:`~repro.kernel.batchplan.PlanService`; plans then run on
+        the tensorized backend (bit-identical to the scalar sweep).
+        """
+        service = getattr(sim, "plan_service", None)
+        if service is not None:
+            self.mape.planner.backend = "vector"
+            self.mape.planner.plan_service = service
 
     def on_heartbeat(
         self, sim: "Simulation", app: "SimApp", heartbeat: Heartbeat

@@ -112,3 +112,70 @@ class PerformanceEstimator:
         cap_candidate = self.estimate(candidate, n_threads).capacity
         cap_current = self.estimate(current, n_threads).capacity
         return observed_rate * cap_candidate / cap_current
+
+    def tabulate(self, spec, n_threads: int, estimate=None) -> dict:
+        """Full-grid tables for the vector planner.
+
+        ``estimate`` lets a memoizing wrapper route the per-state calls
+        through its cache (see
+        :meth:`repro.kernel.estimation.CachedPerformanceEstimator.tabulate`).
+        """
+        return tabulate_performance(
+            spec, n_threads, estimate if estimate is not None else self.estimate
+        )
+
+
+def tabulate_performance(spec, n_threads: int, estimate) -> dict:
+    """Sweep ``estimate`` over the full state grid into dense arrays.
+
+    Returns float64/int64/bool numpy arrays indexed
+    ``[c_big, c_little, i_fb, i_fl]``: ``capacity``, ``used_big``,
+    ``used_little``, ``util_big``, ``util_little`` and a ``valid`` mask
+    (False where the model raised :class:`EstimationError`, and on the
+    zero-core row, which is not a legal state).  Every cell is the
+    estimator's own scalar output, so downstream consumers see
+    bit-identical floats to per-state calls.
+    """
+    import numpy as np
+
+    big_freqs = spec.big.frequencies_mhz
+    little_freqs = spec.little.frequencies_mhz
+    shape = (
+        spec.big.n_cores + 1,
+        spec.little.n_cores + 1,
+        len(big_freqs),
+        len(little_freqs),
+    )
+    capacity = np.full(shape, np.nan)
+    used_big = np.zeros(shape, dtype=np.int64)
+    used_little = np.zeros(shape, dtype=np.int64)
+    util_big = np.full(shape, np.nan)
+    util_little = np.full(shape, np.nan)
+    valid = np.zeros(shape, dtype=bool)
+    for cb in range(shape[0]):
+        for cl in range(shape[1]):
+            if cb == 0 and cl == 0:
+                continue
+            for ifb, fb in enumerate(big_freqs):
+                for ifl, fl in enumerate(little_freqs):
+                    state = SystemState(cb, cl, fb, fl)
+                    try:
+                        result = estimate(state, n_threads)
+                    except EstimationError:
+                        continue
+                    capacity[cb, cl, ifb, ifl] = result.capacity
+                    used_big[cb, cl, ifb, ifl] = result.assignment.used_big
+                    used_little[cb, cl, ifb, ifl] = (
+                        result.assignment.used_little
+                    )
+                    util_big[cb, cl, ifb, ifl] = result.util_big
+                    util_little[cb, cl, ifb, ifl] = result.util_little
+                    valid[cb, cl, ifb, ifl] = True
+    return {
+        "capacity": capacity,
+        "used_big": used_big,
+        "used_little": used_little,
+        "util_big": util_big,
+        "util_little": util_little,
+        "valid": valid,
+    }

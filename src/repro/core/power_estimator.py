@@ -92,6 +92,45 @@ class PowerEstimator:
             )
         return total
 
+    def tabulate(self, spec) -> dict:
+        """Per-frequency coefficient tables for the vector planner.
+
+        Returns numpy arrays indexed by the cluster's frequency index:
+        ``alpha_big``/``beta_big``/``ok_big`` and the little-cluster
+        trio.  ``ok`` is False where no coefficients were fitted —
+        the states :meth:`estimate` would reject with
+        :class:`EstimationError`.
+        """
+        import numpy as np
+
+        def cluster_tables(cluster: str, freqs) -> tuple:
+            alpha = np.zeros(len(freqs))
+            beta = np.zeros(len(freqs))
+            ok = np.zeros(len(freqs), dtype=bool)
+            for index, freq_mhz in enumerate(freqs):
+                coeffs = self._coefficients.get((cluster, freq_mhz))
+                if coeffs is None:
+                    continue
+                alpha[index] = coeffs.alpha
+                beta[index] = coeffs.beta
+                ok[index] = True
+            return alpha, beta, ok
+
+        alpha_big, beta_big, ok_big = cluster_tables(
+            BIG, spec.big.frequencies_mhz
+        )
+        alpha_little, beta_little, ok_little = cluster_tables(
+            LITTLE, spec.little.frequencies_mhz
+        )
+        return {
+            "alpha_big": alpha_big,
+            "beta_big": beta_big,
+            "ok_big": ok_big,
+            "alpha_little": alpha_little,
+            "beta_little": beta_little,
+            "ok_little": ok_little,
+        }
+
     @property
     def fitted_points(self) -> Tuple[Tuple[str, int], ...]:
         """All (cluster, frequency) pairs with coefficients."""

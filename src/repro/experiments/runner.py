@@ -83,7 +83,11 @@ class RunConfig:
     run every figure uses.
 
     ``profile`` and ``cache_estimates`` change speed only, never
-    results; ``faults`` / ``supervision`` / ``checkpoint`` attach the
+    results — ``profile="vector"`` additionally runs every manager's
+    Plan stage on the tensorized batch planner
+    (:mod:`repro.kernel.batchplan`), bit-identical to the scalar
+    Algorithm 2 sweep; ``faults`` / ``supervision`` / ``checkpoint``
+    attach the
     PR-2/3 resilience layers; ``telemetry`` attaches the observation
     hub (:class:`~repro.telemetry.hub.TelemetryHub`) — ``True`` for the
     default :class:`~repro.telemetry.hub.TelemetryConfig`, and provably

@@ -328,6 +328,59 @@ class BudgetEnforcer:
         self.set_live(live, now_s)
 
 
+class BudgetVeto:
+    """Plan-stage guard filter for the power-budget cap.
+
+    Callable with ``(candidate, current)`` for the scalar sweep and
+    mask-capable (``box_mask``) for the vector planner; both admit a
+    candidate when its estimate is unavailable (the sweep counts the
+    failure), when it fits under the cap, or when it is a strictly
+    downhill move from a current state that is itself over budget —
+    vetoing the whole neighbourhood there would force the search to
+    *hold* the hot state instead of descending toward the cap region.
+    """
+
+    __slots__ = ("estimation", "n_threads", "cap_w", "current_power")
+
+    def __init__(
+        self,
+        estimation,
+        n_threads: int,
+        cap_w: float,
+        current_power: Optional[float],
+    ):
+        self.estimation = estimation
+        self.n_threads = n_threads
+        self.cap_w = cap_w
+        self.current_power = current_power
+
+    def __call__(self, candidate: SystemState, current: SystemState) -> bool:
+        # The estimation layer memoizes, so the sweep's own
+        # evaluate_state re-uses these lookups.
+        try:
+            estimate = self.estimation.perf.estimate(
+                candidate, self.n_threads
+            )
+            power = self.estimation.power.estimate(candidate, estimate)
+        except EstimationError:
+            # Let the sweep count it as an estimation failure.
+            return True
+        if power <= self.cap_w:
+            return True
+        return self.current_power is not None and power < self.current_power
+
+    def box_mask(self, box):
+        """Vectorized equivalent over a candidate box (same semantics).
+
+        ``box.power`` is NaN exactly where the scalar calls would raise,
+        and NaN compares False — the ``~box.valid`` term admits those.
+        """
+        allowed = (~box.valid) | (box.power <= self.cap_w)
+        if self.current_power is not None:
+            allowed = allowed | (box.power < self.current_power)
+        return allowed
+
+
 class GuardrailLayer(Controller):
     """Bus-attached runtime guardrails for one simulation run."""
 
@@ -558,26 +611,7 @@ class GuardrailLayer(Controller):
             )
         except EstimationError:
             current_power = None
-
-        def veto(candidate: SystemState, current: SystemState) -> bool:
-            # The estimation layer memoizes, so the sweep's own
-            # evaluate_state re-uses these lookups.
-            try:
-                estimate = estimation.perf.estimate(candidate, n_threads)
-                power = estimation.power.estimate(candidate, estimate)
-            except EstimationError:
-                # Let the sweep count it as an estimation failure.
-                return True
-            if power <= cap:
-                return True
-            # Downhill moves are always admissible: when the current
-            # state itself is over budget, a hard veto of the whole
-            # neighbourhood would force the search to *hold* the hot
-            # state.  Letting strictly-cheaper candidates through keeps
-            # the search descending toward the cap region instead.
-            return current_power is not None and power < current_power
-
-        return veto
+        return BudgetVeto(estimation, n_threads, cap, current_power)
 
     def adjust_plan(
         self,

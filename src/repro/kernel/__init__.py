@@ -14,7 +14,10 @@ The kernel splits the runtime into four narrow layers:
 3. :mod:`repro.kernel.estimation` — a caching layer over the
    performance and power estimators; Algorithm 2 re-evaluates the same
    candidates every adaptation period, so this is the hottest
-   decision-side path.
+   decision-side path.  :mod:`repro.kernel.batchplan` sits beside it:
+   the vectorized planner backend that runs Algorithm 2 as array ops
+   over precomputed state-space tensors (``RunConfig(profile="vector")``),
+   bit-identical to the scalar sweep.
 4. :mod:`repro.kernel.actuation` — the actuation façade; Execute
    stages act on DVFS and thread placement only through it, and every
    application of a system state is announced as ``StateApplied``.
@@ -39,6 +42,11 @@ _LAZY = {
     "CachedPerformanceEstimator": "repro.kernel.estimation",
     "CachedPowerEstimator": "repro.kernel.estimation",
     "EstimationLayer": "repro.kernel.estimation",
+    "CandidateBox": "repro.kernel.batchplan",
+    "PlanRequest": "repro.kernel.batchplan",
+    "PlanService": "repro.kernel.batchplan",
+    "StateSpaceTensor": "repro.kernel.batchplan",
+    "batch_next_sys_state": "repro.kernel.batchplan",
     "Analysis": "repro.kernel.mape",
     "Analyzer": "repro.kernel.mape",
     "CycleContext": "repro.kernel.mape",
@@ -69,7 +77,12 @@ __all__ = [
     "AppFinished",
     "CachedPerformanceEstimator",
     "CachedPowerEstimator",
+    "CandidateBox",
     "CycleContext",
+    "PlanRequest",
+    "PlanService",
+    "StateSpaceTensor",
+    "batch_next_sys_state",
     "EstimationLayer",
     "Event",
     "EventBus",

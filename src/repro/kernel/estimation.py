@@ -61,6 +61,18 @@ class CachedPerformanceEstimator:
         cap_current = self.estimate(current, n_threads).capacity
         return observed_rate * cap_candidate / cap_current
 
+    def tabulate(self, spec, n_threads: int) -> dict:
+        """Full-grid tables routed through the memo cache.
+
+        The vector planner's tensor build reuses whatever prior sweeps
+        cached and leaves every grid state warm, so the scalar fallback
+        paths (forced holds, winner re-evaluation, guard probes) are
+        pure cache hits afterwards.
+        """
+        from repro.core.perf_estimator import tabulate_performance
+
+        return tabulate_performance(spec, n_threads, self.estimate)
+
     def clear(self) -> None:
         self._cache.clear()
 
@@ -138,6 +150,29 @@ class EstimationLayer:
             "power_hits": 0,
             "power_misses": 0,
         }
+        # State-space tensors for the vector planner, keyed by
+        # (spec name, n_threads).  They describe the *current* model
+        # pair, so every swap/invalidation below drops them.  Build and
+        # reuse counts are layer-lifetime, like the retired hit/miss
+        # totals: the vector path mostly bypasses the per-state memo,
+        # and these counters are what stats() reports for it instead.
+        self._tensors: Dict[Tuple[str, int], Any] = {}
+        self.tensor_builds = 0
+        self.tensor_reuses = 0
+
+    def tensor(self, spec, n_threads: int):
+        """The state-space tensor for the current models (built lazily)."""
+        key = (spec.name, n_threads)
+        cached = self._tensors.get(key)
+        if cached is not None:
+            self.tensor_reuses += 1
+            return cached
+        from repro.kernel.batchplan import StateSpaceTensor
+
+        tensor = StateSpaceTensor.build(spec, n_threads, self.perf, self.power)
+        self._tensors[key] = tensor
+        self.tensor_builds += 1
+        return tensor
 
     def set_perf_estimator(self, estimator: PerformanceEstimator) -> None:
         """Replace the performance model (e.g. a refit r0) — the old
@@ -147,6 +182,7 @@ class EstimationLayer:
         self.perf = (
             CachedPerformanceEstimator(estimator) if self.cached else estimator
         )
+        self._tensors.clear()
 
     def set_power_estimator(self, estimator: PowerEstimator) -> None:
         """Replace the power model (e.g. after recalibration)."""
@@ -155,15 +191,23 @@ class EstimationLayer:
         self.power = (
             CachedPowerEstimator(estimator) if self.cached else estimator
         )
+        self._tensors.clear()
 
     def invalidate(self) -> None:
         """Drop every cached estimate, keeping the current models."""
         if self.cached:
             self.perf.clear()
             self.power.clear()
+        self._tensors.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Layer-lifetime hit/miss counts, surviving estimator swaps."""
+        """Layer-lifetime counts, surviving estimator swaps.
+
+        ``tensor_builds``/``tensor_reuses`` meter the vector planner's
+        state-space tensors — its per-plan lookups do not touch the
+        per-state memo, so without these the vector path would look
+        free in the cache accounting.
+        """
         return {
             "perf_hits": self._retired["perf_hits"]
             + getattr(self.perf, "hits", 0),
@@ -173,4 +217,6 @@ class EstimationLayer:
             + getattr(self.power, "hits", 0),
             "power_misses": self._retired["power_misses"]
             + getattr(self.power, "misses", 0),
+            "tensor_builds": self.tensor_builds,
+            "tensor_reuses": self.tensor_reuses,
         }

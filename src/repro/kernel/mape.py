@@ -248,6 +248,17 @@ class SearchPlanner:
         #: Optional guardrail hook; installed by the guardrail layer,
         #: never by the planner itself.
         self.guard: Optional[Any] = None
+        #: Planner backend: ``"scalar"`` (the Algorithm 2 oracle loop)
+        #: or ``"vector"`` (:mod:`repro.kernel.batchplan`, bit-identical
+        #: results).  Managers set it at ``on_start`` from the engine's
+        #: ``RunConfig.profile``, so it is an attribute rather than a
+        #: constructor parameter (subclasses override ``_build_planner``
+        #: with their own signatures).
+        self.backend: str = "scalar"
+        #: The engine's batch-plan hook (``Simulation.plan_service``),
+        #: installed alongside ``backend`` — meters batch sizes and
+        #: serves multi-app ``plan_many`` batches.
+        self.plan_service: Optional[Any] = None
 
     def notify_in_window(self, current: SystemState) -> None:
         if self.escape is not None:
@@ -272,18 +283,40 @@ class SearchPlanner:
         if guard is not None:
             space = guard.adjust_space(ctx, space)
             guard_filter = guard.candidate_veto(knowledge, ctx)
-        result = get_next_sys_state(
-            spec=knowledge.spec,
-            current=ctx.current,
-            observed_rate=ctx.observation.rate,
-            n_threads=ctx.app.n_threads,
-            target=ctx.app.target,
-            space=space,
-            perf_estimator=knowledge.estimation.perf,
-            power_estimator=knowledge.estimation.power,
-            candidate_filter=candidate_filter,
-            guard_filter=guard_filter,
-        )
+        if self.backend == "vector":
+            # Imported lazily: the scalar path must not depend on numpy.
+            from repro.kernel.batchplan import batch_next_sys_state
+
+            plan_kwargs = dict(
+                spec=knowledge.spec,
+                current=ctx.current,
+                observed_rate=ctx.observation.rate,
+                n_threads=ctx.app.n_threads,
+                target=ctx.app.target,
+                space=space,
+                estimation=knowledge.estimation,
+                candidate_filter=candidate_filter,
+                guard_filter=guard_filter,
+            )
+            service = self.plan_service
+            result = (
+                service.plan(**plan_kwargs)
+                if service is not None
+                else batch_next_sys_state(**plan_kwargs)
+            )
+        else:
+            result = get_next_sys_state(
+                spec=knowledge.spec,
+                current=ctx.current,
+                observed_rate=ctx.observation.rate,
+                n_threads=ctx.app.n_threads,
+                target=ctx.app.target,
+                space=space,
+                perf_estimator=knowledge.estimation.perf,
+                power_estimator=knowledge.estimation.power,
+                candidate_filter=candidate_filter,
+                guard_filter=guard_filter,
+            )
         return PlanResult(
             state=result.state,
             states_explored=result.states_explored,

@@ -182,6 +182,12 @@ class MpHarsManager(Controller):
     def on_start(self, sim: "Simulation") -> None:
         spec = sim.spec
         self.knowledge.bind(spec)
+        # Vector profile: per-partition plans run on the tensorized
+        # backend through the engine's shared batch-plan service.
+        service = getattr(sim, "plan_service", None)
+        if service is not None:
+            self.mape.planner.backend = "vector"
+            self.mape.planner.plan_service = service
         self._clusters.clear()
         self._clusters.update(
             {
@@ -286,23 +292,11 @@ class MpHarsManager(Controller):
             for cluster in (BIG, LITTLE)
         }
         ctx.notes["decisions"] = decisions
-        free_big = self._clusters[BIG].free_count
-        free_little = self._clusters[LITTLE].free_count
-
-        def candidate_ok(candidate: SystemState, cur: SystemState) -> bool:
-            if candidate.c_big > data.owned_big + free_big:
-                return False
-            if candidate.c_little > data.owned_little + free_little:
-                return False
-            if not _freq_allowed(
-                decisions[BIG], candidate.f_big_mhz, cur.f_big_mhz
-            ):
-                return False
-            return _freq_allowed(
-                decisions[LITTLE], candidate.f_little_mhz, cur.f_little_mhz
-            )
-
-        return candidate_ok
+        return PartitionFilter(
+            max_big=data.owned_big + self._clusters[BIG].free_count,
+            max_little=data.owned_little + self._clusters[LITTLE].free_count,
+            decisions=decisions,
+        )
 
     def _execute_plan(
         self, sim: "Simulation", ctx: CycleContext, state: SystemState
@@ -838,6 +832,76 @@ def _freq_allowed(
     """
     if decision is None:
         return True
+    if decision is StateDecision.KEEP:
+        return candidate_mhz == current_mhz
+    if decision is StateDecision.INC:
+        return candidate_mhz >= current_mhz
+    return candidate_mhz <= current_mhz  # DEC
+
+
+class PartitionFilter:
+    """Plan-stage structural filter: partition caps + Table 4.3 gating.
+
+    Callable with ``(candidate, current)`` for the scalar sweep, and
+    mask-capable (``box_mask``) for the vector planner — the partition
+    constraint is separable per axis, so the mask is the outer AND of
+    two core-count bounds and two per-cluster frequency-direction
+    comparisons.  All decision side effects (unfreezing, stashing into
+    the cycle notes) happen in ``_constraint`` before construction, so
+    both evaluation styles see an immutable filter.
+    """
+
+    __slots__ = ("max_big", "max_little", "decisions")
+
+    def __init__(
+        self,
+        max_big: int,
+        max_little: int,
+        decisions: Dict[str, Optional[StateDecision]],
+    ):
+        self.max_big = max_big
+        self.max_little = max_little
+        self.decisions = decisions
+
+    def __call__(self, candidate: SystemState, cur: SystemState) -> bool:
+        if candidate.c_big > self.max_big:
+            return False
+        if candidate.c_little > self.max_little:
+            return False
+        if not _freq_allowed(
+            self.decisions[BIG], candidate.f_big_mhz, cur.f_big_mhz
+        ):
+            return False
+        return _freq_allowed(
+            self.decisions[LITTLE], candidate.f_little_mhz, cur.f_little_mhz
+        )
+
+    def box_mask(self, box):
+        """Vectorized equivalent over a candidate box (same semantics)."""
+        allowed = (box.c_big <= self.max_big) & (
+            box.c_little <= self.max_little
+        )
+        big_mask = _freq_mask(
+            self.decisions[BIG], box.f_big_mhz, box.current.f_big_mhz
+        )
+        if big_mask is not None:
+            allowed = allowed & big_mask
+        little_mask = _freq_mask(
+            self.decisions[LITTLE],
+            box.f_little_mhz,
+            box.current.f_little_mhz,
+        )
+        if little_mask is not None:
+            allowed = allowed & little_mask
+        return allowed
+
+
+def _freq_mask(
+    decision: Optional[StateDecision], candidate_mhz, current_mhz: int
+):
+    """Array form of :func:`_freq_allowed`; ``None`` = unconstrained."""
+    if decision is None:
+        return None
     if decision is StateDecision.KEEP:
         return candidate_mhz == current_mhz
     if decision is StateDecision.INC:

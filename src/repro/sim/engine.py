@@ -20,13 +20,17 @@ Controllers attach through bus subscriptions
 (:meth:`~repro.sim.controller.Controller.attach`); the engine never
 calls their hooks directly after ``on_start``.
 
-Two execution profiles produce byte-identical metrics:
+Three execution profiles produce byte-identical metrics:
 
 * ``"fast"`` (default) — preallocated per-thread/per-core arrays, one
   thread-speed evaluation per (app, cluster, round), coefficient-cached
   power integration.
 * ``"legacy"`` — the original dict-per-tick implementation, kept
   verbatim as the reference for ``benchmarks/bench_kernel_overhead.py``.
+* ``"vector"`` — the fast tick path plus the vectorized batch planner
+  (:mod:`repro.kernel.batchplan`): managers plan over dense state-space
+  tensors instead of the scalar Algorithm 2 loop, bit-identically
+  (``benchmarks/bench_planner_vectorized.py`` is the gate).
 
 The engine is deterministic: all randomness lives inside seeded workload
 profiles, and bus dispatch order is fixed by (priority, subscription
@@ -71,7 +75,7 @@ DEFAULT_TICK_S = 0.01
 MAX_TICKS = 2_000_000
 
 #: Valid execution profiles.
-PROFILES = ("fast", "legacy")
+PROFILES = ("fast", "legacy", "vector")
 
 
 class Simulation:
@@ -100,8 +104,17 @@ class Simulation:
         self.sensor = PowerSensor()
         self.clock = SimClock()
         self.scheduler: Scheduler = scheduler or GtsScheduler(
-            cache_partitions=(profile == "fast")
+            cache_partitions=(profile != "legacy")
         )
+        # Batch-plan hook: under the vector profile, managers route
+        # their Plan stage through this service (shared batch metering
+        # and multi-app plan_many batches); otherwise absent and the
+        # scalar planner runs untouched.
+        self.plan_service: Optional[object] = None
+        if profile == "vector":
+            from repro.kernel.batchplan import PlanService
+
+            self.plan_service = PlanService()
         self.apps: List[SimApp] = []
         self._apps_by_name: Dict[str, SimApp] = {}
         self.controllers: List[Controller] = []
@@ -225,7 +238,7 @@ class Simulation:
             bus.publish(TickStart(time_s=self.clock.now_s))
 
         placement = self.scheduler.place(self)
-        if self.profile == "fast":
+        if self.profile != "legacy":
             if self._slots is None:
                 self._build_runtime_index()
             touched = self._execute_tick_fast(placement, dt)

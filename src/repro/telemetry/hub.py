@@ -406,6 +406,16 @@ class TelemetryHub(Controller):
             "estimation_cache_lookups",
             "Estimation-layer cache hits/misses per manager and model.",
         )
+        backend_gauge = reg.gauge(
+            "planner_backend",
+            "Active planner backend per manager (1 under the labelled "
+            "backend).",
+        )
+        rebuilds = reg.counter(
+            "planner_tensor_rebuilds_total",
+            "State-space tensor (re)builds per manager — one per model "
+            "pair after every swap or invalidation.",
+        )
         for index, controller in enumerate(sim.controllers):
             knowledge = getattr(controller, "knowledge", None)
             estimation = getattr(knowledge, "estimation", None)
@@ -415,9 +425,29 @@ class TelemetryHub(Controller):
             name = getattr(controller, "checkpoint_id", None) or (
                 f"{type(controller).__name__.lower()}-{index}"
             )
-            for key, value in stats().items():
+            counts = stats()
+            for key, value in counts.items():
                 model, _, result = key.partition("_")
                 cache.set(value, controller=name, model=model, result=result)
+            planner = getattr(getattr(controller, "mape", None), "planner", None)
+            if planner is not None:
+                backend_gauge.set(
+                    1.0,
+                    controller=name,
+                    backend=getattr(planner, "backend", "scalar"),
+                )
+            builds = counts.get("tensor_builds", 0)
+            if builds:
+                rebuilds.inc(builds, controller=name)
+        plan_service = getattr(sim, "plan_service", None)
+        if plan_service is not None and plan_service.batch_sizes:
+            batch_hist = reg.histogram(
+                "planner_batch_apps",
+                "Apps/partitions planned per batch-planner invocation.",
+                buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+            )
+            for size in plan_service.batch_sizes:
+                batch_hist.observe(size)
         for controller in sim.controllers:
             stats_fn = getattr(controller, "guardrail_stats", None)
             if stats_fn is None:

@@ -218,4 +218,36 @@ class TestEstimationLayerStats:
             "perf_misses": 0,
             "power_hits": 0,
             "power_misses": 0,
+            "tensor_builds": 0,
+            "tensor_reuses": 0,
         }
+
+    def test_stats_report_tensor_builds_and_reuses(self):
+        # The vector planner's lookups bypass the per-state memo, so
+        # stats() meters its tensor builds/reuses instead of silently
+        # reporting an idle cache.
+        spec = odroid_xu3()
+        layer = EstimationLayer(_PERF, _POWER, cached=True)
+        first = layer.tensor(spec, 8)
+        again = layer.tensor(spec, 8)
+        assert again is first
+        stats = layer.stats()
+        assert stats["tensor_builds"] == 1
+        assert stats["tensor_reuses"] == 1
+        # A different thread count is a different tensor.
+        layer.tensor(spec, 4)
+        assert layer.stats()["tensor_builds"] == 2
+
+    def test_tensor_invalidates_on_model_swap_and_invalidate(self):
+        spec = odroid_xu3()
+        layer = EstimationLayer(_PERF, _POWER, cached=True)
+        first = layer.tensor(spec, 8)
+        layer.set_power_estimator(_POWER)
+        rebuilt = layer.tensor(spec, 8)
+        assert rebuilt is not first
+        layer.set_perf_estimator(PerformanceEstimator())
+        assert layer.tensor(spec, 8) is not rebuilt
+        third = layer.tensor(spec, 8)
+        layer.invalidate()
+        assert layer.tensor(spec, 8) is not third
+        assert layer.stats()["tensor_builds"] == 4

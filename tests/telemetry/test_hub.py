@@ -116,7 +116,7 @@ class TestFinalizeHarvest:
             for (name, labels), value in flat.items()
             if name == "estimation_cache_lookups"
         }
-        assert set(lookups) == {"hits", "misses"}
+        assert set(lookups) == {"hits", "misses", "builds", "reuses"}
 
     def test_trace_points_match_recorder(self, instrumented, flat):
         assert flat[("trace_points_total", ())] == len(instrumented.trace)
