@@ -11,6 +11,7 @@ Layout:
 * :mod:`repro.core`       — HARS itself (estimators, search, manager)
 * :mod:`repro.mphars`     — MP-HARS multi-application extension
 * :mod:`repro.baselines`  — baseline and static-optimal versions
+* :mod:`repro.fleet`      — fleet-scale request-driven serving
 * :mod:`repro.telemetry`  — metrics registry, spans, and exporters
 * :mod:`repro.experiments`— every table/figure of the evaluation
 
@@ -22,15 +23,17 @@ internal layering and may move between releases.
 
 from repro.experiments.runner import RunConfig, RunOutcome, RunShape, run
 from repro.faults import FaultConfig
+from repro.fleet import FleetConfig
 from repro.guardrails import GuardrailConfig
 from repro.sim.tracing import TraceRecorder
 from repro.supervision import SupervisorConfig
 from repro.telemetry import MetricsRegistry, TelemetryConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "FaultConfig",
+    "FleetConfig",
     "GuardrailConfig",
     "MetricsRegistry",
     "RunConfig",

@@ -9,11 +9,14 @@ Regenerates the paper's tables and figures from the terminal::
     hars-repro fig5.4 [--quick]
     hars-repro fig5.5-7 [--quick]
     hars-repro telemetry [--quick] [--format summary|jsonl|prometheus|csv]
+    hars-repro fleet [--nodes N] [--requests N] [--router NAME] [--shards N]
     hars-repro all [--quick]
 
 ``--quick`` scales the workloads down (~80 heartbeats per benchmark) for
 a fast sanity pass; omit it for the native-input sizes used in
-EXPERIMENTS.md.
+EXPERIMENTS.md.  ``fleet`` runs the request-driven serving scenario
+(:mod:`repro.fleet`) and is excluded from ``all`` — a native fleet run
+steps hundreds of node simulations.
 """
 
 from __future__ import annotations
@@ -48,8 +51,13 @@ _EXPERIMENTS = (
     "fig5.5-7",
     "accuracy",
     "telemetry",
+    "fleet",
     "all",
 )
+
+#: Experiments ``all`` skips: the fleet scenario steps hundreds of node
+#: simulations and is run explicitly instead.
+_NOT_IN_ALL = ("fleet",)
 
 #: Export formats the ``telemetry`` experiment understands.
 TELEMETRY_FORMATS = ("summary", "jsonl", "prometheus", "csv")
@@ -173,6 +181,43 @@ def _run_telemetry(
     return {"kind": "telemetry-snapshot", "snapshot": snapshot}
 
 
+def _run_fleet(
+    router: str = "deadline-risk",
+    nodes: int = 50,
+    requests: int = 10_000,
+    shards: int = 1,
+    trace: str = "poisson",
+    seed: int = 0,
+):
+    """One fleet serving run; prints the SLO/energy summary line."""
+    from repro.experiments.runner import RunConfig, run
+    from repro.fleet import FleetConfig, ROUTERS
+
+    names = list(ROUTERS) if router == "all" else [router]
+    config = RunConfig(
+        fleet=FleetConfig(
+            nodes=nodes,
+            requests=requests,
+            shards=shards,
+            trace=trace,
+            seed=seed,
+        )
+    )
+    payload = {}
+    for name in names:
+        result = run(name, config=config)
+        payload[name] = result.summary()
+        print(
+            f"{name:>13}: p50={result.p50_s * 1e3:7.1f} ms  "
+            f"p95={result.p95_s * 1e3:7.1f} ms  "
+            f"p99={result.p99_s * 1e3:7.1f} ms  "
+            f"miss={result.miss_ratio:6.3%}  "
+            f"energy={result.energy_j:9.1f} J  "
+            f"completed={result.completed}/{result.requests}"
+        )
+    return {"kind": "fleet-serving", "runs": payload}
+
+
 _RUNNERS = {
     "table3.1": _run_table3_1,
     "fig5.1": _run_fig5_1,
@@ -228,13 +273,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="telemetry experiment only: attach the guardrail layer "
         "with this run-wide power budget",
     )
+    fleet_group = parser.add_argument_group("fleet experiment")
+    fleet_group.add_argument(
+        "--nodes", type=int, default=50, help="fleet size (default 50)"
+    )
+    fleet_group.add_argument(
+        "--requests",
+        type=int,
+        default=10_000,
+        help="requests in the arrival trace (default 10000)",
+    )
+    fleet_group.add_argument(
+        "--router",
+        default="deadline-risk",
+        help="routing policy, or 'all' to compare every router "
+        "(round-robin, least-loaded, deadline-risk)",
+    )
+    fleet_group.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count for the cluster scheduler (results are "
+        "identical for any value)",
+    )
+    fleet_group.add_argument(
+        "--trace",
+        default="poisson",
+        help="arrival trace shape: poisson, diurnal, or burst",
+    )
+    fleet_group.add_argument(
+        "--seed", type=int, default=0, help="arrival-trace RNG seed"
+    )
     args = parser.parse_args(argv)
     n_units = args.units if args.units is not None else (
         QUICK_UNITS if args.quick else None
     )
     benchmarks = args.bench.split(",") if args.bench else None
     names = (
-        [n for n in _EXPERIMENTS if n != "all"]
+        [n for n in _EXPERIMENTS if n != "all" and n not in _NOT_IN_ALL]
         if args.experiment == "all"
         else [args.experiment]
     )
@@ -247,6 +323,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 benchmarks,
                 fmt=args.format,
                 power_cap_w=args.power_cap,
+            )
+        elif name == "fleet":
+            payload = _run_fleet(
+                router=args.router,
+                nodes=args.nodes,
+                requests=args.requests,
+                shards=args.shards,
+                trace=args.trace,
+                seed=args.seed,
             )
         else:
             payload = _RUNNERS[name](n_units, benchmarks)

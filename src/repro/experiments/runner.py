@@ -16,6 +16,7 @@ figure sweeps revisit them constantly.
 
 from __future__ import annotations
 
+import copy
 import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -29,6 +30,7 @@ from repro.experiments.versions import (
     attach_multi_app_version,
     attach_single_app_version,
 )
+from repro.fleet.config import FleetConfig
 from repro.heartbeats.targets import PerformanceTarget
 from repro.platform.spec import PlatformSpec, odroid_xu3
 from repro.sim.engine import PROFILES, Simulation
@@ -94,7 +96,10 @@ class RunConfig:
     result-neutral either way; ``guardrails`` attaches the runtime
     guardrail layer (:class:`~repro.guardrails.GuardrailLayer`) —
     ``None`` or an all-default :class:`~repro.guardrails.GuardrailConfig`
-    attaches nothing and is bit-identical to a run without the layer.
+    attaches nothing and is bit-identical to a run without the layer;
+    ``fleet`` switches :func:`run` to the fleet backend
+    (:mod:`repro.fleet`) — ``shapes`` must then be ``None`` and the
+    version names the routing policy.
     """
 
     spec: Optional[PlatformSpec] = None
@@ -105,6 +110,7 @@ class RunConfig:
     checkpoint: Optional[float] = None
     telemetry: Union[TelemetryConfig, bool, None] = None
     guardrails: Optional[GuardrailConfig] = None
+    fleet: Optional[FleetConfig] = None
 
     def __post_init__(self) -> None:
         if self.profile not in PROFILES:
@@ -114,8 +120,31 @@ class RunConfig:
         if self.checkpoint is not None and self.checkpoint <= 0:
             raise ConfigurationError("checkpoint cadence must be positive")
 
+    #: Sub-config fields ``with_`` deep-copies when not replaced.  The
+    #: platform spec is excluded on purpose: it is immutable in practice
+    #: and its identity keys the calibration cache.
+    _SUBCONFIG_FIELDS = (
+        "faults",
+        "supervision",
+        "telemetry",
+        "guardrails",
+        "fleet",
+    )
+
     def with_(self, **changes) -> "RunConfig":
-        """A copy with some fields replaced (sweep convenience)."""
+        """A copy with some fields replaced (sweep convenience).
+
+        Sub-configs the caller does *not* replace are deep-copied rather
+        than shared: ``dataclasses.replace`` alone would alias mutable
+        payloads (a ``FaultConfig`` built from a schedule *list*, say)
+        between the sibling configs, so editing the schedule after a
+        ``with_()`` would silently rewrite the other run too — at fleet
+        scale, one base config fans out to hundreds of nodes and the
+        aliasing bites immediately.
+        """
+        for name in self._SUBCONFIG_FIELDS:
+            if name not in changes:
+                changes[name] = copy.deepcopy(getattr(self, name))
         return replace(self, **changes)
 
     @property
@@ -254,9 +283,9 @@ def _attach_telemetry(
 
 def run(
     version: str,
-    shapes: Union[RunShape, Sequence[RunShape]],
+    shapes: Union[RunShape, Sequence[RunShape], None] = None,
     config: Optional[RunConfig] = None,
-) -> RunOutcome:
+):
     """Run ``version`` over ``shapes`` under one :class:`RunConfig`.
 
     The unified entry point every figure, benchmark, and example uses:
@@ -265,12 +294,30 @@ def run(
       5.1–5.3 methodology — targets as fractions of a solo baseline's
       maximum achievable rate);
     * a sequence of shapes runs them concurrently under a multi-app
-      version (the Figure 5.4 / Section 5.2.1 methodology).
+      version (the Figure 5.4 / Section 5.2.1 methodology);
+    * with ``config.fleet`` set, ``version`` names a routing policy
+      (``"round-robin"``, ``"least-loaded"``, ``"deadline-risk"``),
+      ``shapes`` must be ``None``, and the call returns a
+      :class:`~repro.fleet.cluster.FleetResult` instead of a
+      :class:`RunOutcome`.
 
     ``config`` defaults to ``RunConfig()`` — fast profile, cached
     estimates, no faults, no supervision, no telemetry.
     """
     config = config or RunConfig()
+    if config.fleet is not None:
+        if shapes is not None:
+            raise ConfigurationError(
+                "a fleet run takes no shapes — the FleetConfig's trace "
+                "defines the workload"
+            )
+        from repro.fleet import run_fleet
+
+        return run_fleet(router=version, config=config.fleet)
+    if shapes is None:
+        raise ConfigurationError(
+            "run() needs shapes unless config.fleet is set"
+        )
     if isinstance(shapes, RunShape):
         return _run_single(version, shapes, config)
     shapes = list(shapes)

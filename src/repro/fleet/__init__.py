@@ -1,0 +1,51 @@
+"""Fleet-scale request-driven serving on big.LITTLE nodes.
+
+``repro.fleet`` scales the single-board MP-HARS runtime out to a
+cluster: hundreds of independent node simulations behind a load
+balancer, driven by open-loop arrival traces with per-request
+deadlines, steered on tail-latency SLO windows instead of heartbeat
+rate windows (the Hurry-up serving model — big cores for deadline-risk
+requests, little cores for the rest).
+
+:class:`FleetConfig` is imported eagerly (it is the light configuration
+object :class:`~repro.experiments.runner.RunConfig` embeds); the
+simulation stack behind :func:`run_fleet` loads lazily on first use.
+"""
+
+from repro.fleet.config import TRACES, FleetConfig
+
+__all__ = [
+    "FleetCluster",
+    "FleetConfig",
+    "FleetResult",
+    "ROUTERS",
+    "Request",
+    "SloWindow",
+    "TRACES",
+    "make_router",
+    "make_trace",
+    "run_fleet",
+]
+
+#: name -> "module:attribute" for the lazily-imported surface.
+_LAZY = {
+    "FleetCluster": ("repro.fleet.cluster", "FleetCluster"),
+    "FleetResult": ("repro.fleet.cluster", "FleetResult"),
+    "run_fleet": ("repro.fleet.cluster", "run_fleet"),
+    "ROUTERS": ("repro.fleet.router", "ROUTERS"),
+    "make_router": ("repro.fleet.router", "make_router"),
+    "Request": ("repro.fleet.trace", "Request"),
+    "make_trace": ("repro.fleet.trace", "make_trace"),
+    "SloWindow": ("repro.fleet.slo", "SloWindow"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module 'repro.fleet' has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value

@@ -1,0 +1,271 @@
+"""Sharded fleet scheduler: hundreds of nodes behind one load balancer.
+
+A :class:`FleetCluster` drives N independent :class:`~repro.fleet.node.
+FleetNode` simulations in lock-step ticks.  Each tick:
+
+1. every arrival falling inside the tick is routed (the router sees all
+   nodes' *previous-tick* state — no node has stepped yet);
+2. the nodes step, shard by shard (node ``i`` belongs to shard
+   ``i % shards`` — a deterministic interleave, so shard populations
+   are stable as the fleet grows);
+3. completions are harvested in node-id order and aggregated into the
+   fleet-wide SLO accounting and the telemetry registry.
+
+Because nodes share no simulation state and routing always precedes
+stepping, the shard count is pure mechanical sympathy: results are
+bit-identical for every value of ``shards`` (asserted by the
+determinism tests and ``bench_fleet.py``).
+
+The run is open loop: the trace decides when requests arrive, the
+horizon is the last arrival plus a drain window, and requests still
+queued at the horizon are reported as unserved rather than waited for.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.fleet.config import FleetConfig
+from repro.fleet.node import LANES, Completion, FleetNode
+from repro.fleet.router import Router, make_router
+from repro.fleet.slo import percentile
+from repro.fleet.trace import Request, make_trace
+from repro.platform.sensor import CHANNELS
+from repro.telemetry.registry import MetricsRegistry
+
+#: Latency histogram buckets, as fractions of the deadline.
+_BUCKET_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+
+#: Safety cap on cluster ticks (per node; mirrors the engine's guard).
+_MAX_FLEET_TICKS = 2_000_000
+
+
+@dataclass
+class FleetResult:
+    """Outcome of one fleet run.
+
+    ``summary()`` returns only deterministic fields — the dict two runs
+    of the same config must match on bit-for-bit regardless of shard
+    count.  The registry carries the full fleet telemetry (exporters
+    consume it like any single-run registry).
+    """
+
+    router: str
+    nodes: int
+    shards: int
+    requests: int
+    completed: int
+    unserved: int
+    deadline_misses: int
+    miss_ratio: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    duration_s: float
+    energy_j: float
+    avg_power_w: float
+    lane_completed: Dict[str, int]
+    registry: MetricsRegistry = field(repr=False, default_factory=MetricsRegistry)
+
+    def summary(self) -> Dict[str, object]:
+        """The deterministic cross-shard identity fingerprint."""
+        return {
+            "router": self.router,
+            "nodes": self.nodes,
+            "requests": self.requests,
+            "completed": self.completed,
+            "unserved": self.unserved,
+            "deadline_misses": self.deadline_misses,
+            "miss_ratio": self.miss_ratio,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "duration_s": self.duration_s,
+            "energy_j": self.energy_j,
+            "avg_power_w": self.avg_power_w,
+            "lane_completed": dict(sorted(self.lane_completed.items())),
+        }
+
+
+class FleetCluster:
+    """N nodes, one router, one shard scheduler."""
+
+    def __init__(
+        self,
+        config: FleetConfig,
+        router: Union[Router, str] = "deadline-risk",
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.config = config
+        self.router = make_router(router) if isinstance(router, str) else router
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace = make_trace(config)
+        self.nodes = [FleetNode(i, config) for i in range(config.nodes)]
+        # Deterministic interleave: node i -> shard i % shards.
+        self.shards: List[List[FleetNode]] = [
+            self.nodes[s :: config.shards] for s in range(config.shards)
+        ]
+        self._latencies: List[float] = []
+        self._completions_by_lane = {lane: 0 for lane in LANES}
+        self._misses = 0
+        self._ran = False
+
+    def run(self) -> FleetResult:
+        """Route, step and aggregate until the trace drains (or horizon)."""
+        if self._ran:
+            raise SimulationError("a FleetCluster runs once; build a new one")
+        self._ran = True
+        config = self.config
+        trace = self.trace
+        horizon_s = (trace[-1].arrival_s if trace else 0.0) + config.drain_s
+        max_ticks = min(
+            int(math.ceil(horizon_s / config.tick_s)) + 1, _MAX_FLEET_TICKS
+        )
+        routed = self.registry.counter(
+            "fleet_requests_routed_total", "requests admitted, by lane/app"
+        )
+        completed_counter = self.registry.counter(
+            "fleet_requests_completed_total", "completions, by lane"
+        )
+        missed_counter = self.registry.counter(
+            "fleet_deadline_misses_total", "deadline misses, by lane"
+        )
+        buckets = tuple(
+            f * config.deadline_s for f in _BUCKET_FRACTIONS
+        )
+        node_latency = self.registry.histogram(
+            "fleet_node_latency_seconds",
+            "per-node request latency",
+            buckets=buckets,
+        )
+        arrival_index = 0
+        completed = 0
+        per_node: List[List[Completion]] = [[] for _ in self.nodes]
+        for tick in range(max_ticks):
+            now_s = tick * config.tick_s
+            tick_end_s = now_s + config.tick_s
+            # 1. Route this tick's arrivals against the pre-step snapshot.
+            while (
+                arrival_index < len(trace)
+                and trace[arrival_index].arrival_s < tick_end_s
+            ):
+                request = trace[arrival_index]
+                arrival_index += 1
+                node_index, lane = self.router.route(
+                    request, self.nodes, now_s
+                )
+                self.nodes[node_index].enqueue(request, lane)
+                routed.inc(lane=lane, app=request.app)
+            # 2. Step, shard by shard (nodes are independent — order
+            #    cannot change results, only cache behaviour).
+            for shard in self.shards:
+                for node in shard:
+                    per_node[node.index] = node.step()
+            # 3. Aggregate in node-id order (shard-count invariant).
+            for node_index in range(len(self.nodes)):
+                for completion in per_node[node_index]:
+                    completed += 1
+                    self._latencies.append(completion.latency_s)
+                    self._completions_by_lane[completion.lane] += 1
+                    completed_counter.inc(lane=completion.lane)
+                    node_latency.observe(
+                        completion.latency_s, node=f"node-{node_index}"
+                    )
+                    if completion.missed:
+                        self._misses += 1
+                        missed_counter.inc(lane=completion.lane)
+                per_node[node_index] = []
+            if arrival_index >= len(trace) and completed >= len(trace):
+                break
+        duration_s = self.nodes[0].sim.clock.now_s if self.nodes else 0.0
+        return self._finalize(completed, duration_s)
+
+    def _finalize(self, completed: int, duration_s: float) -> FleetResult:
+        config = self.config
+        if completed and self._latencies:
+            p50 = percentile(self._latencies, 50.0)
+            p95 = percentile(self._latencies, 95.0)
+            p99 = percentile(self._latencies, 99.0)
+        else:
+            p50 = p95 = p99 = 0.0
+        energy = sum(node.energy_j("total") for node in self.nodes)
+        avg_power = energy / duration_s if duration_s > 0 else 0.0
+        miss_ratio = self._misses / completed if completed else 0.0
+        gauges = self.registry.gauge(
+            "fleet_latency_seconds", "fleet-wide latency quantiles"
+        )
+        for quantile, value in (("0.5", p50), ("0.95", p95), ("0.99", p99)):
+            gauges.set(value, quantile=quantile)
+        self.registry.gauge(
+            "fleet_deadline_miss_ratio", "misses / completions"
+        ).set(miss_ratio)
+        energy_gauge = self.registry.gauge(
+            "fleet_energy_joules", "fleet energy, by rail"
+        )
+        power_gauge = self.registry.gauge(
+            "fleet_power_watts", "fleet average power, by rail"
+        )
+        for channel in CHANNELS:
+            rail_energy = sum(node.energy_j(channel) for node in self.nodes)
+            energy_gauge.set(rail_energy, rail=channel)
+            power_gauge.set(
+                rail_energy / duration_s if duration_s > 0 else 0.0,
+                rail=channel,
+            )
+        node_energy = self.registry.gauge(
+            "fleet_node_energy_joules", "per-node total energy"
+        )
+        backlog_gauge = self.registry.gauge(
+            "fleet_backlog_requests", "requests left unserved at the horizon"
+        )
+        for node in self.nodes:
+            node_energy.set(node.energy_j("total"), node=node.name)
+        # Covers both requests stuck in queues at the horizon and
+        # requests the horizon cut off before they were even routed.
+        unserved = len(self.trace) - completed
+        backlog_gauge.set(float(unserved))
+        self.registry.gauge(
+            "fleet_run_info", "run identity (labels carry the config)"
+        ).set(
+            1.0,
+            router=self.router.name,
+            trace=config.trace,
+            nodes=str(config.nodes),
+            app=config.app_id,
+        )
+        return FleetResult(
+            router=self.router.name,
+            nodes=config.nodes,
+            shards=config.shards,
+            requests=len(self.trace),
+            completed=completed,
+            unserved=unserved,
+            deadline_misses=self._misses,
+            miss_ratio=miss_ratio,
+            p50_s=p50,
+            p95_s=p95,
+            p99_s=p99,
+            duration_s=duration_s,
+            energy_j=energy,
+            avg_power_w=avg_power,
+            lane_completed=dict(self._completions_by_lane),
+            registry=self.registry,
+        )
+
+
+def run_fleet(
+    router: Union[Router, str],
+    config: Optional[FleetConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> FleetResult:
+    """Build and run one fleet (the ``repro.experiments.run`` backend)."""
+    if config is None:
+        config = FleetConfig()
+    if not isinstance(config, FleetConfig):
+        raise ConfigurationError(
+            f"config must be a FleetConfig, got {type(config).__name__}"
+        )
+    return FleetCluster(config, router=router, registry=registry).run()

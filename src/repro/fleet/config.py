@@ -1,0 +1,172 @@
+"""Fleet configuration: one frozen object describing a whole cluster run.
+
+A :class:`FleetConfig` plays the same role for :mod:`repro.fleet` that
+:class:`~repro.experiments.runner.RunShape` plays for single-board runs:
+everything that defines the experiment apart from the routing policy.
+It rides inside :class:`~repro.experiments.runner.RunConfig` (the
+``fleet`` field) so the unified ``repro.experiments.run()`` entry point
+dispatches fleet runs too.
+
+The module is deliberately dependency-light — ``RunConfig`` imports it
+eagerly, and pulling the whole simulation stack in at import time would
+slow every ``import repro``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Arrival-trace shapes :func:`repro.fleet.trace.make_trace` understands.
+TRACES = ("poisson", "diurnal", "burst")
+
+#: Mirror of :data:`repro.sim.engine.PROFILES` — duplicated here rather
+#: than imported so this module stays import-light (a sync test pins the
+#: two tuples together).
+_PROFILES = ("fast", "legacy", "vector")
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Everything that defines a fleet run apart from the router.
+
+    Parameters
+    ----------
+    nodes:
+        Number of simulated big.LITTLE boards behind the load balancer.
+    shards:
+        How many shards the cluster scheduler steps per tick.  Nodes are
+        interleaved (node ``i`` belongs to shard ``i % shards``); results
+        are bit-identical for every shard count — the determinism tests
+        and ``bench_fleet.py`` assert it.
+    seed:
+        Seed for the arrival trace (service sizes, gaps, deadlines).
+    tick_s:
+        Simulation tick of every node (coarser than the single-board
+        default: a fleet steps ``nodes`` engines per tick).
+    profile:
+        Engine profile per node; ``"vector"`` runs every node's MP-HARS
+        Plan stage on the tensorized batch planner.
+    trace:
+        Arrival-trace shape: ``"poisson"``, ``"diurnal"`` or ``"burst"``.
+    requests:
+        Total requests in the trace (fleet-wide, open loop).
+    per_node_rps:
+        Mean fleet arrival rate expressed per node; the trace generator
+        uses ``per_node_rps * nodes`` as its base rate.
+    deadline_s:
+        Per-request latency deadline (arrival-relative).
+    service_units:
+        Mean request size in work units (one unit ≈ one little-core
+        second at the baseline frequency).
+    heavy_fraction:
+        Fraction of requests drawn from the heavy mode of the bimodal
+        service-size distribution — the head-of-line blockers that make
+        deadline-aware routing matter.
+    heavy_scale:
+        Size multiplier of the heavy mode.
+    diurnal_period_s / diurnal_depth:
+        Sinusoidal modulation of the arrival rate (``"diurnal"`` trace).
+    burst_period_s / burst_duty / burst_scale:
+        On/off modulation (``"burst"`` trace): for ``burst_duty`` of each
+        period the rate is scaled by ``burst_scale``, otherwise damped so
+        the long-run mean stays near the base rate.
+    lane_threads:
+        Threads per serving lane (each node runs a ``hot`` and a ``base``
+        lane; see :mod:`repro.fleet.node`).
+    adapt_every:
+        MP-HARS adaptation period (heartbeats) on every node.
+    percentile:
+        Tail percentile the per-lane deadline targets steer on.
+    slo_window:
+        Sliding-window size (samples) of the per-lane SLO windows.
+    slack:
+        Headroom fraction of the deadline the controller aims below:
+        the comfort point is ``(1 - slack) * deadline_s``.
+    rate_span_s:
+        Span of the timed rate window feeding the deadline targets.
+    drain_s:
+        Extra horizon after the last arrival before the run is cut off
+        (unfinished requests are reported, not waited for).
+    app_id:
+        Application label stamped on every request (telemetry label).
+    node_telemetry:
+        Attach a full per-node :class:`~repro.telemetry.hub.TelemetryHub`
+        (expensive at fleet scale; the cluster-level registry is always
+        populated regardless).
+    """
+
+    nodes: int = 50
+    shards: int = 1
+    seed: int = 0
+    tick_s: float = 0.02
+    profile: str = "vector"
+    trace: str = "poisson"
+    requests: int = 10_000
+    per_node_rps: float = 8.0
+    deadline_s: float = 0.5
+    service_units: float = 0.05
+    heavy_fraction: float = 0.15
+    heavy_scale: float = 6.0
+    diurnal_period_s: float = 20.0
+    diurnal_depth: float = 0.8
+    burst_period_s: float = 4.0
+    burst_duty: float = 0.3
+    burst_scale: float = 3.0
+    lane_threads: int = 2
+    adapt_every: int = 5
+    percentile: float = 95.0
+    slo_window: int = 256
+    slack: float = 0.4
+    rate_span_s: float = 2.0
+    drain_s: float = 20.0
+    app_id: str = "search"
+    node_telemetry: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError("a fleet needs at least one node")
+        if not 1 <= self.shards <= self.nodes:
+            raise ConfigurationError(
+                f"shards must be in [1, nodes], got {self.shards}"
+            )
+        if self.trace not in TRACES:
+            raise ConfigurationError(
+                f"unknown trace {self.trace!r}; valid: {TRACES}"
+            )
+        if self.profile not in _PROFILES:
+            raise ConfigurationError(
+                f"unknown profile {self.profile!r}; valid: {_PROFILES}"
+            )
+        if self.requests < 1:
+            raise ConfigurationError("need at least one request")
+        if self.per_node_rps <= 0:
+            raise ConfigurationError("per_node_rps must be positive")
+        if self.tick_s <= 0:
+            raise ConfigurationError("tick must be positive")
+        if self.deadline_s <= 0:
+            raise ConfigurationError("deadline must be positive")
+        if self.service_units <= 0:
+            raise ConfigurationError("service_units must be positive")
+        if not 0 <= self.heavy_fraction < 1:
+            raise ConfigurationError("heavy_fraction must be in [0, 1)")
+        if self.heavy_scale < 1:
+            raise ConfigurationError("heavy_scale must be >= 1")
+        if self.lane_threads < 1:
+            raise ConfigurationError("lane_threads must be >= 1")
+        if not 0 < self.percentile <= 100:
+            raise ConfigurationError("percentile must be in (0, 100]")
+        if self.slo_window < 2:
+            raise ConfigurationError("slo_window must be >= 2")
+        if not 0 < self.slack < 1:
+            raise ConfigurationError("slack must be in (0, 1)")
+        if self.rate_span_s <= 0:
+            raise ConfigurationError("rate_span_s must be positive")
+        if self.drain_s < 0:
+            raise ConfigurationError("drain_s cannot be negative")
+
+    @property
+    def arrival_rps(self) -> float:
+        """Fleet-wide mean arrival rate the trace generator targets."""
+        return self.per_node_rps * self.nodes

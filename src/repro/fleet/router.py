@@ -1,0 +1,125 @@
+"""Pluggable request routing: the fleet's load balancer policies.
+
+Routers are pure decision functions over the *previous tick's* node
+state — the cluster routes a tick's arrivals before stepping any shard,
+so every router sees the same snapshot no matter how the nodes are
+sharded.  That ordering, plus node-local simulation state, is the whole
+determinism argument.
+
+Three policies:
+
+* ``round-robin``   — the classic baseline: next node, base lane.
+* ``least-loaded``  — join the shortest (estimated-wait) base queue.
+* ``deadline-risk`` — the Hurry-up policy ("Hurry-up: Scaling Web
+  Search on Big/Little Multi-core Architectures"): estimate the
+  request's completion time on the best base lane; if it threatens the
+  deadline, promote the request to a hot lane — which MP-HARS grows
+  onto the big cores — otherwise keep it on the energy-efficient base
+  lane.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Sequence, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.fleet.node import FleetNode
+from repro.fleet.trace import Request
+
+
+class Router(abc.ABC):
+    """One routing policy; ``route`` returns ``(node_index, lane)``."""
+
+    name: str = ""
+
+    @abc.abstractmethod
+    def route(
+        self, request: Request, nodes: Sequence[FleetNode], now_s: float
+    ) -> Tuple[int, str]:
+        """Pick the node and lane for one arriving request."""
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the nodes; everything rides the base lane."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def route(
+        self, request: Request, nodes: Sequence[FleetNode], now_s: float
+    ) -> Tuple[int, str]:
+        index = self._next
+        self._next = (self._next + 1) % len(nodes)
+        return index, "base"
+
+
+class LeastLoadedRouter(Router):
+    """Join the base lane with the smallest estimated wait."""
+
+    name = "least-loaded"
+
+    def route(
+        self, request: Request, nodes: Sequence[FleetNode], now_s: float
+    ) -> Tuple[int, str]:
+        return _argmin_wait(nodes, "base"), "base"
+
+
+class DeadlineRiskRouter(Router):
+    """Hurry-up routing: deadline-risk requests go to the hot lane.
+
+    ``margin`` is the fraction of the remaining deadline budget the
+    estimated completion time may consume before the request counts as
+    at-risk (lower = more eager promotion to big cores).
+    """
+
+    name = "deadline-risk"
+
+    def __init__(self, margin: float = 0.6):
+        if not 0 < margin <= 1:
+            raise ConfigurationError("margin must be in (0, 1]")
+        self.margin = margin
+
+    def route(
+        self, request: Request, nodes: Sequence[FleetNode], now_s: float
+    ) -> Tuple[int, str]:
+        base_index = _argmin_wait(nodes, "base")
+        base_node = nodes[base_index]
+        service_s = request.service_units / base_node.nominal_rate("base") * (
+            base_node.config.lane_threads
+        )
+        eta_s = base_node.est_wait_s("base") + service_s
+        budget_s = request.deadline_s - now_s
+        if eta_s <= self.margin * budget_s:
+            return base_index, "base"
+        return _argmin_wait(nodes, "hot"), "hot"
+
+
+def _argmin_wait(nodes: Sequence[FleetNode], lane: str) -> int:
+    """Node with the smallest estimated wait (ties: lowest index)."""
+    best = 0
+    best_wait = nodes[0].est_wait_s(lane)
+    for index in range(1, len(nodes)):
+        wait = nodes[index].est_wait_s(lane)
+        if wait < best_wait:
+            best = index
+            best_wait = wait
+    return best
+
+
+ROUTERS: Dict[str, Type[Router]] = {
+    router.name: router
+    for router in (RoundRobinRouter, LeastLoadedRouter, DeadlineRiskRouter)
+}
+
+
+def make_router(name: str) -> Router:
+    """Instantiate a router by policy name."""
+    cls = ROUTERS.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown router {name!r}; valid: {tuple(sorted(ROUTERS))}"
+        )
+    return cls()

@@ -1,0 +1,132 @@
+"""Request-serving workload model: the open queue behind one lane.
+
+A :class:`ServerWorkload` is the fleet's stand-in for a request-serving
+process: a FIFO queue of requests, each thread working on one request at
+a time.  Completing a request emits exactly one heartbeat tagged with
+the request index — that is how :mod:`repro.fleet.node` maps heartbeat
+timestamps back onto per-request latencies, and it means the existing
+MP-HARS controller observes a serving lane through the same Application
+Heartbeats channel it uses for PARSEC workloads, unchanged.
+
+Like the microbenchmark, the model is endless (``total_heartbeats() ==
+0``): a serving process never "finishes", runs are bounded by the
+cluster's horizon.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.workloads.base import AdvanceResult, WorkloadModel, WorkloadTraits
+
+#: Remaining-work threshold below which a request counts as complete
+#: (guards float dust from repeated grant subtraction).
+_DONE_EPS = 1e-12
+
+#: Default traits of the serving workload: memory-light request handling
+#: with a real big-core advantage — the reason a hot lane exists.
+SERVING_TRAITS = WorkloadTraits(
+    name="serving",
+    unit_scale=1.0,
+    big_little_ratio=1.8,
+    mem_intensity=0.15,
+    activity_factor=0.9,
+)
+
+
+class ServerWorkload(WorkloadModel):
+    """FIFO request queue served by ``n_threads`` workers."""
+
+    def __init__(
+        self,
+        lane: str,
+        n_threads: int,
+        traits: Optional[WorkloadTraits] = None,
+    ):
+        if not lane:
+            raise ConfigurationError("serving lane needs a name")
+        super().__init__(traits or SERVING_TRAITS, n_threads)
+        self.lane = lane
+        #: Queued (request index, remaining units) pairs, FIFO.
+        self._queue: Deque[List] = deque()
+        #: thread index -> [request index, remaining units].
+        self._active: Dict[int, List] = {}
+        self._queued_units = 0.0
+
+    def reset(self, seed: int = 0) -> None:
+        self._queue.clear()
+        self._active.clear()
+        self._queued_units = 0.0
+
+    def submit(self, request_index: int, service_units: float) -> None:
+        """Enqueue one request (the router calls this via the node)."""
+        if service_units <= 0:
+            raise ConfigurationError(
+                f"request {request_index}: non-positive size {service_units}"
+            )
+        self._queue.append([request_index, service_units])
+        self._queued_units += service_units
+
+    def wants_cpu(self, thread_index: int) -> bool:
+        if not 0 <= thread_index < self.n_threads:
+            raise ConfigurationError(
+                f"thread index {thread_index} out of range"
+            )
+        return thread_index in self._active or bool(self._queue)
+
+    def advance(self, grants: Dict[int, float]) -> AdvanceResult:
+        consumed: Dict[int, float] = {}
+        tags: List[str] = []
+        # Threads drain in index order so the dispatch of queued
+        # requests to workers is deterministic.
+        for thread_index in sorted(grants):
+            budget = grants[thread_index]
+            used = 0.0
+            while budget > _DONE_EPS:
+                active = self._active.get(thread_index)
+                if active is None:
+                    if not self._queue:
+                        break
+                    active = self._queue.popleft()
+                    self._queued_units -= active[1]
+                    self._active[thread_index] = active
+                take = min(budget, active[1])
+                active[1] -= take
+                budget -= take
+                used += take
+                if active[1] <= _DONE_EPS:
+                    tags.append(str(active[0]))
+                    del self._active[thread_index]
+            consumed[thread_index] = used
+        return AdvanceResult(
+            consumed=consumed,
+            heartbeats=len(tags),
+            heartbeat_tags=tuple(tags),
+        )
+
+    def is_done(self) -> bool:
+        return False
+
+    def total_heartbeats(self) -> int:
+        return 0
+
+    # -- queue introspection (routing signals) ------------------------------
+
+    @property
+    def queue_len(self) -> int:
+        """Requests waiting for a worker (excludes in-service ones)."""
+        return len(self._queue)
+
+    @property
+    def in_service(self) -> int:
+        """Requests currently held by a worker thread."""
+        return len(self._active)
+
+    @property
+    def backlog_units(self) -> float:
+        """Work units queued plus remaining on in-service requests."""
+        return self._queued_units + sum(
+            entry[1] for entry in self._active.values()
+        )

@@ -1,0 +1,96 @@
+"""Sliding tail-latency windows — the fleet's replacement for rate windows.
+
+Single-board HARS steers on heartbeat-*rate* windows; a serving fleet
+steers on *latency percentiles* against a deadline.  :class:`SloWindow`
+is the observation half of that: a bounded sliding window of request
+latencies with exact percentile queries, plus cumulative completion and
+deadline-miss counters.
+
+The percentile uses the same linear interpolation as
+``statistics.quantiles(data, n=100, method="inclusive")`` — rank
+``(n - 1) * p / 100`` over the sorted window — so the property tests can
+assert exactness against the standard library on random traces.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def percentile(data: Sequence[float], p: float) -> float:
+    """Exact ``p``-th percentile of ``data`` (inclusive interpolation).
+
+    Matches ``statistics.quantiles(data, n=100, method="inclusive")`` at
+    integer percentiles; defined for any ``p`` in [0, 100] and any
+    non-empty ``data`` (including a single sample, where every
+    percentile is that sample).
+    """
+    if not data:
+        raise ConfigurationError("percentile of an empty sample")
+    if not 0.0 <= p <= 100.0:
+        raise ConfigurationError(f"percentile {p} not in [0, 100]")
+    ordered = sorted(data)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * p / 100.0
+    lower = math.floor(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
+
+
+class SloWindow:
+    """Sliding window of request latencies with percentile queries.
+
+    The window holds the most recent ``max_samples`` latencies (the
+    control signal); ``observed_total`` / ``miss_total`` count the whole
+    stream (the accounting signal).
+    """
+
+    def __init__(self, max_samples: int = 256):
+        if max_samples < 2:
+            raise ConfigurationError("SLO window needs at least 2 samples")
+        self.max_samples = max_samples
+        self._window: Deque[float] = deque(maxlen=max_samples)
+        self.observed_total = 0
+        self.miss_total = 0
+
+    def observe(self, latency_s: float, missed: bool = False) -> None:
+        """Record one completed request."""
+        if latency_s < 0:
+            raise ConfigurationError(f"negative latency {latency_s}")
+        self._window.append(latency_s)
+        self.observed_total += 1
+        if missed:
+            self.miss_total += 1
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Windowed percentile, or ``None`` before the first sample."""
+        if not self._window:
+            return None
+        return percentile(self._window, p)
+
+    def quantile_summary(self) -> Optional[dict]:
+        """The P50/P95/P99 triple dashboards plot, or ``None`` if empty."""
+        if not self._window:
+            return None
+        ordered = sorted(self._window)
+        return {
+            "p50": percentile(ordered, 50.0),
+            "p95": percentile(ordered, 95.0),
+            "p99": percentile(ordered, 99.0),
+        }
+
+    @property
+    def miss_ratio(self) -> float:
+        """Deadline misses over all completions (0 before any)."""
+        if self.observed_total == 0:
+            return 0.0
+        return self.miss_total / self.observed_total

@@ -1,0 +1,124 @@
+"""Seeded open-loop arrival traces.
+
+A fleet run is driven by a pre-generated request trace — open loop, the
+way production load arrives: requests show up on their own schedule
+whether or not the cluster keeps up (closed-loop heartbeat targets, by
+contrast, only ever see the work the system admits).  Generating the
+whole trace up front, from one seeded :class:`random.Random`, is what
+makes the sharded cluster deterministic: the trace depends only on the
+:class:`~repro.fleet.config.FleetConfig`, never on how the nodes are
+stepped.
+
+Three shapes:
+
+* ``poisson`` — stationary Poisson arrivals at the configured rate;
+* ``diurnal`` — a non-homogeneous Poisson process whose rate follows a
+  sinusoid (the classic day/night traffic curve, compressed to
+  simulation scale);
+* ``burst``  — on/off modulation: short windows at ``burst_scale`` times
+  the base rate, damped in between so the long-run mean stays put.
+
+Service sizes are bimodal: most requests are small, a configurable
+fraction is ``heavy_scale`` times larger.  The heavy tail is what makes
+deadline-aware routing interesting — small requests stuck behind a heavy
+one in FIFO order are exactly the deadline misses the Hurry-up router
+exists to prevent.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+from repro.fleet.config import FleetConfig
+
+#: Uniform jitter applied to every service size (± half of this range).
+_SIZE_JITTER = (0.5, 1.5)
+
+#: Off-window damping of the burst trace (keeps the long-run mean rate
+#: close to the configured base rate for typical duty/scale settings).
+_BURST_OFF_FACTOR = 0.4
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request of the open-loop trace.
+
+    ``deadline_s`` is absolute simulated time (arrival + deadline
+    budget); ``service_units`` is the work the serving lane must grant
+    (one unit ≈ one little-core second at the baseline frequency).
+    ``heavy`` marks the large mode of the bimodal size distribution.
+    """
+
+    index: int
+    app: str
+    arrival_s: float
+    service_units: float
+    deadline_s: float
+    heavy: bool = False
+
+    @property
+    def budget_s(self) -> float:
+        """Deadline budget relative to arrival."""
+        return self.deadline_s - self.arrival_s
+
+
+def make_trace(config: FleetConfig) -> Tuple[Request, ...]:
+    """Generate the full arrival trace for one fleet run.
+
+    Deterministic in ``config`` alone; arrivals are non-decreasing in
+    time and indices follow arrival order.
+    """
+    rng = random.Random(config.seed)
+    rate_fn = _RATE_SHAPES.get(config.trace)
+    if rate_fn is None:
+        raise ConfigurationError(f"unknown trace shape {config.trace!r}")
+    base = config.arrival_rps
+    requests = []
+    now = 0.0
+    for index in range(config.requests):
+        rate = rate_fn(config, base, now)
+        now += rng.expovariate(rate)
+        heavy = rng.random() < config.heavy_fraction
+        units = config.service_units * rng.uniform(*_SIZE_JITTER)
+        if heavy:
+            units *= config.heavy_scale
+        requests.append(
+            Request(
+                index=index,
+                app=config.app_id,
+                arrival_s=now,
+                service_units=units,
+                deadline_s=now + config.deadline_s,
+                heavy=heavy,
+            )
+        )
+    return tuple(requests)
+
+
+def _poisson_rate(config: FleetConfig, base: float, now_s: float) -> float:
+    return base
+
+
+def _diurnal_rate(config: FleetConfig, base: float, now_s: float) -> float:
+    """Sinusoidal day/night curve; floored so the process never stalls."""
+    phase = 2.0 * math.pi * now_s / config.diurnal_period_s
+    return max(base * (1.0 + config.diurnal_depth * math.sin(phase)), base * 0.05)
+
+
+def _burst_rate(config: FleetConfig, base: float, now_s: float) -> float:
+    """On/off traffic: the first ``burst_duty`` of each period burns hot."""
+    position = math.fmod(now_s, config.burst_period_s) / config.burst_period_s
+    if position < config.burst_duty:
+        return base * config.burst_scale
+    return base * _BURST_OFF_FACTOR
+
+
+_RATE_SHAPES = {
+    "poisson": _poisson_rate,
+    "diurnal": _diurnal_rate,
+    "burst": _burst_rate,
+}

@@ -67,6 +67,54 @@ class HeartbeatMonitor:
         rate = self.current_rate()
         return rate is not None and self.target.out_of_window(rate)
 
+    def timed_rate(
+        self, now_s: float, span_s: float, start_s: float = 0.0
+    ) -> Optional[float]:
+        """Completion rate over the trailing timed window ``(now_s - span_s,
+        now_s]``, in beats per second.
+
+        The divisor is the window's *elapsed* span, not ``span_s``: a
+        window cut short by the start of the stream (``start_s``) — or
+        queried mid-window when a run terminates — covers less than the
+        nominal span, and dividing by the full span would understate the
+        rate by exactly the uncovered fraction.  At a steady 10 beats/s
+        observed 0.3 s into the run, a full-span divisor over a 1 s
+        window reports 3 beats/s and misclassifies the stream as deeply
+        underperforming; the elapsed-span divisor reports 10.
+
+        Returns ``None`` when the window has no elapsed time yet.
+        """
+        if span_s <= 0:
+            raise ConfigurationError("span must be positive")
+        window_start = max(now_s - span_s, start_s)
+        elapsed = now_s - window_start
+        if elapsed <= 0:
+            return None
+        return self.log.count_between(window_start, now_s) / elapsed
+
+    def timed_rate_series(
+        self, span_s: float, end_s: float, start_s: float = 0.0
+    ) -> List[Tuple[float, float]]:
+        """``(window_end_s, rate)`` per tumbling window of ``span_s``.
+
+        Windows tile ``[start_s, end_s)``; the final window — cut short
+        when the run ends mid-window — is scaled by its elapsed span,
+        the same partial-window correction as :meth:`timed_rate`.
+        """
+        if span_s <= 0:
+            raise ConfigurationError("span must be positive")
+        if end_s <= start_s:
+            return []
+        series: List[Tuple[float, float]] = []
+        window_start = start_s
+        while window_start < end_s - 1e-12:
+            window_end = min(window_start + span_s, end_s)
+            elapsed = window_end - window_start
+            count = self.log.count_between(window_start, window_end)
+            series.append((window_end, count / elapsed))
+            window_start += span_s
+        return series
+
     def last_beat_age_s(self, now_s: float) -> Optional[float]:
         """Seconds since the newest logged heartbeat (``None`` before any).
 

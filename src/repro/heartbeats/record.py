@@ -9,6 +9,7 @@ records and an append-only log with windowed-rate queries.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -38,6 +39,8 @@ class HeartbeatLog:
     def __init__(self, app_name: str = ""):
         self.app_name = app_name
         self._beats: List[Heartbeat] = []
+        # Parallel timestamp list for O(log n) timed-window counting.
+        self._times: List[float] = []
 
     def emit(self, time_s: float, tag: str = "") -> Heartbeat:
         """Append a heartbeat at ``time_s`` and return it."""
@@ -48,6 +51,7 @@ class HeartbeatLog:
             )
         beat = Heartbeat(index=len(self._beats), time_s=time_s, tag=tag)
         self._beats.append(beat)
+        self._times.append(time_s)
         return beat
 
     def __len__(self) -> int:
@@ -57,6 +61,25 @@ class HeartbeatLog:
     def beats(self) -> Sequence[Heartbeat]:
         """All heartbeats, oldest first (read-only view)."""
         return tuple(self._beats)
+
+    def beat(self, index: int) -> Heartbeat:
+        """The heartbeat at ``index`` without copying the whole log.
+
+        Cursor-style consumers (the fleet nodes harvest each lane's new
+        beats every tick) would pay O(n) per tick through :attr:`beats`.
+        """
+        return self._beats[index]
+
+    def count_between(self, start_s: float, end_s: float) -> int:
+        """Beats with ``start_s < time_s <= end_s`` (half-open window).
+
+        The half-open convention makes consecutive tumbling windows
+        partition the stream: a beat on a boundary belongs to exactly
+        one window.
+        """
+        return bisect_right(self._times, end_s) - bisect_right(
+            self._times, start_s
+        )
 
     @property
     def last(self) -> Optional[Heartbeat]:

@@ -88,3 +88,120 @@ class PerformanceTarget:
         if rate < 0:
             raise ConfigurationError("negative rate")
         return min(self.avg_rate, rate) / self.avg_rate
+
+
+#: Bounds on the latency-pressure multiplier a :class:`DeadlineTarget`
+#: applies to the observed rate (guards against a single pathological
+#: tail sample slamming the window to an unreachable point).
+_PRESSURE_BOUNDS = (0.2, 5.0)
+
+#: Rate floor keeping the window well-formed before any observation.
+_RATE_FLOOR = 1e-9
+
+
+class DeadlineTarget:
+    """A tail-latency target wearing a :class:`PerformanceTarget` face.
+
+    Serving fleets steer on latency percentiles against a deadline, but
+    the whole MAPE-K stack — Analyzer classification, Algorithm 2
+    feasibility (``est_rate >= min_rate``), the Table 4.3 decision table,
+    the vectorized batch planner — speaks heartbeat-rate windows.  A
+    ``DeadlineTarget`` bridges the two: it exposes the same
+    ``min_rate`` / ``avg_rate`` / ``max_rate`` window and the same
+    ``classify`` / ``out_of_window`` / ``normalized_performance``
+    methods, but the window is *derived*, re-centered every tick from
+    the observed completion rate and the windowed tail latency:
+
+        pressure = tail / ((1 - slack) * deadline)
+        avg_rate = observed_rate * clamp(pressure)
+
+    Tail at the comfort point → the window brackets the observed rate
+    (ACHIEVE, hold).  Tail approaching the deadline → the window moves
+    above the observed rate (UNDERPERF, grow allocation / frequency).
+    Tail far below comfort → the window drops below the observed rate
+    (OVERPERF, shrink and save energy).  Unlike
+    :class:`PerformanceTarget` this object is deliberately mutable —
+    the target *is* the controller's moving setpoint.
+    """
+
+    def __init__(
+        self,
+        deadline_s: float,
+        percentile: float = 95.0,
+        slack: float = 0.4,
+        tolerance: float = 0.15,
+    ):
+        if deadline_s <= 0:
+            raise ConfigurationError("deadline must be positive")
+        if not 0 < percentile <= 100:
+            raise ConfigurationError("percentile must be in (0, 100]")
+        if not 0 < slack < 1:
+            raise ConfigurationError("slack must be in (0, 1)")
+        if not 0 < tolerance < 1:
+            raise ConfigurationError("tolerance must be in (0, 1)")
+        self.deadline_s = deadline_s
+        self.percentile = percentile
+        self.slack = slack
+        self.tolerance = tolerance
+        # Permissive until the first update: anything classifies as
+        # ACHIEVE, so an idle or warming-up lane never triggers
+        # adaptation on no data.
+        self.min_rate = _RATE_FLOOR
+        self.avg_rate = 1.0
+        self.max_rate = float("inf")
+        #: Latest tail latency fed in (telemetry convenience).
+        self.last_tail_s: float | None = None
+
+    @property
+    def comfort_s(self) -> float:
+        """The tail latency the controller steers toward."""
+        return (1.0 - self.slack) * self.deadline_s
+
+    def update(
+        self, observed_rate: float | None, tail_latency_s: float | None
+    ) -> None:
+        """Re-center the rate window from the current SLO observation.
+
+        With no usable observation (an idle lane, or one that has not
+        yet filled a rate window) the target goes permissive instead of
+        keeping a stale setpoint.
+        """
+        self.last_tail_s = tail_latency_s
+        if (
+            observed_rate is None
+            or observed_rate <= 0
+            or tail_latency_s is None
+            or tail_latency_s <= 0
+        ):
+            self.min_rate = _RATE_FLOOR
+            self.max_rate = float("inf")
+            return
+        low, high = _PRESSURE_BOUNDS
+        pressure = min(max(tail_latency_s / self.comfort_s, low), high)
+        avg = max(observed_rate * pressure, _RATE_FLOOR)
+        self.avg_rate = avg
+        self.min_rate = avg * (1.0 - self.tolerance)
+        self.max_rate = avg * (1.0 + self.tolerance)
+
+    @property
+    def half_width(self) -> float:
+        return (self.max_rate - self.min_rate) / 2.0
+
+    def out_of_window(self, rate: float) -> bool:
+        """Adaptation trigger — asymmetric windows use classification."""
+        return self.classify(rate) is not Satisfaction.ACHIEVE
+
+    def classify(self, rate: float) -> Satisfaction:
+        if rate < self.min_rate:
+            return Satisfaction.UNDERPERF
+        if rate > self.max_rate:
+            return Satisfaction.OVERPERF
+        return Satisfaction.ACHIEVE
+
+    def normalized_performance(self, rate: float) -> float:
+        """Same ``min(g, h)/g`` shape the planners expect (and compute
+        inline on the vector path — the formulas must stay in lockstep).
+        """
+        if rate < 0:
+            raise ConfigurationError("negative rate")
+        return min(self.avg_rate, rate) / self.avg_rate

@@ -110,6 +110,16 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(value: str) -> str:
+    """HELP-line escaping per the exposition format (``\\`` and ``\\n``).
+
+    Help text is free-form but the format is line-oriented: an unescaped
+    newline would split the comment mid-way and leave a half-line the
+    parser then tries to read as a sample.
+    """
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _unescape_label(value: str) -> str:
     out = []
     i = 0
@@ -147,7 +157,7 @@ def snapshot_to_prometheus(snapshot: Dict[str, Any]) -> str:
     for entry in snapshot["instruments"]:
         name, kind = entry["name"], entry["kind"]
         if entry["help"]:
-            lines.append(f"# HELP {name} {entry['help']}")
+            lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
         lines.append(f"# TYPE {name} {_PROM_TYPES.get(kind, 'gauge')}")
         for row in entry["series"]:
             labels = row["labels"]
@@ -201,7 +211,14 @@ def parse_prometheus(
             labels: Dict[str, str] = {}
             for part in _split_labels(label_text):
                 key, _, raw = part.partition("=")
-                labels[key.strip()] = _unescape_label(raw.strip().strip('"'))
+                # Remove exactly the two delimiting quotes.  str.strip('"')
+                # would also eat an *escaped* quote at the end of the
+                # value (serialized ``"a\""``), corrupting round-trips of
+                # label values that end in a quote character.
+                raw = raw.strip()
+                if len(raw) >= 2 and raw[0] == '"' and raw[-1] == '"':
+                    raw = raw[1:-1]
+                labels[key.strip()] = _unescape_label(raw)
         else:
             name, _, value_text = line.partition(" ")
             labels = {}

@@ -1,0 +1,144 @@
+"""FleetNode completion mapping and router policy tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.config import FleetConfig
+from repro.fleet.node import LANES, FleetNode
+from repro.fleet.router import ROUTERS, make_router
+from repro.fleet.trace import Request
+
+
+def _request(index, arrival_s=0.0, units=0.05, budget=0.5):
+    return Request(
+        index=index,
+        app="search",
+        arrival_s=arrival_s,
+        service_units=units,
+        deadline_s=arrival_s + budget,
+        heavy=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FleetConfig(nodes=2, requests=10)
+
+
+class TestFleetNode:
+    def test_idle_node_steps_quietly(self, config):
+        node = FleetNode(0, config)
+        for _ in range(5):
+            assert node.step() == []
+        assert node.pending == 0
+
+    def test_request_completes_with_latency(self, config):
+        node = FleetNode(0, config)
+        node.enqueue(_request(0), "base")
+        assert node.pending == 1
+        completions = []
+        for _ in range(200):
+            completions = node.step()
+            if completions:
+                break
+        assert len(completions) == 1
+        done = completions[0]
+        assert done.request.index == 0
+        assert done.lane == "base"
+        assert done.latency_s > 0
+        assert done.latency_s == pytest.approx(
+            done.finish_s - done.request.arrival_s
+        )
+        assert not done.missed
+        assert node.pending == 0
+        assert node.slo["base"].observed_total == 1
+
+    def test_wait_estimate_grows_with_backlog(self, config):
+        node = FleetNode(0, config)
+        idle_wait = node.est_wait_s("base")
+        for index in range(10):
+            node.enqueue(_request(index, units=1.0), "base")
+        assert node.est_wait_s("base") > idle_wait
+        assert node.backlog_units("base") == pytest.approx(10.0)
+        assert node.queue_len("base") == 10
+
+    def test_hot_lane_nominal_rate_is_faster(self, config):
+        node = FleetNode(0, config)
+        assert node.nominal_rate("hot") > node.nominal_rate("base")
+
+    def test_double_route_and_unknown_lane_rejected(self, config):
+        node = FleetNode(0, config)
+        node.enqueue(_request(0), "base")
+        with pytest.raises(ConfigurationError):
+            node.enqueue(_request(0), "hot")
+        with pytest.raises(ConfigurationError):
+            node.enqueue(_request(1), "lukewarm")
+
+    def test_energy_accrues_over_time(self, config):
+        node = FleetNode(0, config)
+        for _ in range(10):
+            node.step()
+        assert node.energy_j("total") > 0
+        assert node.average_power_w("total") > 0
+
+
+class TestRouters:
+    def test_registry_covers_the_three_policies(self):
+        assert set(ROUTERS) == {
+            "round-robin",
+            "least-loaded",
+            "deadline-risk",
+        }
+        with pytest.raises(ConfigurationError):
+            make_router("random")
+
+    def test_round_robin_cycles(self, config):
+        nodes = [FleetNode(i, config) for i in range(3)]
+        router = make_router("round-robin")
+        picks = [
+            router.route(_request(i), nodes, 0.0) for i in range(6)
+        ]
+        assert [p[0] for p in picks] == [0, 1, 2, 0, 1, 2]
+        assert all(p[1] == "base" for p in picks)
+
+    def test_least_loaded_avoids_the_busy_node(self, config):
+        nodes = [FleetNode(i, config) for i in range(3)]
+        for index in range(20):
+            nodes[0].enqueue(_request(index, units=1.0), "base")
+        router = make_router("least-loaded")
+        node_index, lane = router.route(_request(100), nodes, 0.0)
+        assert node_index != 0
+        assert lane == "base"
+        # Ties break to the lowest index — determinism, not luck.
+        assert node_index == 1
+
+    def test_deadline_risk_promotes_under_pressure(self, config):
+        nodes = [FleetNode(i, config) for i in range(2)]
+        router = make_router("deadline-risk")
+        # Relaxed deadline, empty queues: stay on the base lane.
+        node_index, lane = router.route(
+            _request(0, budget=10.0), nodes, 0.0
+        )
+        assert lane == "base"
+        # Same request with every base lane jammed: go hot.
+        for node in nodes:
+            for index in range(1, 30):
+                node.enqueue(
+                    _request(index * 10 + node.index, units=1.0), "base"
+                )
+        node_index, lane = router.route(
+            _request(500, budget=0.5), nodes, 0.0
+        )
+        assert lane == "hot"
+
+    def test_deadline_risk_margin_validated(self):
+        cls = ROUTERS["deadline-risk"]
+        with pytest.raises(ConfigurationError):
+            cls(margin=0.0)
+        with pytest.raises(ConfigurationError):
+            cls(margin=1.5)
+
+    def test_lanes_constant_matches_node(self, config):
+        node = FleetNode(0, config)
+        assert tuple(node.models) == LANES
+        assert tuple(node.targets) == LANES

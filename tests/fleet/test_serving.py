@@ -1,0 +1,82 @@
+"""ServerWorkload queue semantics: grants in, tagged heartbeats out."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fleet.serving import ServerWorkload
+
+
+@pytest.fixture
+def lane():
+    return ServerWorkload("base", n_threads=2)
+
+
+class TestQueueing:
+    def test_empty_lane_wants_no_cpu(self, lane):
+        assert not lane.wants_cpu(0)
+        assert not lane.wants_cpu(1)
+        assert lane.backlog_units == 0.0
+
+    def test_submit_makes_threads_hungry(self, lane):
+        lane.submit(0, 1.0)
+        assert lane.wants_cpu(0) and lane.wants_cpu(1)
+        assert lane.queue_len == 1
+        assert lane.backlog_units == pytest.approx(1.0)
+
+    def test_completion_emits_tagged_heartbeat(self, lane):
+        lane.submit(7, 1.0)
+        result = lane.advance({0: 1.0, 1: 1.0})
+        assert result.heartbeats == 1
+        assert result.heartbeat_tags == ("7",)
+        assert lane.backlog_units == pytest.approx(0.0)
+
+    def test_partial_grant_keeps_request_in_service(self, lane):
+        lane.submit(0, 1.0)
+        result = lane.advance({0: 0.4})
+        assert result.heartbeats == 0
+        assert lane.in_service == 1
+        assert lane.queue_len == 0
+        assert lane.backlog_units == pytest.approx(0.6)
+        result = lane.advance({0: 0.6})
+        assert result.heartbeat_tags == ("0",)
+
+    def test_fifo_dispatch_is_deterministic(self, lane):
+        for index in range(4):
+            lane.submit(index, 0.5)
+        # Thread 0 drains first regardless of grant dict ordering.
+        result = lane.advance({1: 0.5, 0: 0.5})
+        assert result.heartbeat_tags == ("0", "1")
+        result = lane.advance({0: 1.0})
+        assert result.heartbeat_tags == ("2", "3")
+
+    def test_one_thread_chews_through_queue_in_one_big_grant(self, lane):
+        for index in range(3):
+            lane.submit(index, 1.0)
+        result = lane.advance({0: 3.0})
+        assert result.heartbeat_tags == ("0", "1", "2")
+        assert result.consumed[0] == pytest.approx(3.0)
+
+    def test_unused_budget_reported(self, lane):
+        lane.submit(0, 0.25)
+        result = lane.advance({0: 1.0})
+        assert result.consumed[0] == pytest.approx(0.25)
+
+    def test_endless_workload_contract(self, lane):
+        assert not lane.is_done()
+        assert lane.total_heartbeats() == 0
+
+    def test_reset_clears_queue(self, lane):
+        lane.submit(0, 1.0)
+        lane.advance({0: 0.5})
+        lane.reset()
+        assert lane.backlog_units == 0.0
+        assert lane.queue_len == 0
+        assert lane.in_service == 0
+
+    def test_rejects_bad_inputs(self, lane):
+        with pytest.raises(ConfigurationError):
+            lane.submit(0, 0.0)
+        with pytest.raises(ConfigurationError):
+            lane.wants_cpu(5)
+        with pytest.raises(ConfigurationError):
+            ServerWorkload("", 2)

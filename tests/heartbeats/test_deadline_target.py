@@ -1,0 +1,99 @@
+"""DeadlineTarget: a latency SLO wearing the rate-window interface."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.heartbeats.targets import DeadlineTarget, Satisfaction
+
+
+@pytest.fixture
+def target():
+    # deadline 1 s, slack 0.4 -> comfort point 0.6 s.
+    return DeadlineTarget(deadline_s=1.0, slack=0.4, tolerance=0.15)
+
+
+class TestDerivedWindow:
+    def test_permissive_before_first_update(self, target):
+        # Any *observed* rate is ACHIEVE (literal zero never reaches
+        # classify — the Analyzer screens out rate <= 0 upstream).
+        for rate in (0.001, 5.0, 1e9):
+            assert target.classify(rate) is Satisfaction.ACHIEVE
+            assert not target.out_of_window(rate)
+
+    def test_tail_at_comfort_point_holds(self, target):
+        target.update(observed_rate=10.0, tail_latency_s=0.6)
+        assert target.avg_rate == pytest.approx(10.0)
+        assert target.classify(10.0) is Satisfaction.ACHIEVE
+
+    def test_tail_near_deadline_demands_more_rate(self, target):
+        target.update(observed_rate=10.0, tail_latency_s=0.95)
+        # pressure = 0.95 / 0.6 -> window sits above the observed rate.
+        assert target.avg_rate > 10.0
+        assert target.classify(10.0) is Satisfaction.UNDERPERF
+
+    def test_fast_tail_allows_shrinking(self, target):
+        target.update(observed_rate=10.0, tail_latency_s=0.1)
+        assert target.avg_rate < 10.0
+        assert target.classify(10.0) is Satisfaction.OVERPERF
+
+    def test_pressure_clamped(self, target):
+        target.update(observed_rate=10.0, tail_latency_s=1e6)
+        assert target.avg_rate == pytest.approx(50.0)  # 5x clamp
+        target.update(observed_rate=10.0, tail_latency_s=1e-9)
+        assert target.avg_rate == pytest.approx(2.0)  # 0.2x clamp
+
+    def test_window_tolerance(self, target):
+        target.update(observed_rate=10.0, tail_latency_s=0.6)
+        assert target.min_rate == pytest.approx(8.5)
+        assert target.max_rate == pytest.approx(11.5)
+        assert target.half_width == pytest.approx(1.5)
+
+    def test_no_data_goes_permissive_again(self, target):
+        target.update(observed_rate=10.0, tail_latency_s=0.9)
+        assert target.out_of_window(10.0)
+        target.update(observed_rate=None, tail_latency_s=None)
+        assert not target.out_of_window(10.0)
+        assert target.last_tail_s is None
+
+    def test_zero_rate_goes_permissive(self, target):
+        target.update(observed_rate=0.0, tail_latency_s=0.5)
+        assert target.classify(123.0) is Satisfaction.ACHIEVE
+
+
+class TestPlannerInterface:
+    """The methods Algorithm 2 / the vector batch planner consume."""
+
+    def test_normalized_performance_shape(self, target):
+        target.update(observed_rate=10.0, tail_latency_s=0.6)
+        assert target.normalized_performance(20.0) == 1.0
+        assert target.normalized_performance(5.0) == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            target.normalized_performance(-1.0)
+
+    def test_out_of_window_matches_classify(self, target):
+        target.update(observed_rate=10.0, tail_latency_s=0.6)
+        for rate in (5.0, 8.5, 10.0, 11.5, 20.0):
+            assert target.out_of_window(rate) == (
+                target.classify(rate) is not Satisfaction.ACHIEVE
+            )
+
+    def test_comfort_point(self, target):
+        assert target.comfort_s == pytest.approx(0.6)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": 0.0},
+            {"deadline_s": 1.0, "percentile": 0.0},
+            {"deadline_s": 1.0, "percentile": 101.0},
+            {"deadline_s": 1.0, "slack": 0.0},
+            {"deadline_s": 1.0, "slack": 1.0},
+            {"deadline_s": 1.0, "tolerance": 0.0},
+            {"deadline_s": 1.0, "tolerance": 1.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DeadlineTarget(**kwargs)

@@ -1,0 +1,80 @@
+"""Prometheus exposition escaping regressions.
+
+Two latent bugs pinned here:
+
+* ``parse_prometheus`` unquoted label values with ``str.strip('"')``,
+  which also eats the *escaped* quote of a value that legitimately ends
+  in ``"`` (serialized as ``"...\\""``) — the round-trip silently
+  corrupted the value.
+* HELP text went out unescaped, so a help string containing a newline
+  split the comment and left a junk half-line in the exposition.
+"""
+
+import pytest
+
+from repro.telemetry.exporters import parse_prometheus, snapshot_to_prometheus
+from repro.telemetry.registry import MetricsRegistry, flatten_snapshot
+
+
+def _round_trip(registry):
+    snapshot = registry.snapshot()
+    text = snapshot_to_prometheus(snapshot)
+    return flatten_snapshot(snapshot), parse_prometheus(text)
+
+
+class TestLabelValueEscaping:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'ends-in-quote"',
+            '"fully quoted"',
+            "back\\slash",
+            "new\nline",
+            'mix\\"of\nall"',
+            'trailing-backslash\\',
+            '""',
+        ],
+    )
+    def test_hostile_label_values_round_trip(self, value):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "hits").inc(3.0, host=value)
+        flat, parsed = _round_trip(registry)
+        assert parsed == flat
+        assert parsed[("hits_total", (("host", value),))] == 3.0
+
+    def test_multiple_hostile_labels_on_one_sample(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "gauge").set(
+            1.5, a='x"', b="y,z", c="p\nq"
+        )
+        flat, parsed = _round_trip(registry)
+        assert parsed == flat
+
+    def test_histogram_labels_round_trip(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", "latency", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.5, node='node"7')
+        flat, parsed = _round_trip(registry)
+        assert parsed == flat
+
+
+class TestHelpEscaping:
+    def test_newline_in_help_stays_one_comment_line(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "first line\nsecond line").inc()
+        text = snapshot_to_prometheus(registry.snapshot())
+        help_lines = [
+            line for line in text.splitlines() if line.startswith("# HELP")
+        ]
+        assert help_lines == ["# HELP c_total first line\\nsecond line"]
+        # The stray half-line must not exist as a bogus sample.
+        parsed = parse_prometheus(text)
+        assert set(parsed) == {("c_total", ())}
+
+    def test_backslash_in_help_escaped(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "path C:\\temp").set(1.0)
+        text = snapshot_to_prometheus(registry.snapshot())
+        assert "# HELP g path C:\\\\temp" in text
