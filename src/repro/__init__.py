@@ -23,21 +23,23 @@ internal layering and may move between releases.
 
 from repro.experiments.runner import RunConfig, RunOutcome, RunShape, run
 from repro.faults import FaultConfig
-from repro.fleet import FleetConfig
+from repro.fleet import FleetConfig, FleetFaultConfig, ResilienceConfig
 from repro.guardrails import GuardrailConfig
 from repro.sim.tracing import TraceRecorder
 from repro.supervision import SupervisorConfig
 from repro.telemetry import MetricsRegistry, TelemetryConfig
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "FaultConfig",
     "FleetConfig",
+    "FleetFaultConfig",
     "GuardrailConfig",
     "MetricsRegistry",
     "RunConfig",
     "RunOutcome",
+    "ResilienceConfig",
     "RunShape",
     "SupervisorConfig",
     "TelemetryConfig",

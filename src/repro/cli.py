@@ -10,6 +10,8 @@ Regenerates the paper's tables and figures from the terminal::
     hars-repro fig5.5-7 [--quick]
     hars-repro telemetry [--quick] [--format summary|jsonl|prometheus|csv]
     hars-repro fleet [--nodes N] [--requests N] [--router NAME] [--shards N]
+                     [--crash-frac F [--crash-at S] [--no-failover]]
+                     [--retry-timeout S]
     hars-repro all [--quick]
 
 ``--quick`` scales the workloads down (~80 heartbeats per benchmark) for
@@ -188,12 +190,33 @@ def _run_fleet(
     shards: int = 1,
     trace: str = "poisson",
     seed: int = 0,
+    crash_frac: float = 0.0,
+    crash_at: float = 5.0,
+    failover: bool = True,
+    retry_timeout: float = 0.0,
 ):
     """One fleet serving run; prints the SLO/energy summary line."""
     from repro.experiments.runner import RunConfig, run
-    from repro.fleet import FleetConfig, ROUTERS
+    from repro.fleet import (
+        FleetConfig,
+        FleetFaultConfig,
+        ROUTERS,
+        ResilienceConfig,
+        crash_wave,
+    )
 
     names = list(ROUTERS) if router == "all" else [router]
+    chaos = None
+    if crash_frac > 0:
+        chaos = FleetFaultConfig(
+            schedule=crash_wave(nodes, crash_frac, crash_at), seed=seed
+        )
+    resilience = None
+    if not failover or retry_timeout > 0:
+        resilience = ResilienceConfig(
+            failover=failover,
+            attempt_timeout_s=retry_timeout if retry_timeout > 0 else None,
+        )
     config = RunConfig(
         fleet=FleetConfig(
             nodes=nodes,
@@ -201,6 +224,8 @@ def _run_fleet(
             shards=shards,
             trace=trace,
             seed=seed,
+            chaos=chaos,
+            resilience=resilience,
         )
     )
     payload = {}
@@ -215,6 +240,16 @@ def _run_fleet(
             f"energy={result.energy_j:9.1f} J  "
             f"completed={result.completed}/{result.requests}"
         )
+        if chaos is not None or resilience is not None:
+            counts = result.resilience
+            print(
+                f"{'':>13}  crashes={counts['crashes']}  "
+                f"restarts={counts['restarts']}  "
+                f"evictions={counts['evictions']}  "
+                f"requeued={counts['requeued']}  "
+                f"retries={counts['retries']}  "
+                f"unserved={dict(sorted(result.unserved_causes.items()))}"
+            )
     return {"kind": "fleet-serving", "runs": payload}
 
 
@@ -304,6 +339,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     fleet_group.add_argument(
         "--seed", type=int, default=0, help="arrival-trace RNG seed"
     )
+    fleet_group.add_argument(
+        "--crash-frac",
+        type=float,
+        default=0.0,
+        metavar="FRAC",
+        help="crash this fraction of the fleet in one wave (0 = no chaos)",
+    )
+    fleet_group.add_argument(
+        "--crash-at",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="simulated time of the crash wave (default 5.0)",
+    )
+    fleet_group.add_argument(
+        "--no-failover",
+        action="store_true",
+        help="disable health-checked failover routing (chaos ablation)",
+    )
+    fleet_group.add_argument(
+        "--retry-timeout",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="per-attempt timeout enabling capped retry (0 = off)",
+    )
     args = parser.parse_args(argv)
     n_units = args.units if args.units is not None else (
         QUICK_UNITS if args.quick else None
@@ -332,6 +393,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 shards=args.shards,
                 trace=args.trace,
                 seed=args.seed,
+                crash_frac=args.crash_frac,
+                crash_at=args.crash_at,
+                failover=not args.no_failover,
+                retry_timeout=args.retry_timeout,
             )
         else:
             payload = _RUNNERS[name](n_units, benchmarks)

@@ -16,7 +16,7 @@ simulation built without a fault layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -244,6 +244,14 @@ class FaultConfig:
             affinity_failure_rate=0.02,
         )
 
+    def with_lifecycle_schedule(
+        self, schedule: Sequence[LifecycleEvent]
+    ) -> "FaultConfig":
+        """A copy carrying ``schedule`` as its lifecycle schedule."""
+        values = {f.name: getattr(self, f.name) for f in fields(self)}
+        values["lifecycle_schedule"] = tuple(schedule)
+        return FaultConfig(**values)
+
     def scaled(self, factor: float) -> "FaultConfig":
         """A copy with every *rate* multiplied by ``factor`` (capped at 1).
 
@@ -259,3 +267,28 @@ class FaultConfig:
         values = {f.name: getattr(self, f.name) for f in fields(self)}
         values.update(updates)
         return FaultConfig(**values)
+
+
+def lane_crash_schedule(
+    times_s: Sequence[float], apps: Sequence[str], seed: int = 0
+) -> FaultConfig:
+    """A fault layer that crashes every app in ``apps`` at each time.
+
+    The fleet chaos compiler (:mod:`repro.fleet.chaos`) uses this to
+    deliver *node* crashes through the per-simulation lifecycle
+    machinery: one ``app_crash`` :class:`LifecycleEvent` per serving
+    lane per crash time, all rates zero, so the node's engine publishes
+    the same ``FaultInjected`` / ``AppFinished`` sequence a real abrupt
+    exit would.  Times must be simulation-local and non-negative.
+    """
+    if not apps:
+        raise ConfigurationError("lane_crash_schedule needs at least one app")
+    events = []
+    for at_s in sorted(times_s):
+        if at_s < 0:
+            raise ConfigurationError(
+                f"crash time must be >= 0, got {at_s!r}"
+            )
+        for app in apps:
+            events.append(LifecycleEvent("app_crash", at_s, target=app))
+    return FaultConfig(seed=seed, lifecycle_schedule=tuple(events))

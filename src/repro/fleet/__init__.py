@@ -12,16 +12,25 @@ object :class:`~repro.experiments.runner.RunConfig` embeds); the
 simulation stack behind :func:`run_fleet` loads lazily on first use.
 """
 
+from repro.fleet.chaos import FleetFaultConfig, NodeChaosEvent, crash_wave
 from repro.fleet.config import TRACES, FleetConfig
+from repro.fleet.resilience import AdmissionController, ResilienceConfig
 
 __all__ = [
+    "AdmissionController",
     "FleetCluster",
     "FleetConfig",
+    "FleetFaultConfig",
     "FleetResult",
+    "FleetSupervisor",
+    "NodeChaosEvent",
+    "NodeHealth",
     "ROUTERS",
     "Request",
+    "ResilienceConfig",
     "SloWindow",
     "TRACES",
+    "crash_wave",
     "make_router",
     "make_trace",
     "run_fleet",
@@ -37,6 +46,8 @@ _LAZY = {
     "Request": ("repro.fleet.trace", "Request"),
     "make_trace": ("repro.fleet.trace", "make_trace"),
     "SloWindow": ("repro.fleet.slo", "SloWindow"),
+    "FleetSupervisor": ("repro.fleet.supervisor", "FleetSupervisor"),
+    "NodeHealth": ("repro.fleet.supervisor", "NodeHealth"),
 }
 
 

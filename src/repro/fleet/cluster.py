@@ -3,35 +3,63 @@
 A :class:`FleetCluster` drives N independent :class:`~repro.fleet.node.
 FleetNode` simulations in lock-step ticks.  Each tick:
 
-1. every arrival falling inside the tick is routed (the router sees all
-   nodes' *previous-tick* state — no node has stepped yet);
-2. the nodes step, shard by shard (node ``i`` belongs to shard
+1. the resilience layer (when attached) reboots due nodes, applies
+   chaos velocity episodes, expires per-attempt timeouts and scans for
+   hedges, then re-routes its backlog (crash re-queues, deferred
+   arrivals, due retries, hedge twins) to the supervisor's routable
+   set;
+2. every arrival falling inside the tick is routed (the router sees
+   nodes' *previous-tick* state — no node has stepped yet), subject to
+   the admission controller's shed/brownout verdict;
+3. the nodes step, shard by shard (node ``i`` belongs to shard
    ``i % shards`` — a deterministic interleave, so shard populations
-   are stable as the fleet grows);
-3. completions are harvested in node-id order and aggregated into the
-   fleet-wide SLO accounting and the telemetry registry.
+   are stable as the fleet grows); DOWN and EVICTED nodes do not step;
+4. completions are harvested in node-id order and aggregated into the
+   fleet-wide SLO accounting and the telemetry registry (first
+   completion wins for hedged requests; losers are cancelled);
+5. the supervisor inspects every node post-step: crashed nodes go DOWN
+   (stranded requests re-queued to survivors under failover, lost
+   outright without it) and stalled nodes escalate one health state.
 
-Because nodes share no simulation state and routing always precedes
-stepping, the shard count is pure mechanical sympathy: results are
-bit-identical for every value of ``shards`` (asserted by the
-determinism tests and ``bench_fleet.py``).
+Because nodes share no simulation state, routing always precedes
+stepping, and every resilience decision happens in the route or
+harvest phase (never inside a shard loop), the shard count is pure
+mechanical sympathy: results are bit-identical for every value of
+``shards`` — with or without chaos (asserted by the determinism tests
+and ``bench_fleet_chaos.py``).  With no chaos layer and no resilience
+config the cluster takes exactly its original code paths, keeping the
+zero-chaos run bit-identical to a fleet built before this layer
+existed.
 
 The run is open loop: the trace decides when requests arrive, the
 horizon is the last arrival plus a drain window, and requests still
-queued at the horizon are reported as unserved rather than waited for.
+queued at the horizon are reported as unserved rather than waited for
+— broken down by cause (``queued_at_horizon`` / ``shed`` /
+``timed_out`` / ``lost_to_crash_then_requeued``).
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.fleet.chaos import (
+    FleetFaultConfig,
+    NodeChaosEvent,
+    active_velocity_factor,
+    compile_timelines,
+    crash_fault_config,
+)
 from repro.fleet.config import FleetConfig
 from repro.fleet.node import LANES, Completion, FleetNode
-from repro.fleet.router import Router, make_router
+from repro.fleet.resilience import AdmissionController, ResilienceConfig
+from repro.fleet.router import Router, _argmin_wait, make_router
 from repro.fleet.slo import percentile
+from repro.fleet.supervisor import FleetSupervisor, NodeHealth
 from repro.fleet.trace import Request, make_trace
 from repro.platform.sensor import CHANNELS
 from repro.telemetry.registry import MetricsRegistry
@@ -42,6 +70,29 @@ _BUCKET_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
 #: Safety cap on cluster ticks (per node; mirrors the engine's guard).
 _MAX_FLEET_TICKS = 2_000_000
 
+#: Slop for comparing scheduled times against tick boundaries.
+_TIME_EPS = 1e-12
+
+#: The unserved-cause buckets ``FleetResult.unserved_causes`` reports.
+UNSERVED_CAUSES = (
+    "queued_at_horizon",
+    "shed",
+    "timed_out",
+    "lost_to_crash_then_requeued",
+)
+
+
+@dataclass
+class _Attempt:
+    """One live dispatch of a request onto a node (resilience layer)."""
+
+    request: Request
+    node: FleetNode
+    node_index: int
+    lane: str
+    attempt_no: int
+    is_hedge: bool
+
 
 @dataclass
 class FleetResult:
@@ -51,6 +102,15 @@ class FleetResult:
     of the same config must match on bit-for-bit regardless of shard
     count.  The registry carries the full fleet telemetry (exporters
     consume it like any single-run registry).
+
+    ``unserved_causes`` partitions ``unserved`` exactly:
+    ``queued_at_horizon`` (still in some queue, or never admitted,
+    when the run was cut off), ``shed`` (refused by the admission
+    controller), ``timed_out`` (per-attempt retry budget exhausted)
+    and ``lost_to_crash_then_requeued`` (stranded on a crashed or
+    evicted node and not completed by any re-queue or hedge twin).
+    ``resilience`` carries the integer event counters of the
+    resilience layer (all zero without one).
     """
 
     router: str
@@ -68,6 +128,8 @@ class FleetResult:
     energy_j: float
     avg_power_w: float
     lane_completed: Dict[str, int]
+    unserved_causes: Dict[str, int] = field(default_factory=dict)
+    resilience: Dict[str, int] = field(default_factory=dict)
     registry: MetricsRegistry = field(repr=False, default_factory=MetricsRegistry)
 
     def summary(self) -> Dict[str, object]:
@@ -87,11 +149,13 @@ class FleetResult:
             "energy_j": self.energy_j,
             "avg_power_w": self.avg_power_w,
             "lane_completed": dict(sorted(self.lane_completed.items())),
+            "unserved_causes": dict(sorted(self.unserved_causes.items())),
+            "resilience": dict(sorted(self.resilience.items())),
         }
 
 
 class FleetCluster:
-    """N nodes, one router, one shard scheduler."""
+    """N nodes, one router, one shard scheduler (+ resilience layer)."""
 
     def __init__(
         self,
@@ -103,15 +167,86 @@ class FleetCluster:
         self.router = make_router(router) if isinstance(router, str) else router
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = make_trace(config)
-        self.nodes = [FleetNode(i, config) for i in range(config.nodes)]
-        # Deterministic interleave: node i -> shard i % shards.
-        self.shards: List[List[FleetNode]] = [
-            self.nodes[s :: config.shards] for s in range(config.shards)
+        self._horizon_s = (
+            self.trace[-1].arrival_s if self.trace else 0.0
+        ) + config.drain_s
+        # A fully disabled chaos config is exactly no chaos config: the
+        # off-path bit-identity guarantee hangs on this normalization.
+        chaos = config.chaos
+        if chaos is not None and not chaos.enabled:
+            chaos = None
+        self.chaos: Optional[FleetFaultConfig] = chaos
+        if chaos is not None or config.resilience is not None:
+            self.resilience: Optional[ResilienceConfig] = (
+                config.resilience
+                if config.resilience is not None
+                else ResilienceConfig()
+            )
+            self.supervisor: Optional[FleetSupervisor] = FleetSupervisor(
+                self.resilience, chaos, config.nodes
+            )
+        else:
+            self.resilience = None
+            self.supervisor = None
+        self._timelines: Optional[List[Tuple[NodeChaosEvent, ...]]] = (
+            compile_timelines(chaos, config.nodes, self._horizon_s)
+            if chaos is not None
+            else None
+        )
+        self.nodes = [
+            self._build_node(i, 0.0) for i in range(config.nodes)
+        ]
+        # Deterministic interleave: node i -> shard i % shards.  Index
+        # lists, not object lists — a restarted node is a fresh object
+        # and object references held here would go stale.
+        self.shards: List[List[int]] = [
+            list(range(s, config.nodes, config.shards))
+            for s in range(config.shards)
         ]
         self._latencies: List[float] = []
+        #: (finish_s, missed) per counted completion, harvest order —
+        #: the stream :func:`repro.fleet.slo.recovery_time_s` consumes.
+        self.completion_log: List[Tuple[float, bool]] = []
         self._completions_by_lane = {lane: 0 for lane in LANES}
         self._misses = 0
         self._ran = False
+        self._clock_s = 0.0
+        # -- resilience-layer state (untouched on the off path) -----------
+        self._tracking = (
+            self.resilience is not None and self.resilience.tracking_enabled
+        )
+        self._terminal = 0  # requests with a final outcome (any cause)
+        self._done: set = set()  # completed request indices
+        self._shed: set = set()
+        self._timed_out: set = set()
+        self._crash_touched: set = set()
+        self._deferred: Deque[Request] = deque()
+        self._requeue: Deque[Tuple[Request, int]] = deque()
+        self._attempts: Dict[int, Dict[int, _Attempt]] = {}
+        self._attempt_seq = 0
+        self._timeout_heap: List[Tuple[float, int, int]] = []
+        self._retry_heap: List[Tuple[float, int, int, Request]] = []
+        self._hedged: set = set()
+        self._hedge_pending: List[Tuple[Request, int, str, int]] = []
+        self._retired_energy: Dict[int, Dict[str, float]] = {}
+        self._requeued = 0
+        self._retries = 0
+        self._hedges = 0
+        self._hedge_wins = 0
+        self._hedge_cancelled = 0
+        self._demoted = 0
+        self._max_requeue_ticks = 0
+
+    def _build_node(self, index: int, epoch_s: float) -> FleetNode:
+        """One node incarnation booted at cluster time ``epoch_s``."""
+        faults = None
+        if self._timelines is not None:
+            compiled = crash_fault_config(
+                self._timelines[index], LANES, after_s=epoch_s
+            )
+            if compiled.enabled:
+                faults = compiled
+        return FleetNode(index, self.config, epoch_s=epoch_s, faults=faults)
 
     def run(self) -> FleetResult:
         """Route, step and aggregate until the trace drains (or horizon)."""
@@ -120,13 +255,14 @@ class FleetCluster:
         self._ran = True
         config = self.config
         trace = self.trace
-        horizon_s = (trace[-1].arrival_s if trace else 0.0) + config.drain_s
         max_ticks = min(
-            int(math.ceil(horizon_s / config.tick_s)) + 1, _MAX_FLEET_TICKS
+            int(math.ceil(self._horizon_s / config.tick_s)) + 1,
+            _MAX_FLEET_TICKS,
         )
         routed = self.registry.counter(
             "fleet_requests_routed_total", "requests admitted, by lane/app"
         )
+        self._routed_counter = routed
         completed_counter = self.registry.counter(
             "fleet_requests_completed_total", "completions, by lane"
         )
@@ -141,34 +277,96 @@ class FleetCluster:
             "per-node request latency",
             buckets=buckets,
         )
+        sup = self.supervisor
+        res = self.resilience
+        res_on = sup is not None
+        if res_on:
+            self._make_resilience_counters()
+        admission = (
+            AdmissionController(res)
+            if res_on and res.admission_enabled
+            else None
+        )
+        self.admission = admission
         arrival_index = 0
         completed = 0
         per_node: List[List[Completion]] = [[] for _ in self.nodes]
+        progressed: List[bool] = [False] * len(self.nodes)
         for tick in range(max_ticks):
             now_s = tick * config.tick_s
             tick_end_s = now_s + config.tick_s
-            # 1. Route this tick's arrivals against the pre-step snapshot.
+            # 1. Resilience pre-phase + backlog routing, then this
+            #    tick's arrivals — all against the pre-step snapshot.
+            state = "normal"
+            if res_on:
+                self._begin_tick(tick, now_s)
+                candidates = sup.routable(self.nodes)
+                self._route_backlog(tick, now_s, candidates)
+                if admission is not None and candidates:
+                    depth = sum(
+                        node.queue_len("hot") + node.queue_len("base")
+                        for node in candidates
+                    ) / len(candidates)
+                    best_wait = min(
+                        node.est_wait_s("base") for node in candidates
+                    )
+                    state = admission.update(depth, best_wait)
+            else:
+                candidates = self.nodes
             while (
                 arrival_index < len(trace)
                 and trace[arrival_index].arrival_s < tick_end_s
             ):
                 request = trace[arrival_index]
                 arrival_index += 1
+                if state == "shed":
+                    self._shed.add(request.index)
+                    self._terminal += 1
+                    self._shed_counter.inc(app=request.app)
+                    continue
+                if not candidates:
+                    # Nobody routable this tick — hold the arrival.
+                    self._deferred.append(request)
+                    continue
                 node_index, lane = self.router.route(
-                    request, self.nodes, now_s
+                    request, candidates, now_s
                 )
-                self.nodes[node_index].enqueue(request, lane)
+                node = candidates[node_index]
+                if state == "brownout" and lane == "hot":
+                    lane = "base"
+                    self._demoted += 1
+                    self._demoted_counter.inc(app=request.app)
+                node.enqueue(request, lane)
                 routed.inc(lane=lane, app=request.app)
+                if self._tracking:
+                    self._track(request, node, lane, 1, False, now_s)
             # 2. Step, shard by shard (nodes are independent — order
             #    cannot change results, only cache behaviour).
             for shard in self.shards:
-                for node in shard:
-                    per_node[node.index] = node.step()
+                for node_index in shard:
+                    if res_on and not sup.is_stepping(node_index):
+                        per_node[node_index] = []
+                        continue
+                    per_node[node_index] = self.nodes[node_index].step()
+            self._clock_s += config.tick_s
             # 3. Aggregate in node-id order (shard-count invariant).
             for node_index in range(len(self.nodes)):
-                for completion in per_node[node_index]:
+                completions = per_node[node_index]
+                progressed[node_index] = bool(completions)
+                for completion in completions:
+                    if res_on:
+                        index = completion.request.index
+                        if index in self._done:
+                            # A hedge twin already served this request.
+                            continue
+                        self._done.add(index)
+                        self._resolve_attempts(completion, node_index)
+                        self._terminal += 1
                     completed += 1
                     self._latencies.append(completion.latency_s)
+                    self.completion_log.append(
+                        (completion.finish_s, completion.missed)
+                    )
                     self._completions_by_lane[completion.lane] += 1
                     completed_counter.inc(lane=completion.lane)
                     node_latency.observe(
@@ -178,10 +376,360 @@ class FleetCluster:
                         self._misses += 1
                         missed_counter.inc(lane=completion.lane)
                 per_node[node_index] = []
-            if arrival_index >= len(trace) and completed >= len(trace):
+            # 4. Post-step supervision: crashes down nodes, stalls
+            #    escalate, stranded requests re-queue (node-id order).
+            if res_on:
+                self._post_step(tick, tick_end_s, progressed)
+                if (
+                    arrival_index >= len(trace)
+                    and self._terminal >= len(trace)
+                ):
+                    break
+            elif arrival_index >= len(trace) and completed >= len(trace):
                 break
-        duration_s = self.nodes[0].sim.clock.now_s if self.nodes else 0.0
-        return self._finalize(completed, duration_s)
+        return self._finalize(completed, self._clock_s)
+
+    # -- resilience phases -------------------------------------------------
+
+    def _make_resilience_counters(self) -> None:
+        registry = self.registry
+        self._shed_counter = registry.counter(
+            "fleet_requests_shed_total", "arrivals refused by admission"
+        )
+        self._demoted_counter = registry.counter(
+            "fleet_requests_demoted_total", "hot arrivals browned out to base"
+        )
+        self._requeued_counter = registry.counter(
+            "fleet_requests_requeued_total", "crash-stranded requests re-queued"
+        )
+        self._retried_counter = registry.counter(
+            "fleet_requests_retried_total", "attempt-timeout re-dispatches"
+        )
+        self._timeout_counter = registry.counter(
+            "fleet_requests_timed_out_total", "requests out of attempt budget"
+        )
+        self._hedged_counter = registry.counter(
+            "fleet_requests_hedged_total", "tail-latency hedge twins dispatched"
+        )
+        self._hedge_win_counter = registry.counter(
+            "fleet_hedge_wins_total", "requests won by their hedge twin"
+        )
+        self._hedge_cancel_counter = registry.counter(
+            "fleet_hedge_cancelled_total", "losing hedge attempts cancelled"
+        )
+        self._crash_counter = registry.counter(
+            "fleet_node_crashes_total", "node crash events, by node"
+        )
+        self._restart_counter = registry.counter(
+            "fleet_node_restarts_total", "node reboots, by node"
+        )
+        self._evict_counter = registry.counter(
+            "fleet_node_evictions_total", "permanent node evictions, by node"
+        )
+
+    def _begin_tick(self, tick: int, now_s: float) -> None:
+        """Reboots, probation, chaos episodes, timeouts, hedge scan."""
+        sup = self.supervisor
+        res = self.resilience
+        for node_index in sup.restarts_due(now_s):
+            self._restart_node(node_index, tick, now_s)
+        sup.tick(now_s)
+        if self.chaos is not None:
+            for node_index in range(len(self.nodes)):
+                if sup.is_stepping(node_index):
+                    self.nodes[node_index].set_velocity_factor(
+                        active_velocity_factor(
+                            self._timelines[node_index], now_s
+                        )
+                    )
+        if self._tracking and res.retry_enabled:
+            self._expire_attempts(now_s)
+        if self._tracking and res.hedge_enabled:
+            self._scan_hedges(now_s)
+
+    def _restart_node(self, node_index: int, tick: int, now_s: float) -> None:
+        """Reboot one DOWN node as a fresh simulation (new epoch)."""
+        old = self.nodes[node_index]
+        bank = self._retired_energy.setdefault(
+            node_index, {channel: 0.0 for channel in CHANNELS}
+        )
+        for channel in CHANNELS:
+            bank[channel] += old.energy_j(channel)
+        # Anything still pending belongs to the dead incarnation: under
+        # failover the crash already stranded it; without failover the
+        # routers kept feeding the corpse and those requests are lost.
+        self._strand(old, tick)
+        self.nodes[node_index] = self._build_node(node_index, now_s)
+        self.supervisor.on_restarted(node_index, now_s)
+        self._restart_counter.inc(node=old.name)
+
+    def _expire_attempts(self, now_s: float) -> None:
+        """Cancel attempts past their per-attempt timeout; retry or fail."""
+        res = self.resilience
+        heap = self._timeout_heap
+        while heap and heap[0][0] <= now_s + _TIME_EPS:
+            _, index, attempt_id = heapq.heappop(heap)
+            if index in self._done:
+                continue
+            attempts = self._attempts.get(index)
+            if attempts is None or attempt_id not in attempts:
+                continue  # stale: attempt already resolved or stranded
+            attempt = attempts.pop(attempt_id)
+            attempt.node.cancel(index)
+            if attempts:
+                continue  # a hedge twin is still racing — let it finish
+            del self._attempts[index]
+            if attempt.attempt_no >= res.max_attempts:
+                self._timed_out.add(index)
+                self._terminal += 1
+                self._timeout_counter.inc()
+            else:
+                heapq.heappush(
+                    self._retry_heap,
+                    (
+                        now_s + res.backoff_s(attempt.attempt_no),
+                        index,
+                        attempt.attempt_no + 1,
+                        attempt.request,
+                    ),
+                )
+
+    def _scan_hedges(self, now_s: float) -> None:
+        """Queue hedge twins for requests whose ETA threatens the deadline."""
+        res = self.resilience
+        for index in sorted(self._attempts):
+            if index in self._hedged:
+                continue
+            attempts = self._attempts[index]
+            if len(attempts) != 1:
+                continue
+            (attempt,) = attempts.values()
+            request = attempt.request
+            eta_s = now_s + attempt.node.est_wait_s(attempt.lane)
+            threshold_s = (
+                request.arrival_s + res.hedge_fraction * request.budget_s
+            )
+            if eta_s > threshold_s + _TIME_EPS:
+                self._hedged.add(index)
+                self._hedge_pending.append(
+                    (request, attempt.node_index, attempt.lane,
+                     attempt.attempt_no)
+                )
+
+    def _route_backlog(
+        self, tick: int, now_s: float, candidates: List[FleetNode]
+    ) -> None:
+        """Dispatch re-queues, deferred arrivals, retries and hedges."""
+        routed = self._routed_counter
+        if self._requeue:
+            batch = list(self._requeue)
+            self._requeue.clear()
+            for request, stranded_tick in batch:
+                if not candidates:
+                    self._requeue.append((request, stranded_tick))
+                    continue
+                node_index, lane = self.router.route(
+                    request, candidates, now_s
+                )
+                node = candidates[node_index]
+                node.enqueue(request, lane)
+                routed.inc(lane=lane, app=request.app)
+                wait_ticks = tick - stranded_tick
+                if wait_ticks > self._max_requeue_ticks:
+                    self._max_requeue_ticks = wait_ticks
+                if self._tracking:
+                    self._track(request, node, lane, 1, False, now_s)
+        if self._deferred and candidates:
+            batch = list(self._deferred)
+            self._deferred.clear()
+            for request in batch:
+                node_index, lane = self.router.route(
+                    request, candidates, now_s
+                )
+                node = candidates[node_index]
+                node.enqueue(request, lane)
+                routed.inc(lane=lane, app=request.app)
+                if self._tracking:
+                    self._track(request, node, lane, 1, False, now_s)
+        while (
+            self._retry_heap
+            and self._retry_heap[0][0] <= now_s + _TIME_EPS
+        ):
+            if not candidates:
+                break
+            _, index, attempt_no, request = heapq.heappop(self._retry_heap)
+            if index in self._done or index in self._timed_out:
+                continue
+            node_index, lane = self.router.route(request, candidates, now_s)
+            node = candidates[node_index]
+            node.enqueue(request, lane)
+            routed.inc(lane=lane, app=request.app)
+            self._retries += 1
+            self._retried_counter.inc(attempt=str(attempt_no))
+            self._track(request, node, lane, attempt_no, False, now_s)
+        if self._hedge_pending:
+            for request, primary_index, lane, attempt_no in self._hedge_pending:
+                if request.index in self._done:
+                    continue
+                alternates = [
+                    node for node in candidates
+                    if node.index != primary_index
+                ]
+                if not alternates:
+                    continue  # nowhere to hedge to this tick
+                node = alternates[_argmin_wait(alternates, lane)]
+                node.enqueue(request, lane)
+                routed.inc(lane=lane, app=request.app)
+                self._hedges += 1
+                self._hedged_counter.inc()
+                self._track(request, node, lane, attempt_no, True, now_s)
+            self._hedge_pending.clear()
+
+    def _track(
+        self,
+        request: Request,
+        node: FleetNode,
+        lane: str,
+        attempt_no: int,
+        is_hedge: bool,
+        now_s: float,
+    ) -> None:
+        """Record one dispatch for the timeout/hedge machinery."""
+        attempt_id = self._attempt_seq
+        self._attempt_seq += 1
+        self._attempts.setdefault(request.index, {})[attempt_id] = _Attempt(
+            request=request,
+            node=node,
+            node_index=node.index,
+            lane=lane,
+            attempt_no=attempt_no,
+            is_hedge=is_hedge,
+        )
+        res = self.resilience
+        if res.retry_enabled:
+            heapq.heappush(
+                self._timeout_heap,
+                (now_s + res.attempt_timeout_s, request.index, attempt_id),
+            )
+
+    def _resolve_attempts(
+        self, completion: Completion, node_index: int
+    ) -> None:
+        """First completion wins: credit the winner, cancel the losers."""
+        attempts = self._attempts.pop(completion.request.index, None)
+        if attempts is None:
+            return
+        for attempt in attempts.values():
+            if attempt.node_index == node_index:
+                if attempt.is_hedge:
+                    self._hedge_wins += 1
+                    self._hedge_win_counter.inc()
+                continue
+            if attempt.node.cancel(completion.request.index):
+                self._hedge_cancelled += 1
+                self._hedge_cancel_counter.inc()
+
+    def _post_step(
+        self, tick: int, now_s: float, progressed: List[bool]
+    ) -> None:
+        """Detect crashes, escalate stalls, strand dead nodes' queues."""
+        sup = self.supervisor
+        for node_index in range(len(self.nodes)):
+            if sup.health(node_index) in (NodeHealth.DOWN, NodeHealth.EVICTED):
+                continue
+            node = self.nodes[node_index]
+            if self.chaos is not None and node.crashed:
+                sup.on_crash(node_index, now_s)
+                self._crash_counter.inc(node=node.name)
+                if sup.health(node_index) is NodeHealth.EVICTED:
+                    self._evict_counter.inc(node=node.name)
+                self._strand(node, tick)
+                continue
+            verdict = sup.observe(
+                node_index, now_s, progressed[node_index], node.pending
+            )
+            if verdict is NodeHealth.EVICTED:
+                self._evict_counter.inc(node=node.name)
+                self._strand(node, tick)
+
+    def _strand(self, node: FleetNode, tick: int) -> None:
+        """Pull a dead node's pending requests: re-queue or lose them."""
+        requeue = self.resilience.failover
+        for request, _ in sorted(
+            node.stranded(), key=lambda entry: entry[0].index
+        ):
+            index = request.index
+            self._crash_touched.add(index)
+            if self._tracking:
+                attempts = self._attempts.get(index)
+                if attempts is not None:
+                    for attempt_id in [
+                        attempt_id
+                        for attempt_id, attempt in attempts.items()
+                        if attempt.node is node
+                    ]:
+                        del attempts[attempt_id]
+                    if attempts:
+                        continue  # a hedge twin survives elsewhere
+                    del self._attempts[index]
+            if requeue:
+                self._requeue.append((request, tick))
+                self._requeued += 1
+                self._requeued_counter.inc()
+            else:
+                self._terminal += 1
+
+    # -- finalization ------------------------------------------------------
+
+    def _node_energy(self, node: FleetNode, channel: str) -> float:
+        """Lifetime energy of a node slot, prior incarnations included."""
+        energy = node.energy_j(channel)
+        bank = self._retired_energy.get(node.index)
+        if bank is not None:
+            energy += bank[channel]
+        return energy
+
+    def _unserved_causes(self, completed: int) -> Dict[str, int]:
+        """Partition the unserved count by cause (shard-invariant)."""
+        unserved = len(self.trace) - completed
+        if self.supervisor is None:
+            shed = timed_out = lost = 0
+        else:
+            # Requests still sitting on a dead node (routed into it
+            # while failover was off) are crash losses too.
+            for node in self.nodes:
+                if self.supervisor.health(node.index) in (
+                    NodeHealth.DOWN,
+                    NodeHealth.EVICTED,
+                ):
+                    for index in node.pending_indices():
+                        self._crash_touched.add(index)
+            shed = len(self._shed)
+            timed_out = len(self._timed_out)
+            lost = len(self._crash_touched - self._done - self._timed_out)
+        return {
+            "queued_at_horizon": unserved - shed - timed_out - lost,
+            "shed": shed,
+            "timed_out": timed_out,
+            "lost_to_crash_then_requeued": lost,
+        }
+
+    def _resilience_counts(self) -> Dict[str, int]:
+        sup = self.supervisor
+        return {
+            "crashes": sup.crashes if sup is not None else 0,
+            "restarts": sup.restarts if sup is not None else 0,
+            "evictions": sup.evictions if sup is not None else 0,
+            "requeued": self._requeued,
+            "max_requeue_ticks": self._max_requeue_ticks,
+            "retries": self._retries,
+            "timeouts": len(self._timed_out),
+            "hedges": self._hedges,
+            "hedge_wins": self._hedge_wins,
+            "hedge_cancelled": self._hedge_cancelled,
+            "shed": len(self._shed),
+            "demoted": self._demoted,
+        }
 
     def _finalize(self, completed: int, duration_s: float) -> FleetResult:
         config = self.config
@@ -191,7 +739,7 @@ class FleetCluster:
             p99 = percentile(self._latencies, 99.0)
         else:
             p50 = p95 = p99 = 0.0
-        energy = sum(node.energy_j("total") for node in self.nodes)
+        energy = sum(self._node_energy(node, "total") for node in self.nodes)
         avg_power = energy / duration_s if duration_s > 0 else 0.0
         miss_ratio = self._misses / completed if completed else 0.0
         gauges = self.registry.gauge(
@@ -209,7 +757,9 @@ class FleetCluster:
             "fleet_power_watts", "fleet average power, by rail"
         )
         for channel in CHANNELS:
-            rail_energy = sum(node.energy_j(channel) for node in self.nodes)
+            rail_energy = sum(
+                self._node_energy(node, channel) for node in self.nodes
+            )
             energy_gauge.set(rail_energy, rail=channel)
             power_gauge.set(
                 rail_energy / duration_s if duration_s > 0 else 0.0,
@@ -222,11 +772,27 @@ class FleetCluster:
             "fleet_backlog_requests", "requests left unserved at the horizon"
         )
         for node in self.nodes:
-            node_energy.set(node.energy_j("total"), node=node.name)
+            node_energy.set(self._node_energy(node, "total"), node=node.name)
         # Covers both requests stuck in queues at the horizon and
         # requests the horizon cut off before they were even routed.
         unserved = len(self.trace) - completed
         backlog_gauge.set(float(unserved))
+        causes = self._unserved_causes(completed)
+        causes_gauge = self.registry.gauge(
+            "fleet_unserved_causes", "unserved requests, by cause"
+        )
+        for cause in UNSERVED_CAUSES:
+            causes_gauge.set(float(causes[cause]), cause=cause)
+        if self.supervisor is not None:
+            health_gauge = self.registry.gauge(
+                "fleet_node_health", "final node health (1 = in state)"
+            )
+            for node in self.nodes:
+                health_gauge.set(
+                    1.0,
+                    node=node.name,
+                    state=self.supervisor.health(node.index).value,
+                )
         self.registry.gauge(
             "fleet_run_info", "run identity (labels carry the config)"
         ).set(
@@ -252,6 +818,8 @@ class FleetCluster:
             energy_j=energy,
             avg_power_w=avg_power,
             lane_completed=dict(self._completions_by_lane),
+            unserved_causes=causes,
+            resilience=self._resilience_counts(),
             registry=self.registry,
         )
 

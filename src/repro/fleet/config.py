@@ -15,8 +15,11 @@ slow every ``import repro``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.fleet.chaos import FleetFaultConfig
+from repro.fleet.resilience import ResilienceConfig
 
 #: Arrival-trace shapes :func:`repro.fleet.trace.make_trace` understands.
 TRACES = ("poisson", "diurnal", "burst")
@@ -91,6 +94,16 @@ class FleetConfig:
         (unfinished requests are reported, not waited for).
     app_id:
         Application label stamped on every request (telemetry label).
+    chaos:
+        Node mortality model (:class:`~repro.fleet.chaos.
+        FleetFaultConfig`): seeded crash/hang/slowdown schedules.  None
+        (or a fully disabled config) leaves the run bit-identical to a
+        fleet built without a chaos layer.
+    resilience:
+        Request-lifecycle policy (:class:`~repro.fleet.resilience.
+        ResilienceConfig`): failover routing, per-attempt retries,
+        hedging, admission control.  None means defaults when chaos is
+        on (failover only) and *no resilience layer at all* otherwise.
     node_telemetry:
         Attach a full per-node :class:`~repro.telemetry.hub.TelemetryHub`
         (expensive at fleet scale; the cluster-level registry is always
@@ -123,6 +136,8 @@ class FleetConfig:
     drain_s: float = 20.0
     app_id: str = "search"
     node_telemetry: bool = False
+    chaos: Optional[FleetFaultConfig] = None
+    resilience: Optional[ResilienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -165,6 +180,20 @@ class FleetConfig:
             raise ConfigurationError("rate_span_s must be positive")
         if self.drain_s < 0:
             raise ConfigurationError("drain_s cannot be negative")
+        if self.chaos is not None and not isinstance(
+            self.chaos, FleetFaultConfig
+        ):
+            raise ConfigurationError(
+                f"chaos must be a FleetFaultConfig, got "
+                f"{type(self.chaos).__name__}"
+            )
+        if self.resilience is not None and not isinstance(
+            self.resilience, ResilienceConfig
+        ):
+            raise ConfigurationError(
+                f"resilience must be a ResilienceConfig, got "
+                f"{type(self.resilience).__name__}"
+            )
 
     @property
     def arrival_rps(self) -> float:

@@ -25,12 +25,13 @@ turns heartbeat timestamps into latencies for the SLO windows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.calibration import calibrate
 from repro.core.perf_estimator import PerformanceEstimator
 from repro.core.policy import HARS_I
 from repro.errors import ConfigurationError
+from repro.faults.config import FaultConfig
 from repro.fleet.config import FleetConfig
 from repro.fleet.serving import ServerWorkload
 from repro.fleet.slo import SloWindow
@@ -69,12 +70,29 @@ class Completion:
 class FleetNode:
     """One simulated board + its local MP-HARS controller."""
 
-    def __init__(self, index: int, config: FleetConfig):
+    def __init__(
+        self,
+        index: int,
+        config: FleetConfig,
+        epoch_s: float = 0.0,
+        faults: Optional[FaultConfig] = None,
+    ):
         self.index = index
         self.name = f"node-{index}"
         self.config = config
+        #: Cluster time at which this incarnation booted.  The node's
+        #: own simulation clock restarts at zero on every reboot;
+        #: completion times are reported as ``epoch_s + local time`` so
+        #: latencies stay arrival-relative across restarts.  0.0 for a
+        #: never-restarted node, which keeps ``0.0 + t == t`` bit-exact.
+        self.epoch_s = epoch_s
+        #: Node-local fault layer — the chaos compiler delivers node
+        #: crashes through it (see :mod:`repro.fleet.chaos`).
+        self.faults = faults
         spec = odroid_xu3()
-        self.sim = Simulation(spec, tick_s=config.tick_s, profile=config.profile)
+        self.sim = Simulation(
+            spec, tick_s=config.tick_s, profile=config.profile, faults=faults
+        )
         self.models: Dict[str, ServerWorkload] = {}
         self.apps: Dict[str, SimApp] = {}
         self.targets: Dict[str, DeadlineTarget] = {}
@@ -111,8 +129,10 @@ class FleetNode:
             adapt_every=config.adapt_every,
         )
         self.sim.add_controller(self.manager)
-        #: request index -> Request, for completion join.
-        self._pending: Dict[int, Request] = {}
+        #: request index -> (Request, lane), for completion join and
+        #: for cancellation/stranding (the resilience layer needs to
+        #: know which lane holds a request to pull it back out).
+        self._pending: Dict[int, Tuple[Request, str]] = {}
 
     # -- load balancer interface ---------------------------------------------
 
@@ -124,8 +144,38 @@ class FleetNode:
             raise ConfigurationError(
                 f"{self.name}: request {request.index} routed twice"
             )
-        self._pending[request.index] = request
+        self._pending[request.index] = (request, lane)
         self.models[lane].submit(request.index, request.service_units)
+
+    def cancel(self, request_index: int) -> bool:
+        """Withdraw a pending request (hedge loser / attempt timeout)."""
+        entry = self._pending.pop(request_index, None)
+        if entry is None:
+            return False
+        self.models[entry[1]].cancel(request_index)
+        return True
+
+    def stranded(self) -> List[Tuple[Request, str]]:
+        """Drain and return every pending request (crash/evict path)."""
+        entries = list(self._pending.values())
+        self._pending.clear()
+        return entries
+
+    def pending_indices(self) -> Tuple[int, ...]:
+        """Indices of admitted-but-unfinished requests, routing order."""
+        return tuple(self._pending)
+
+    # -- chaos hooks ----------------------------------------------------------
+
+    def set_velocity_factor(self, factor: float) -> None:
+        """Apply a hang/slowdown episode's service-velocity factor."""
+        for lane in LANES:
+            self.models[lane].velocity_factor = factor
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node's serving lanes have all halted (node down)."""
+        return all(app.halted for app in self.apps.values())
 
     def backlog_units(self, lane: str) -> float:
         """Outstanding work units in a lane (queued + in service)."""
@@ -165,9 +215,10 @@ class FleetNode:
             while self._cursor[lane] < len(log):
                 beat = log.beat(self._cursor[lane])
                 self._cursor[lane] += 1
-                request = self._pending.pop(int(beat.tag))
-                latency = beat.time_s - request.arrival_s
-                missed = beat.time_s > request.deadline_s + 1e-9
+                request, _ = self._pending.pop(int(beat.tag))
+                finish_s = self.epoch_s + beat.time_s
+                latency = finish_s - request.arrival_s
+                missed = finish_s > request.deadline_s + 1e-9
                 window.observe(latency, missed)
                 done_units += request.service_units
                 completions.append(
@@ -175,7 +226,7 @@ class FleetNode:
                         request=request,
                         node=self.index,
                         lane=lane,
-                        finish_s=beat.time_s,
+                        finish_s=finish_s,
                         latency_s=latency,
                         missed=missed,
                     )

@@ -37,7 +37,14 @@ class Router(abc.ABC):
     def route(
         self, request: Request, nodes: Sequence[FleetNode], now_s: float
     ) -> Tuple[int, str]:
-        """Pick the node and lane for one arriving request."""
+        """Pick the node and lane for one arriving request.
+
+        ``nodes`` may be a filtered subset of the fleet (the supervisor
+        hides unhealthy nodes under failover); the returned index is
+        into *that sequence*, and an empty sequence raises
+        :class:`~repro.errors.ConfigurationError` — callers defer the
+        request instead of routing it into nothing.
+        """
 
 
 class RoundRobinRouter(Router):
@@ -51,8 +58,16 @@ class RoundRobinRouter(Router):
     def route(
         self, request: Request, nodes: Sequence[FleetNode], now_s: float
     ) -> Tuple[int, str]:
-        index = self._next
-        self._next = (self._next + 1) % len(nodes)
+        if not nodes:
+            raise ConfigurationError(
+                "round-robin router asked to route with no nodes"
+            )
+        # The counter is reduced against the *current* candidate count,
+        # never stored pre-reduced: the node list shrinks and grows as
+        # the supervisor quarantines and revives nodes, and a raw index
+        # held across ticks would go stale (or divide by zero above).
+        index = self._next % len(nodes)
+        self._next = index + 1
         return index, "base"
 
 
@@ -99,6 +114,12 @@ class DeadlineRiskRouter(Router):
 
 def _argmin_wait(nodes: Sequence[FleetNode], lane: str) -> int:
     """Node with the smallest estimated wait (ties: lowest index)."""
+    if not nodes:
+        raise ConfigurationError(
+            f"no routable nodes for lane {lane!r} — the supervisor filters "
+            "unhealthy nodes out; an empty candidate set must be handled "
+            "(deferred) by the caller, not routed"
+        )
     best = 0
     best_wait = nodes[0].est_wait_s(lane)
     for index in range(1, len(nodes)):

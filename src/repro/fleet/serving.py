@@ -54,11 +54,17 @@ class ServerWorkload(WorkloadModel):
         #: thread index -> [request index, remaining units].
         self._active: Dict[int, List] = {}
         self._queued_units = 0.0
+        #: Service-velocity multiplier of the current chaos episode:
+        #: 1.0 nominal, (0, 1) during a slowdown, 0.0 during a hang
+        #: (threads hold their grants but progress nothing — the queue
+        #: freezes and heartbeats go silent).
+        self.velocity_factor = 1.0
 
     def reset(self, seed: int = 0) -> None:
         self._queue.clear()
         self._active.clear()
         self._queued_units = 0.0
+        self.velocity_factor = 1.0
 
     def submit(self, request_index: int, service_units: float) -> None:
         """Enqueue one request (the router calls this via the node)."""
@@ -81,8 +87,11 @@ class ServerWorkload(WorkloadModel):
         tags: List[str] = []
         # Threads drain in index order so the dispatch of queued
         # requests to workers is deterministic.
+        factor = self.velocity_factor
         for thread_index in sorted(grants):
             budget = grants[thread_index]
+            if factor != 1.0:
+                budget *= factor
             used = 0.0
             while budget > _DONE_EPS:
                 active = self._active.get(thread_index)
@@ -111,6 +120,27 @@ class ServerWorkload(WorkloadModel):
 
     def total_heartbeats(self) -> int:
         return 0
+
+    def cancel(self, request_index: int) -> bool:
+        """Remove a request from the lane, wherever it sits.
+
+        The resilience layer cancels the losing attempt of a hedged
+        request and attempts that blow their per-attempt timeout.  A
+        queued request is deleted in place; an in-service one frees its
+        worker for the next queued request on the following tick.
+        Returns whether the request was found (False means it already
+        completed or was never here).
+        """
+        for position, entry in enumerate(self._queue):
+            if entry[0] == request_index:
+                self._queued_units -= entry[1]
+                del self._queue[position]
+                return True
+        for thread_index, entry in self._active.items():
+            if entry[0] == request_index:
+                del self._active[thread_index]
+                return True
+        return False
 
     # -- queue introspection (routing signals) ------------------------------
 

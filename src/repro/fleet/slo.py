@@ -43,6 +43,39 @@ def percentile(data: Sequence[float], p: float) -> float:
     return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
 
 
+def recovery_time_s(
+    completions: Sequence[tuple],
+    event_s: float,
+    window: int = 100,
+    max_miss_ratio: float = 0.05,
+) -> Optional[float]:
+    """Time from ``event_s`` until the fleet's SLO recovers.
+
+    ``completions`` is an iterable of ``(finish_s, missed)`` pairs (any
+    order).  Scanning completions after the event in finish order, the
+    SLO counts as recovered at the first completion whose trailing
+    ``window`` completions miss at most ``max_miss_ratio`` — the metric
+    ``bench_fleet_chaos.py`` reports for a crash wave.  Returns None
+    when the stream never recovers (or has fewer than ``window``
+    post-event completions).
+    """
+    if window < 1:
+        raise ConfigurationError("recovery window must be >= 1")
+    if not 0 <= max_miss_ratio <= 1:
+        raise ConfigurationError("max_miss_ratio must be in [0, 1]")
+    after = sorted(
+        (pair for pair in completions if pair[0] >= event_s),
+        key=lambda pair: pair[0],
+    )
+    trailing: Deque[bool] = deque(maxlen=window)
+    for finish_s, missed in after:
+        trailing.append(bool(missed))
+        if len(trailing) == window:
+            if sum(trailing) <= max_miss_ratio * window:
+                return finish_s - event_s
+    return None
+
+
 class SloWindow:
     """Sliding window of request latencies with percentile queries.
 

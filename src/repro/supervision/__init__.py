@@ -16,6 +16,11 @@ it against lying *applications* and dying *controllers*:
 With supervision attached but no lifecycle faults firing, both pieces
 are pure observers: the stack stays bit-identical to an unsupervised
 build.
+
+The same state machine recurs one level up:
+:class:`repro.fleet.supervisor.FleetSupervisor` applies it at *node*
+granularity (crash → DOWN → restart probation, stall → DEGRADED →
+QUARANTINED → EVICTED) to drive the serving fleet's failover routing.
 """
 
 from repro.supervision.checkpoint import CheckpointStore, Checkpointer

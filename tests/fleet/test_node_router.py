@@ -142,3 +142,69 @@ class TestRouters:
         node = FleetNode(0, config)
         assert tuple(node.models) == LANES
         assert tuple(node.targets) == LANES
+
+
+class _FlatNode:
+    """A node with exact, hand-set routing signals for boundary tests."""
+
+    class _Config:
+        lane_threads = 1
+
+    config = _Config()
+
+    def __init__(self, index, wait_s=0.0):
+        self.index = index
+        self._wait_s = wait_s
+
+    def nominal_rate(self, lane):
+        return 1.0
+
+    def est_wait_s(self, lane):
+        return self._wait_s
+
+
+class TestRouterEdgeCases:
+    """Satellite gates: empty candidate sets and exact tie/boundary
+    behaviour — the determinism contract failover routing leans on."""
+
+    @pytest.mark.parametrize(
+        "name", ["round-robin", "least-loaded", "deadline-risk"]
+    )
+    def test_empty_candidate_set_raises(self, name):
+        router = make_router(name)
+        with pytest.raises(ConfigurationError):
+            router.route(_request(0), [], 0.0)
+
+    def test_round_robin_survives_a_shrinking_node_list(self, config):
+        # The supervisor filters the candidate list between ticks; a
+        # stale counter must reduce against the *current* length, and
+        # the full-list cycle must be unchanged by the detour.
+        nodes = [FleetNode(i, config) for i in range(3)]
+        router = make_router("round-robin")
+        assert router.route(_request(0), nodes, 0.0)[0] == 0
+        assert router.route(_request(1), nodes, 0.0)[0] == 1
+        # Two nodes drop out: the counter folds into the shorter list.
+        assert router.route(_request(2), nodes[:1], 0.0)[0] == 0
+        assert router.route(_request(3), nodes, 0.0)[0] == 1
+
+    def test_least_loaded_tie_breaks_to_lowest_index(self):
+        # Equal estimated waits everywhere: position 0 must win — the
+        # strict < in the argmin scan, not an accident of float noise.
+        nodes = [_FlatNode(i, wait_s=0.25) for i in range(4)]
+        router = make_router("least-loaded")
+        assert router.route(_request(0), nodes, 0.0) == (0, "base")
+
+    def test_deadline_risk_boundary_is_inclusive(self):
+        import math
+
+        # margin * budget = 0.6 * 0.5 is exact in binary (0.5 only
+        # shifts the exponent), so eta == threshold is reachable: an
+        # estimate exactly *at* the margin stays on the base lane, one
+        # ulp above promotes to hot.
+        router = ROUTERS["deadline-risk"](margin=0.6)
+        threshold = 0.6 * 0.5
+        nodes = [_FlatNode(0), _FlatNode(1)]
+        at_margin = _request(0, units=threshold, budget=0.5)
+        assert router.route(at_margin, nodes, 0.0) == (0, "base")
+        over = _request(1, units=math.nextafter(threshold, 1.0), budget=0.5)
+        assert router.route(over, nodes, 0.0)[1] == "hot"

@@ -80,3 +80,51 @@ class TestQueueing:
             lane.wants_cpu(5)
         with pytest.raises(ConfigurationError):
             ServerWorkload("", 2)
+
+
+class TestVelocityAndCancel:
+    """Chaos hooks: service-velocity episodes and attempt cancellation."""
+
+    def test_hang_freezes_progress_and_heartbeats(self, lane):
+        lane.submit(0, 1.0)
+        lane.velocity_factor = 0.0
+        result = lane.advance({0: 5.0})
+        assert result.heartbeats == 0
+        assert result.consumed[0] == 0.0
+        assert lane.backlog_units == pytest.approx(1.0)
+        # Episode over: the queue resumes exactly where it froze.
+        lane.velocity_factor = 1.0
+        assert lane.advance({0: 1.0}).heartbeat_tags == ("0",)
+
+    def test_slowdown_scales_the_grant(self, lane):
+        lane.submit(0, 1.0)
+        lane.velocity_factor = 0.25
+        lane.advance({0: 2.0})
+        assert lane.backlog_units == pytest.approx(0.5)
+
+    def test_reset_restores_nominal_velocity(self, lane):
+        lane.velocity_factor = 0.0
+        lane.reset()
+        assert lane.velocity_factor == 1.0
+
+    def test_cancel_queued_request(self, lane):
+        lane.submit(0, 1.0)
+        lane.submit(1, 1.0)
+        assert lane.cancel(0)
+        assert lane.queue_len == 1
+        assert lane.backlog_units == pytest.approx(1.0)
+        # The survivor is untouched and completes normally.
+        assert lane.advance({0: 1.0}).heartbeat_tags == ("1",)
+
+    def test_cancel_in_service_request_frees_the_worker(self, lane):
+        lane.submit(0, 1.0)
+        lane.submit(1, 1.0)
+        lane.advance({0: 0.4})  # request 0 in service on thread 0
+        assert lane.cancel(0)
+        assert lane.in_service == 0
+        assert lane.advance({0: 1.0}).heartbeat_tags == ("1",)
+
+    def test_cancel_missing_request_is_a_noop(self, lane):
+        lane.submit(0, 1.0)
+        assert not lane.cancel(42)
+        assert lane.queue_len == 1

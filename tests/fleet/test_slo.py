@@ -13,7 +13,7 @@ import statistics
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.fleet.slo import SloWindow, percentile
+from repro.fleet.slo import SloWindow, percentile, recovery_time_s
 
 
 class TestPercentileFunction:
@@ -122,3 +122,51 @@ class TestSloWindow:
     def test_tiny_window_rejected(self):
         with pytest.raises(ConfigurationError):
             SloWindow(max_samples=1)
+
+
+class TestRecoveryTime:
+    """The crash-wave SLO-recovery metric ``bench_fleet_chaos`` reports."""
+
+    @staticmethod
+    def _stream(event_s, bad, good, step=0.01):
+        """``bad`` misses right after the event, then ``good`` hits."""
+        out = []
+        now = event_s
+        for _ in range(bad):
+            now += step
+            out.append((now, True))
+        for _ in range(good):
+            now += step
+            out.append((now, False))
+        return out
+
+    def test_recovers_once_the_window_goes_clean(self):
+        stream = self._stream(5.0, bad=10, good=200)
+        recovery = recovery_time_s(stream, 5.0, window=100, max_miss_ratio=0.05)
+        # Needs 100 samples in the window with <= 5 misses: the 10 bad
+        # completions must be diluted past sample 105.
+        assert recovery == pytest.approx(1.05)
+
+    def test_never_recovering_stream_reports_none(self):
+        stream = self._stream(5.0, bad=150, good=0)
+        assert recovery_time_s(stream, 5.0, window=100) is None
+
+    def test_too_few_post_event_completions_report_none(self):
+        stream = self._stream(5.0, bad=0, good=50)
+        assert recovery_time_s(stream, 5.0, window=100) is None
+
+    def test_pre_event_completions_ignored(self):
+        noise = [(1.0, True)] * 500
+        stream = noise + self._stream(5.0, bad=0, good=100)
+        assert recovery_time_s(stream, 5.0, window=100) == pytest.approx(1.0)
+
+    def test_order_independent(self):
+        stream = self._stream(2.0, bad=5, good=150)
+        shuffled = list(reversed(stream))
+        assert recovery_time_s(stream, 2.0) == recovery_time_s(shuffled, 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            recovery_time_s([], 0.0, window=0)
+        with pytest.raises(ConfigurationError):
+            recovery_time_s([], 0.0, max_miss_ratio=1.5)
