@@ -13,6 +13,7 @@ Layout:
 * :mod:`repro.baselines`  — baseline and static-optimal versions
 * :mod:`repro.fleet`      — fleet-scale request-driven serving
 * :mod:`repro.telemetry`  — metrics registry, spans, and exporters
+* :mod:`repro.acp`        — the out-of-process adaptation control plane
 * :mod:`repro.experiments`— every table/figure of the evaluation
 
 The names re-exported here (``__all__``) are the *stable* surface — a
@@ -22,6 +23,7 @@ internal layering and may move between releases.
 """
 
 from repro.experiments.runner import RunConfig, RunOutcome, RunShape, run
+from repro.acp.client import AcpClient, SessionHandle
 from repro.faults import FaultConfig
 from repro.fleet import FleetConfig, FleetFaultConfig, ResilienceConfig
 from repro.guardrails import GuardrailConfig
@@ -29,9 +31,10 @@ from repro.sim.tracing import TraceRecorder
 from repro.supervision import SupervisorConfig
 from repro.telemetry import MetricsRegistry, TelemetryConfig
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
+    "AcpClient",
     "FaultConfig",
     "FleetConfig",
     "FleetFaultConfig",
@@ -41,6 +44,7 @@ __all__ = [
     "RunOutcome",
     "ResilienceConfig",
     "RunShape",
+    "SessionHandle",
     "SupervisorConfig",
     "TelemetryConfig",
     "TraceRecorder",

@@ -1,0 +1,43 @@
+"""Adaptation Control Plane (ACP): the first process boundary.
+
+Until this package existed the MAPE-K controllers lived inside the
+simulation process: one tenant per run, a controller change meant a
+restart, and a controller crash took the managed system down with it.
+The ACP splits the two along the kernel's bus/actuation seam:
+
+* :mod:`repro.acp.wire`      — the versioned JSONL frame format every
+  message crosses the boundary in (schema-checked, forward-tolerant);
+* :mod:`repro.acp.session`   — one managed system attached to the
+  daemon: a session state machine wrapping a
+  :class:`~repro.experiments.runner.PreparedRun`, stepped in bounded
+  segments so control frames (policy swap, checkpoint, detach) can
+  interleave with execution;
+* :mod:`repro.acp.server`    — the transport-agnostic control plane:
+  session registry, frame dispatch, crash quarantine, checkpoint
+  persistence and restart recovery, live Prometheus text;
+* :mod:`repro.acp.transport` — the daemon shells: Unix-socket JSONL and
+  HTTP (``POST /v1/frames``, ``GET /metrics``, ``GET /v1/sessions``);
+* :mod:`repro.acp.client`    — the *stable* typed SDK
+  (:class:`~repro.acp.client.AcpClient` /
+  :class:`~repro.acp.client.SessionHandle`); the raw socket protocol
+  stays internal.
+
+Attaching a simulation through the in-process loopback transport is
+bit-identical to running it in-process
+(``tests/acp/test_loopback_identity.py`` is the gate): both paths step
+the same :class:`~repro.experiments.runner.PreparedRun` through the same
+engine loop — the boundary serializes observations and commands, never
+the physics.
+"""
+
+from repro.acp.client import AcpClient, SessionHandle
+from repro.acp.server import AcpServer
+from repro.acp.wire import WIRE_SCHEMA_VERSION, Frame
+
+__all__ = [
+    "AcpClient",
+    "AcpServer",
+    "Frame",
+    "SessionHandle",
+    "WIRE_SCHEMA_VERSION",
+]

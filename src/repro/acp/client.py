@@ -1,0 +1,324 @@
+"""The stable ACP client SDK: :class:`AcpClient` / :class:`SessionHandle`.
+
+This module is the *supported* way to talk to an Adaptation Control
+Plane.  The raw socket protocol underneath (one JSONL request frame per
+connection, responses until the first non-event frame) is an internal
+detail that may change between minor versions; these two classes are
+covered by the repo's API-stability promise instead.
+
+Endpoints:
+
+* ``"loopback"``       — an in-process :class:`~repro.acp.server.AcpServer`
+  (created privately, or passed in), stepped inline and deterministically;
+* ``"unix:///path"``   — the daemon's Unix-socket JSONL transport;
+* ``"http://host:p"``  — the daemon's HTTP transport (``POST /v1/frames``).
+
+The headline guarantee: ``AcpClient.attach(...).result()`` over *any*
+transport returns a :class:`~repro.experiments.runner.RunOutcome` whose
+per-app summaries and trace rows are bit-identical to
+``repro.experiments.run()`` in-process — the boundary serializes
+observations and commands, never the physics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.acp import wire
+
+
+class AcpError(ConfigurationError):
+    """An error frame from the control plane, raised client-side.
+
+    Subclasses :class:`~repro.errors.ConfigurationError` so existing
+    ``except ConfigurationError`` call sites keep working.
+    """
+
+
+def _parse_endpoint(endpoint: str):
+    if endpoint == "loopback":
+        return ("loopback", None)
+    if endpoint.startswith("unix://"):
+        path = endpoint[len("unix://") :]
+        if not path:
+            raise ConfigurationError("unix:// endpoint needs a socket path")
+        return ("unix", path)
+    if endpoint.startswith("http://") or endpoint.startswith("https://"):
+        return ("http", endpoint.rstrip("/"))
+    raise ConfigurationError(
+        f"unsupported ACP endpoint {endpoint!r} "
+        "(use 'loopback', 'unix:///path', or 'http://host:port')"
+    )
+
+
+class AcpClient:
+    """A connection-per-request client for one ACP endpoint."""
+
+    def __init__(
+        self,
+        endpoint: str = "loopback",
+        server: Optional[Any] = None,
+        timeout_s: float = 120.0,
+    ):
+        self._kind, self._target = _parse_endpoint(endpoint)
+        self.endpoint = endpoint
+        self.timeout_s = timeout_s
+        self._seq = 0
+        if self._kind == "loopback":
+            if server is None:
+                from repro.acp.server import AcpServer
+
+                server = AcpServer(threaded=False)
+            self._server = server
+        elif server is not None:
+            raise ConfigurationError(
+                "server= is only meaningful with the loopback endpoint"
+            )
+        else:
+            self._server = None
+
+    # -- transport -------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _exchange(self, frame: wire.Frame) -> List[wire.Frame]:
+        line = wire.encode_frame(frame)
+        if self._kind == "loopback":
+            return [wire.decode_frame(l) for l in self._server.handle_line(line)]
+        if self._kind == "unix":
+            return self._exchange_unix(line)
+        return self._exchange_http(line)
+
+    def _exchange_unix(self, line: str) -> List[wire.Frame]:
+        import socket
+
+        frames: List[wire.Frame] = []
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout_s)
+            sock.connect(self._target)
+            sock.sendall((line + "\n").encode("utf-8"))
+            sock.shutdown(socket.SHUT_WR)
+            with sock.makefile("r", encoding="utf-8") as stream:
+                for response in stream:
+                    if not response.strip():
+                        continue
+                    frame = wire.decode_frame(response)
+                    frames.append(frame)
+                    if not frame.is_event:
+                        break
+        return frames
+
+    def _exchange_http(self, line: str) -> List[wire.Frame]:
+        import urllib.request
+
+        request = urllib.request.Request(
+            self._target + "/v1/frames",
+            data=(line + "\n").encode("utf-8"),
+            headers={"Content-Type": "application/jsonl"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+            body = resp.read().decode("utf-8")
+        return [
+            wire.decode_frame(l) for l in body.splitlines() if l.strip()
+        ]
+
+    def _rpc(
+        self,
+        frame_type: str,
+        session_id: str = "",
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> List[wire.Frame]:
+        frames = self._exchange(
+            wire.make_frame(frame_type, session_id, self._next_seq(), payload)
+        )
+        if not frames:
+            raise AcpError(f"{frame_type}: empty response from {self.endpoint}")
+        terminal = frames[-1]
+        if terminal.type == "error":
+            raise AcpError(terminal.payload["error"])
+        return frames
+
+    # -- public surface --------------------------------------------------------
+
+    def hello(self) -> Dict[str, Any]:
+        """Server identity: name, version, wire schema, session count."""
+        return self._rpc("hello")[-1].payload
+
+    def attach(
+        self,
+        version: str,
+        shapes: Union[Any, Sequence[Any]],
+        config: Optional[Any] = None,
+        stream_events: bool = False,
+        session_id: Optional[str] = None,
+        resume: Union[bool, str, None] = None,
+    ) -> "SessionHandle":
+        """Attach a managed system; returns its :class:`SessionHandle`.
+
+        ``shapes`` is one :class:`~repro.experiments.runner.RunShape` or
+        a sequence of them (multi-app).  ``resume`` warm-restores the
+        controllers from a server-side recovered checkpoint store:
+        ``True`` uses ``session_id``'s store, a string names another
+        session's.
+        """
+        from repro.experiments.runner import RunConfig
+
+        shape_list = (
+            list(shapes)
+            if isinstance(shapes, (list, tuple))
+            else [shapes]
+        )
+        payload: Dict[str, Any] = {
+            "version": version,
+            "shapes": [wire.shape_to_wire(s) for s in shape_list],
+            "config": wire.config_to_wire(config or RunConfig()),
+        }
+        if stream_events:
+            payload["stream_events"] = True
+        if session_id is not None:
+            payload["session_id"] = session_id
+        if resume is not None:
+            payload["resume"] = resume
+        status = self._rpc("attach", "", payload)[-1].payload
+        return SessionHandle(self, status["session_id"], status)
+
+    def sessions(self) -> Dict[str, Any]:
+        """Registry snapshot: live sessions, recovered stores, ledger."""
+        return self._rpc("sessions")[-1].payload
+
+    def metrics_text(self) -> str:
+        """The daemon's live Prometheus exposition text."""
+        return self._rpc("metrics")[-1].payload["text"]
+
+    def session(self, session_id: str) -> "SessionHandle":
+        """A handle for an already-attached session (e.g. after a
+        client restart — the daemon keeps the session alive)."""
+        return SessionHandle(self, session_id, {"session_id": session_id})
+
+
+class SessionHandle:
+    """Typed control surface for one attached session."""
+
+    def __init__(
+        self, client: AcpClient, session_id: str, status: Dict[str, Any]
+    ):
+        self._client = client
+        self.session_id = session_id
+        self.last_status = status
+
+    def _rpc(
+        self, frame_type: str, payload: Optional[Dict[str, Any]] = None
+    ) -> List[wire.Frame]:
+        return self._client._rpc(frame_type, self.session_id, payload)
+
+    def status(self) -> Dict[str, Any]:
+        """Current session state from the registry."""
+        listing = self._client.sessions()["sessions"]
+        for status in listing:
+            if status["session_id"] == self.session_id:
+                self.last_status = status
+                return status
+        raise AcpError(f"session {self.session_id} is no longer attached")
+
+    def run(self) -> Dict[str, Any]:
+        """Start (daemon) or perform (loopback) the run to completion."""
+        status = self._rpc("run", {})[-1].payload
+        self.last_status = status
+        return status
+
+    def advance(self, seconds: float) -> Dict[str, Any]:
+        """Step the session by ``seconds`` of simulated time, inline."""
+        status = self._rpc("run", {"seconds": seconds})[-1].payload
+        self.last_status = status
+        return status
+
+    def swap_policy(
+        self, policy: str, adapt_every: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Hot-swap the scheduling policy; effective within one
+        adaptation period, recorded on the bus as ``PolicySwapped``."""
+        payload: Dict[str, Any] = {"policy": policy}
+        if adapt_every is not None:
+            payload["adapt_every"] = adapt_every
+        return self._rpc("swap", payload)[-1].payload
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Snapshot every checkpoint-capable controller right now;
+        returns ``{"time_s", "store": {controller_id: envelope}}``."""
+        return self._rpc("checkpoint", {})[-1].payload
+
+    def events(self, since_seq: int = 0) -> List[wire.Frame]:
+        """Event frames emitted after ``since_seq`` (plan/actuate always;
+        heartbeat/sensor when attached with ``stream_events=True``)."""
+        frames = self._rpc("events", {"since_seq": since_seq})
+        return [f for f in frames if f.is_event]
+
+    def result(self, timeout_s: Optional[float] = None):
+        """Block until the run finishes; returns its
+        :class:`~repro.experiments.runner.RunOutcome`."""
+        payload: Dict[str, Any] = {}
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        frame = self._rpc("result", payload)[-1]
+        return _outcome_from_result(frame.payload)
+
+    def detach(self) -> Dict[str, Any]:
+        """Release the session (stops its driver thread, persists its
+        checkpoints)."""
+        return self._rpc("detach", {})[-1].payload
+
+
+def _outcome_from_result(payload: Dict[str, Any]):
+    """A ``result`` frame payload → :class:`RunOutcome` (bit-identical:
+    JSON round-trips floats through ``repr``, losslessly)."""
+    from repro.experiments.runner import RunOutcome
+    from repro.experiments.serialize import run_metrics_from_dict
+    from repro.heartbeats.targets import PerformanceTarget
+    from repro.sim.tracing import TracePoint, TraceRecorder
+
+    trace = TraceRecorder()
+    for app_name, rows in payload["trace"].items():
+        for row in rows:
+            trace.record(
+                app_name,
+                TracePoint(
+                    time_s=row[0],
+                    hb_index=row[1],
+                    rate=row[2],
+                    big_cores=row[3],
+                    little_cores=row[4],
+                    big_freq_mhz=row[5],
+                    little_freq_mhz=row[6],
+                ),
+            )
+    target = payload["target"]
+    return RunOutcome(
+        metrics=run_metrics_from_dict(payload["metrics"]),
+        trace=trace,
+        target=PerformanceTarget(target[0], target[1], target[2]),
+        max_rate=payload["max_rate"],
+    )
+
+
+def run_via_acp(version: str, shapes: Any, config: Any):
+    """The ``RunConfig(acp=...)`` execution path of
+    :func:`repro.experiments.run`: attach, run to completion, detach.
+
+    The outcome is reconstructed from the ``result`` frame — same
+    summaries, same trace rows, bit for bit.
+    """
+    if shapes is None:
+        raise ConfigurationError("an acp run needs shapes")
+    client = AcpClient(config.acp)
+    handle = client.attach(version, shapes, config.with_(acp=None))
+    try:
+        return handle.result()
+    finally:
+        try:
+            handle.detach()
+        except (AcpError, OSError):
+            pass  # best-effort cleanup; the outcome is already in hand

@@ -1,0 +1,543 @@
+"""The Adaptation Control Plane: session registry + frame dispatch.
+
+:class:`AcpServer` is the transport-agnostic core of the daemon.  It
+speaks exactly one language — :mod:`repro.acp.wire` frames in, frames
+out — so every transport (the in-process loopback, the Unix socket, the
+HTTP endpoint in :mod:`repro.acp.transport`) is a thin shell around
+:meth:`AcpServer.handle_line`.
+
+Responsibilities:
+
+* **Session registry** — attach/detach of managed systems, each an
+  :class:`~repro.acp.session.AcpSession` with a server-assigned id.
+* **Crash quarantine** — an exception out of one session marks *that
+  session* quarantined and answers the request with an ``error`` frame;
+  the daemon and its other tenants keep running.
+* **Checkpoint persistence** — with a ``state_dir``, every session's
+  :class:`~repro.supervision.CheckpointStore` is dumped atomically to
+  ``<state_dir>/<session_id>.json``; on construction the server scans
+  the directory with :meth:`CheckpointStore.recover`, so a restarted
+  daemon offers the surviving snapshots for warm re-attachment (and
+  surfaces a ledger entry for every torn file it had to cold-start
+  past).
+* **Execution modes** — ``threaded=False`` (the loopback default) runs
+  sessions inline on the caller's thread, deterministically;
+  ``threaded=True`` (the daemon default) drives ``run`` requests on a
+  background thread per session so control frames keep flowing while a
+  tenant executes.
+* **Observability** — :meth:`metrics_text` renders live Prometheus
+  text: control-plane counters plus every tenant's telemetry snapshot,
+  stamped with a ``session`` label.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.supervision import CheckpointStore
+from repro.acp import wire
+from repro.acp.session import (
+    DEFAULT_QUANTUM_S,
+    FINISHED,
+    QUARANTINED,
+    RUNNING,
+    AcpSession,
+    resolve_policy,
+)
+
+#: Simulated seconds a background driver advances between stop-flag
+#: checks: coarse enough to amortize the loop, fine enough that detach
+#: and shutdown respond within a fraction of a second of wall time.
+_DRIVE_CHUNK_QUANTA = 10
+
+#: Wall-clock seconds a control command (swap/checkpoint) may wait for a
+#: busy session's next segment boundary before the server gives up.
+_COMMAND_TIMEOUT_S = 30.0
+
+#: Default wall-clock seconds a ``result`` request waits for a threaded
+#: session to finish.
+_RESULT_TIMEOUT_S = 600.0
+
+
+class AcpServer:
+    """Frame-in/frame-out control plane; see the module docstring."""
+
+    def __init__(
+        self,
+        state_dir: Optional[str] = None,
+        quantum_s: float = DEFAULT_QUANTUM_S,
+        threaded: bool = False,
+    ):
+        self.state_dir = state_dir
+        self.quantum_s = quantum_s
+        self.threaded = threaded
+        self._sessions: Dict[str, AcpSession] = {}
+        self._threads: Dict[str, threading.Thread] = {}
+        self._stop_flags: Dict[str, threading.Event] = {}
+        self._finished: Dict[str, threading.Event] = {}
+        self._lock = threading.RLock()
+        self._counter = 0
+        self._seq = 0
+        self.frames_in = 0
+        self.frames_out = 0
+        #: Checkpoint stores recovered from ``state_dir`` at startup,
+        #: keyed by the session id they were dumped under.
+        self.recovered: Dict[str, CheckpointStore] = {}
+        #: Cold-start fallback entries from :meth:`CheckpointStore.recover`.
+        self.ledger: List[Dict[str, Any]] = []
+        if state_dir is not None:
+            os.makedirs(state_dir, exist_ok=True)
+            for name in sorted(os.listdir(state_dir)):
+                if not name.endswith(".json"):
+                    continue
+                store = CheckpointStore.recover(os.path.join(state_dir, name))
+                self.recovered[name[: -len(".json")]] = store
+                self.ledger.extend(store.ledger)
+
+    # -- transport surface ----------------------------------------------------
+
+    def handle_line(self, line: str) -> List[str]:
+        """One request line → encoded response lines (error frames on
+        malformed input; the transport never sees an exception)."""
+        try:
+            frame = wire.decode_frame(line)
+        except ConfigurationError as exc:
+            return [wire.encode_frame(self._error("", str(exc)))]
+        return [wire.encode_frame(f) for f in self.handle_frame(frame)]
+
+    def handle_frame(self, frame: wire.Frame) -> List[wire.Frame]:
+        """Dispatch one request frame; always returns at least one
+        non-event frame (the response terminator)."""
+        self.frames_in += 1
+        try:
+            frames = self._dispatch(frame)
+        except ConfigurationError as exc:
+            frames = [self._error(frame.session_id, str(exc))]
+        self.frames_out += len(frames)
+        return frames
+
+    def _dispatch(self, frame: wire.Frame) -> List[wire.Frame]:
+        handler = _HANDLERS.get(frame.type)
+        if handler is None:
+            raise ConfigurationError(
+                f"unknown request frame type {frame.type!r}"
+            )
+        return handler(self, frame)
+
+    # -- request handlers ------------------------------------------------------
+
+    def _handle_hello(self, frame: wire.Frame) -> List[wire.Frame]:
+        from repro import __version__
+
+        with self._lock:
+            count = len(self._sessions)
+        return [
+            self._respond(
+                "welcome",
+                frame.session_id,
+                {
+                    "server": "hars-repro-acp",
+                    "version": __version__,
+                    "schema_version": wire.WIRE_SCHEMA_VERSION,
+                    "sessions": count,
+                },
+            )
+        ]
+
+    def _handle_attach(self, frame: wire.Frame) -> List[wire.Frame]:
+        payload = frame.payload
+        version = payload["version"]
+        shapes = [wire.shape_from_wire(s) for s in payload["shapes"]]
+        config = wire.config_from_wire(payload["config"])
+        stream_events = bool(payload.get("stream_events", False))
+        with self._lock:
+            self._counter += 1
+            session_id = payload.get("session_id") or f"s{self._counter:04d}"
+            if not isinstance(session_id, str):
+                raise ConfigurationError("attach: 'session_id' must be a string")
+            if session_id in self._sessions:
+                raise ConfigurationError(
+                    f"session id {session_id!r} is already attached"
+                )
+            resume_store = self._resume_store_for(payload, session_id)
+            try:
+                session = AcpSession(
+                    session_id,
+                    version,
+                    shapes,
+                    config,
+                    stream_events=stream_events,
+                    resume_store=resume_store,
+                    quantum_s=self.quantum_s,
+                )
+            except ConfigurationError:
+                raise
+            except Exception as exc:  # a broken attach must not kill the daemon
+                raise ConfigurationError(
+                    f"attach failed: {type(exc).__name__}: {exc}"
+                ) from None
+            self._sessions[session_id] = session
+        status = dict(session.status())
+        if resume_store is not None:
+            status["resumed_from"] = sorted(resume_store.controller_ids)
+            status["resume_ledger"] = list(resume_store.ledger)
+        return [self._respond("attached", session_id, status)]
+
+    def _resume_store_for(
+        self, payload: Dict[str, Any], session_id: str
+    ) -> Optional[CheckpointStore]:
+        resume = payload.get("resume")
+        if resume is None or resume is False:
+            return None
+        key = session_id if resume is True else resume
+        if not isinstance(key, str):
+            raise ConfigurationError(
+                "attach: 'resume' must be true or a session id"
+            )
+        store = self.recovered.get(key)
+        if store is None and self.state_dir is not None:
+            store = CheckpointStore.recover(
+                os.path.join(self.state_dir, f"{key}.json")
+            )
+            self.recovered[key] = store
+            self.ledger.extend(store.ledger)
+        if store is None:
+            raise ConfigurationError(
+                f"attach: no recovered checkpoint store for {key!r} "
+                "(server has no state_dir)"
+            )
+        return store
+
+    def _handle_run(self, frame: wire.Frame) -> List[wire.Frame]:
+        session = self._session(frame.session_id)
+        seconds = frame.payload.get("seconds")
+        if seconds is not None and (
+            not isinstance(seconds, (int, float)) or isinstance(seconds, bool)
+        ):
+            raise ConfigurationError("run: 'seconds' must be a number")
+        if self.threaded and seconds is None:
+            self._start_driver(session)
+            return [
+                self._respond("advanced", session.session_id, session.status())
+            ]
+        if self._thread_alive(session.session_id):
+            raise ConfigurationError(
+                f"session {session.session_id} is already running"
+            )
+        status = self._guarded(session, lambda: session.advance(seconds))
+        self._persist(session)
+        return [self._respond("advanced", session.session_id, status)]
+
+    def _handle_swap(self, frame: wire.Frame) -> List[wire.Frame]:
+        session = self._session(frame.session_id)
+        policy = frame.payload["policy"]
+        resolve_policy(policy)  # reject a bad name before it reaches the queue
+        adapt_every = frame.payload.get("adapt_every")
+        result = self._call_on_session(
+            session, lambda: session.swap_policy(policy, adapt_every)
+        )
+        return [self._respond("swap-ack", session.session_id, result)]
+
+    def _handle_checkpoint(self, frame: wire.Frame) -> List[wire.Frame]:
+        session = self._session(frame.session_id)
+        result = self._call_on_session(session, session.checkpoint_now)
+        self._persist(session)
+        return [
+            wire.checkpoint_frame(
+                session.session_id,
+                self._next_seq(),
+                result["time_s"],
+                result["store"],
+            )
+        ]
+
+    def _handle_result(self, frame: wire.Frame) -> List[wire.Frame]:
+        session = self._session(frame.session_id)
+        timeout = frame.payload.get("timeout_s")
+        if timeout is None:
+            timeout = _RESULT_TIMEOUT_S
+        if self._thread_alive(session.session_id):
+            finished = self._finished[session.session_id]
+            if not finished.wait(float(timeout)):
+                raise ConfigurationError(
+                    f"session {session.session_id} did not finish within "
+                    f"{timeout}s"
+                )
+        elif session.state not in (FINISHED, QUARANTINED):
+            # Inline mode: a result request drives the run to completion,
+            # exactly like the in-process runner would.
+            self._guarded(session, lambda: session.advance(None))
+            self._persist(session)
+        if session.state == QUARANTINED:
+            raise ConfigurationError(
+                f"session {session.session_id} is quarantined: {session.error}"
+            )
+        payload = session.result_payload()
+        return [
+            wire.make_frame(
+                "result", session.session_id, self._next_seq(), payload
+            )
+        ]
+
+    def _handle_events(self, frame: wire.Frame) -> List[wire.Frame]:
+        session = self._session(frame.session_id)
+        since = frame.payload.get("since_seq", 0)
+        if not isinstance(since, int) or isinstance(since, bool):
+            raise ConfigurationError("events: 'since_seq' must be an int")
+        batch = [f for f in session.events if f.seq > since]
+        last = batch[-1].seq if batch else since
+        return [
+            *batch,
+            self._respond(
+                "event-batch",
+                session.session_id,
+                {"count": len(batch), "last_seq": last},
+            ),
+        ]
+
+    def _handle_sessions(self, frame: wire.Frame) -> List[wire.Frame]:
+        with self._lock:
+            statuses = [
+                self._sessions[sid].status() for sid in sorted(self._sessions)
+            ]
+        return [
+            self._respond(
+                "session-list",
+                frame.session_id,
+                {
+                    "sessions": statuses,
+                    "recovered": sorted(self.recovered),
+                    "ledger": list(self.ledger),
+                },
+            )
+        ]
+
+    def _handle_metrics(self, frame: wire.Frame) -> List[wire.Frame]:
+        return [
+            self._respond(
+                "metrics-text", frame.session_id, {"text": self.metrics_text()}
+            )
+        ]
+
+    def _handle_detach(self, frame: wire.Frame) -> List[wire.Frame]:
+        session = self._session(frame.session_id)
+        stop = self._stop_flags.get(session.session_id)
+        if stop is not None:
+            stop.set()
+        thread = self._threads.get(session.session_id)
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=_COMMAND_TIMEOUT_S)
+        session.detach()
+        self._persist(session)
+        with self._lock:
+            self._sessions.pop(session.session_id, None)
+            self._threads.pop(session.session_id, None)
+            self._stop_flags.pop(session.session_id, None)
+            self._finished.pop(session.session_id, None)
+        return [
+            self._respond(
+                "detached",
+                session.session_id,
+                {"session_id": session.session_id, "state": session.state},
+            )
+        ]
+
+    # -- execution plumbing ----------------------------------------------------
+
+    def _session(self, session_id: str) -> AcpSession:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise ConfigurationError(f"no such session: {session_id!r}")
+        return session
+
+    def _thread_alive(self, session_id: str) -> bool:
+        thread = self._threads.get(session_id)
+        return thread is not None and thread.is_alive()
+
+    def _guarded(self, session: AcpSession, fn: Callable[[], Any]) -> Any:
+        """Run ``fn`` on the caller's thread, converting a managed-system
+        crash into a quarantine + error (never a daemon crash)."""
+        try:
+            return fn()
+        except ConfigurationError:
+            raise  # a refusal, not a crash: the session stays healthy
+        except Exception as exc:
+            session.quarantine(exc)
+            raise ConfigurationError(
+                f"session {session.session_id} quarantined: {session.error}"
+            ) from None
+
+    def _start_driver(self, session: AcpSession) -> None:
+        sid = session.session_id
+        if self._thread_alive(sid):
+            raise ConfigurationError(f"session {sid} is already running")
+        if session.state in (FINISHED, QUARANTINED):
+            raise ConfigurationError(
+                f"session {sid} is {session.state}; cannot run"
+            )
+        stop = threading.Event()
+        finished = threading.Event()
+        chunk_s = _DRIVE_CHUNK_QUANTA * session.quantum_s
+
+        def drive() -> None:
+            try:
+                while not session.done and not stop.is_set():
+                    session.advance(seconds=chunk_s)
+            except ConfigurationError as exc:
+                session.quarantine(exc)
+            except Exception as exc:
+                session.quarantine(exc)
+            finally:
+                self._persist(session)
+                finished.set()
+
+        thread = threading.Thread(
+            target=drive, name=f"acp-{sid}", daemon=True
+        )
+        with self._lock:
+            self._threads[sid] = thread
+            self._stop_flags[sid] = stop
+            self._finished[sid] = finished
+        thread.start()
+
+    def _call_on_session(
+        self,
+        session: AcpSession,
+        fn: Callable[[], Any],
+        timeout_s: float = _COMMAND_TIMEOUT_S,
+    ) -> Any:
+        """Apply a control action either inline (idle session) or at the
+        next segment boundary of its driver thread (running session)."""
+        sid = session.session_id
+        if not self._thread_alive(sid):
+            return self._guarded(session, fn)
+        box: Dict[str, Any] = {}
+        applied = threading.Event()
+
+        def command() -> None:
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # surfaced to the requester below
+                box["exc"] = exc
+            finally:
+                applied.set()
+
+        session.enqueue(command)
+        if not applied.wait(timeout_s):
+            if not self._thread_alive(sid):
+                # The driver exited between enqueue and its final drain;
+                # the session is idle now, so drain on this thread.
+                session._drain_commands()
+            if not applied.is_set():
+                raise ConfigurationError(
+                    f"session {sid}: command not applied within {timeout_s}s"
+                )
+        if "exc" in box:
+            exc = box["exc"]
+            if isinstance(exc, ConfigurationError):
+                raise exc
+            session.quarantine(exc)
+            raise ConfigurationError(
+                f"session {sid} quarantined: {session.error}"
+            ) from None
+        return box["value"]
+
+    def _persist(self, session: AcpSession) -> None:
+        if self.state_dir is None:
+            return
+        store = session.prepared.checkpoint_store
+        if store is None or len(store) == 0:
+            return
+        store.dump(
+            os.path.join(self.state_dir, f"{session.session_id}.json")
+        )
+
+    # -- responses / observability --------------------------------------------
+
+    def _next_seq(self) -> int:
+        with self._lock:
+            self._seq += 1
+            return self._seq
+
+    def _respond(
+        self, frame_type: str, session_id: str, payload: Dict[str, Any]
+    ) -> wire.Frame:
+        return wire.make_frame(
+            frame_type, session_id, self._next_seq(), payload
+        )
+
+    def _error(self, session_id: str, message: str) -> wire.Frame:
+        return wire.error_frame(session_id, self._next_seq(), message)
+
+    def metrics_text(self) -> str:
+        """Live Prometheus text: control-plane counters + every tenant's
+        telemetry snapshot stamped with its ``session`` label."""
+        from repro.telemetry.exporters import snapshot_to_prometheus
+
+        with self._lock:
+            sessions = dict(self._sessions)
+        by_state: Dict[str, int] = {}
+        for session in sessions.values():
+            by_state[session.state] = by_state.get(session.state, 0) + 1
+        lines = [
+            "# HELP acp_sessions_attached_total Sessions ever attached.",
+            "# TYPE acp_sessions_attached_total counter",
+            f"acp_sessions_attached_total {float(self._counter)!r}",
+            "# HELP acp_sessions Current sessions by state.",
+            "# TYPE acp_sessions gauge",
+        ]
+        for state in (RUNNING, FINISHED, QUARANTINED):
+            lines.append(
+                f'acp_sessions{{state="{state}"}} '
+                f"{float(by_state.get(state, 0))!r}"
+            )
+        for state in sorted(set(by_state) - {RUNNING, FINISHED, QUARANTINED}):
+            lines.append(
+                f'acp_sessions{{state="{state}"}} {float(by_state[state])!r}'
+            )
+        lines += [
+            "# HELP acp_frames_total Wire frames handled, by direction.",
+            "# TYPE acp_frames_total counter",
+            f'acp_frames_total{{direction="in"}} {float(self.frames_in)!r}',
+            f'acp_frames_total{{direction="out"}} {float(self.frames_out)!r}',
+        ]
+        parts = ["\n".join(lines) + "\n"]
+        for sid in sorted(sessions):
+            hub = sessions[sid].prepared.telemetry
+            if hub is None:
+                continue
+            parts.append(
+                snapshot_to_prometheus(
+                    hub.registry.snapshot(), extra_labels={"session": sid}
+                )
+            )
+        return "".join(parts)
+
+    def shutdown(self) -> None:
+        """Stop every driver thread; sessions stay readable."""
+        with self._lock:
+            flags = list(self._stop_flags.values())
+            threads = list(self._threads.values())
+        for flag in flags:
+            flag.set()
+        for thread in threads:
+            if thread.is_alive():
+                thread.join(timeout=_COMMAND_TIMEOUT_S)
+
+
+_HANDLERS: Dict[str, Callable[[AcpServer, wire.Frame], List[wire.Frame]]] = {
+    "hello": AcpServer._handle_hello,
+    "attach": AcpServer._handle_attach,
+    "run": AcpServer._handle_run,
+    "swap": AcpServer._handle_swap,
+    "checkpoint": AcpServer._handle_checkpoint,
+    "result": AcpServer._handle_result,
+    "events": AcpServer._handle_events,
+    "sessions": AcpServer._handle_sessions,
+    "metrics": AcpServer._handle_metrics,
+    "detach": AcpServer._handle_detach,
+}

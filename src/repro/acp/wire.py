@@ -1,0 +1,462 @@
+"""ACP wire format: versioned, schema-checked JSONL frames.
+
+Every message between the control-plane daemon and a managed system (or
+an :class:`~repro.acp.client.AcpClient`) is one *frame*: a single JSON
+object on a single line.  The envelope is fixed —
+
+``{"schema_version": 1, "session_id": "...", "seq": N, "type": "...",
+"payload": {...}}``
+
+— and the payload layout is typed per frame ``type``.  Three rules make
+the format safe to evolve:
+
+* **Versioned** — ``schema_version`` is checked on decode; a frame from
+  an incompatible protocol generation is refused outright rather than
+  half-understood.
+* **Schema-checked** — each type's required payload fields are validated
+  with the same helpers the controller checkpoints use
+  (:func:`repro.experiments.serialize.require_str` & friends); there is
+  exactly one schema layer in the codebase.
+* **Forward-tolerant** — *unknown* fields, in the envelope or the
+  payload, are preserved and ignored, so a newer peer can add fields
+  without breaking an older one (re-encoding a decoded frame keeps
+  them: tolerant readers must not be lossy rewriters).
+
+Event frames (``heartbeat``/``sensor``/``plan``/``actuate``/
+``policy-swapped``/``restored``/``lifecycle``) stream server→client;
+request frames (``hello``/``attach``/``run``/``swap``/``checkpoint``/
+``result``/``sessions``/``metrics``/``detach``) travel client→server and
+each is answered by a non-event frame, which is how a client finds the
+end of a response batch on a byte stream.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.serialize import (
+    require_dict,
+    require_int,
+    require_list,
+    require_number,
+    require_str,
+    validate_checkpoint,
+)
+
+#: Version of the frame envelope + payload schemas.  Bumped on any
+#: incompatible change; decode refuses frames from another version.
+WIRE_SCHEMA_VERSION = 1
+
+#: Frame types that stream as events (server → client).  Everything
+#: else terminates a request/response exchange.
+EVENT_TYPES = frozenset(
+    {
+        "heartbeat",
+        "sensor",
+        "plan",
+        "actuate",
+        "policy-swapped",
+        "restored",
+        "lifecycle",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One wire message: a typed payload in the versioned envelope.
+
+    ``extra`` holds unknown envelope fields a newer peer sent; they are
+    carried through re-encoding so this build never strips information
+    it merely does not understand.
+    """
+
+    type: str
+    session_id: str
+    seq: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    schema_version: int = WIRE_SCHEMA_VERSION
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_event(self) -> bool:
+        return self.type in EVENT_TYPES
+
+
+def encode_frame(frame: Frame) -> str:
+    """One frame → one JSON line (no trailing newline)."""
+    data: Dict[str, Any] = dict(frame.extra)
+    data.update(
+        {
+            "schema_version": frame.schema_version,
+            "session_id": frame.session_id,
+            "seq": frame.seq,
+            "type": frame.type,
+            "payload": frame.payload,
+        }
+    )
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def decode_frame(line: str) -> Frame:
+    """One JSON line → a validated :class:`Frame`.
+
+    Raises :class:`~repro.errors.ConfigurationError` on malformed JSON,
+    a wrong ``schema_version``, a missing envelope field, or a payload
+    that fails its type's schema.  Unknown envelope and payload fields
+    are tolerated (and preserved).
+    """
+    try:
+        data = json.loads(line)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise ConfigurationError(f"undecodable wire frame: {exc}") from None
+    if not isinstance(data, dict):
+        raise ConfigurationError("wire frame is not a JSON object")
+    version = require_int(data, "schema_version", "wire frame")
+    if version != WIRE_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported wire schema_version {version} "
+            f"(this build speaks {WIRE_SCHEMA_VERSION})"
+        )
+    frame_type = require_str(data, "type", "wire frame")
+    session_id = data.get("session_id")
+    if not isinstance(session_id, str):
+        raise ConfigurationError("wire frame: 'session_id' must be a string")
+    seq = require_int(data, "seq", "wire frame")
+    if seq < 0:
+        raise ConfigurationError("wire frame: 'seq' must be >= 0")
+    payload = require_dict(data, "payload", "wire frame")
+    validator = _PAYLOAD_VALIDATORS.get(frame_type)
+    if validator is not None:
+        validator(payload)
+    extra = {
+        key: value
+        for key, value in data.items()
+        if key not in ("schema_version", "session_id", "seq", "type", "payload")
+    }
+    return Frame(
+        type=frame_type,
+        session_id=session_id,
+        seq=seq,
+        payload=payload,
+        schema_version=version,
+        extra=extra,
+    )
+
+
+# -- typed payload schemas ----------------------------------------------------
+#
+# Each validator checks the *required* fields of its frame type; extra
+# payload fields pass through untouched (forward compatibility).
+
+
+def _validate_heartbeat(payload: Dict[str, Any]) -> None:
+    require_str(payload, "app", "heartbeat frame")
+    require_int(payload, "hb_index", "heartbeat frame")
+    require_number(payload, "time_s", "heartbeat frame")
+
+
+def _validate_sensor(payload: Dict[str, Any]) -> None:
+    require_number(payload, "time_s", "sensor frame")
+    watts = require_dict(payload, "watts", "sensor frame")
+    for rail, value in watts.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise ConfigurationError(
+                f"sensor frame: rail {rail!r} must carry a number"
+            )
+
+
+def _validate_state_quad(payload: Dict[str, Any], context: str) -> None:
+    state = require_list(payload, "state", context)
+    if len(state) != 4 or any(
+        not isinstance(v, int) or isinstance(v, bool) for v in state
+    ):
+        raise ConfigurationError(
+            f"{context}: 'state' must be [c_big, c_little, f_big, f_little]"
+        )
+
+
+def _validate_plan(payload: Dict[str, Any]) -> None:
+    require_str(payload, "app", "plan frame")
+    require_number(payload, "time_s", "plan frame")
+    _validate_state_quad(payload, "plan frame")
+
+
+def _validate_actuate(payload: Dict[str, Any]) -> None:
+    require_str(payload, "app", "actuate frame")
+    require_number(payload, "time_s", "actuate frame")
+    require_int(payload, "big_cores", "actuate frame")
+    require_int(payload, "little_cores", "actuate frame")
+    require_int(payload, "f_big_mhz", "actuate frame")
+    require_int(payload, "f_little_mhz", "actuate frame")
+
+
+def _validate_checkpoint_frame(payload: Dict[str, Any]) -> None:
+    # A checkpoint *request* is empty; the *response* carries the store.
+    # Both directions share the type, so only response fields are
+    # checked — when present (same convention as the result frame).
+    if "store" not in payload and "time_s" not in payload:
+        return
+    store = require_dict(payload, "store", "checkpoint frame")
+    require_number(payload, "time_s", "checkpoint frame")
+    for controller_id, envelope in store.items():
+        if not isinstance(envelope, dict):
+            raise ConfigurationError(
+                f"checkpoint frame: snapshot {controller_id!r} is not a dict"
+            )
+        # The embedded envelopes are full controller checkpoints: the
+        # PR-3 schema validates them, not a second wire-side schema.
+        validate_checkpoint(envelope)
+
+
+def _validate_swap(payload: Dict[str, Any]) -> None:
+    require_str(payload, "policy", "swap frame")
+
+
+def _validate_policy_swapped(payload: Dict[str, Any]) -> None:
+    require_str(payload, "policy", "policy-swapped frame")
+    require_number(payload, "time_s", "policy-swapped frame")
+    require_list(payload, "controllers", "policy-swapped frame")
+
+
+def _validate_attach(payload: Dict[str, Any]) -> None:
+    require_str(payload, "version", "attach frame")
+    shapes = require_list(payload, "shapes", "attach frame")
+    if not shapes:
+        raise ConfigurationError("attach frame: 'shapes' must be non-empty")
+    for shape in shapes:
+        if not isinstance(shape, dict):
+            raise ConfigurationError("attach frame: each shape must be a dict")
+        require_str(shape, "benchmark", "attach frame shape")
+    require_dict(payload, "config", "attach frame")
+
+
+def _validate_result(payload: Dict[str, Any]) -> None:
+    # A result *request* may be empty; a result *response* carries the
+    # serialized outcome.  Both directions share the type, so only the
+    # response fields are checked — when present.
+    if "metrics" in payload:
+        require_dict(payload, "metrics", "result frame")
+        require_dict(payload, "trace", "result frame")
+        require_number(payload, "max_rate", "result frame")
+        require_list(payload, "target", "result frame")
+
+
+def _validate_error(payload: Dict[str, Any]) -> None:
+    require_str(payload, "error", "error frame")
+
+
+_PAYLOAD_VALIDATORS: Dict[str, Callable[[Dict[str, Any]], None]] = {
+    "heartbeat": _validate_heartbeat,
+    "sensor": _validate_sensor,
+    "plan": _validate_plan,
+    "actuate": _validate_actuate,
+    "checkpoint": _validate_checkpoint_frame,
+    "swap": _validate_swap,
+    "policy-swapped": _validate_policy_swapped,
+    "attach": _validate_attach,
+    "result": _validate_result,
+    "error": _validate_error,
+}
+
+
+# -- typed constructors -------------------------------------------------------
+
+
+def make_frame(
+    frame_type: str,
+    session_id: str,
+    seq: int,
+    payload: Optional[Dict[str, Any]] = None,
+) -> Frame:
+    """Build and self-validate a frame (round-trips through encode)."""
+    frame = Frame(
+        type=frame_type, session_id=session_id, seq=seq, payload=payload or {}
+    )
+    validator = _PAYLOAD_VALIDATORS.get(frame_type)
+    if validator is not None:
+        validator(frame.payload)
+    return frame
+
+
+def heartbeat_frame(
+    session_id: str, seq: int, app: str, hb_index: int, time_s: float,
+    rate: Optional[float] = None, tag: str = "",
+) -> Frame:
+    payload: Dict[str, Any] = {
+        "app": app, "hb_index": hb_index, "time_s": time_s,
+    }
+    if rate is not None:
+        payload["rate"] = rate
+    if tag:
+        payload["tag"] = tag
+    return make_frame("heartbeat", session_id, seq, payload)
+
+
+def sensor_frame(
+    session_id: str, seq: int, time_s: float, watts: Dict[str, float]
+) -> Frame:
+    return make_frame(
+        "sensor", session_id, seq, {"time_s": time_s, "watts": dict(watts)}
+    )
+
+
+def plan_frame(
+    session_id: str, seq: int, app: str, time_s: float, state: List[int]
+) -> Frame:
+    return make_frame(
+        "plan", session_id, seq,
+        {"app": app, "time_s": time_s, "state": list(state)},
+    )
+
+
+def actuate_frame(
+    session_id: str, seq: int, app: str, time_s: float,
+    big_cores: int, little_cores: int, f_big_mhz: int, f_little_mhz: int,
+) -> Frame:
+    return make_frame(
+        "actuate", session_id, seq,
+        {
+            "app": app,
+            "time_s": time_s,
+            "big_cores": big_cores,
+            "little_cores": little_cores,
+            "f_big_mhz": f_big_mhz,
+            "f_little_mhz": f_little_mhz,
+        },
+    )
+
+
+def checkpoint_frame(
+    session_id: str, seq: int, time_s: float, store: Dict[str, Dict[str, Any]]
+) -> Frame:
+    return make_frame(
+        "checkpoint", session_id, seq, {"time_s": time_s, "store": store}
+    )
+
+
+def swap_frame(
+    session_id: str, seq: int, policy: str,
+    adapt_every: Optional[int] = None,
+) -> Frame:
+    payload: Dict[str, Any] = {"policy": policy}
+    if adapt_every is not None:
+        payload["adapt_every"] = adapt_every
+    return make_frame("swap", session_id, seq, payload)
+
+
+def error_frame(session_id: str, seq: int, error: str, detail: str = "") -> Frame:
+    payload = {"error": error}
+    if detail:
+        payload["detail"] = detail
+    return make_frame("error", session_id, seq, payload)
+
+
+# -- run shape / config serialization ----------------------------------------
+#
+# Only the fields a control plane can faithfully reconstruct cross the
+# wire.  Complex sub-configs (fault schedules, guardrails, fleet) stay
+# process-local for now: attaching with one set is refused loudly
+# instead of silently dropped.
+
+
+def shape_to_wire(shape: Any) -> Dict[str, Any]:
+    """A :class:`~repro.experiments.runner.RunShape` as a payload dict."""
+    return {
+        "benchmark": shape.benchmark,
+        "n_units": shape.n_units,
+        "n_threads": shape.n_threads,
+        "target_fraction": shape.target_fraction,
+        "tolerance": shape.tolerance,
+        "seed": shape.seed,
+        "tick_s": shape.tick_s,
+        "adapt_every": shape.adapt_every,
+    }
+
+
+def shape_from_wire(data: Dict[str, Any]) -> Any:
+    """Inverse of :func:`shape_to_wire` (unknown fields ignored)."""
+    from repro.experiments.runner import RunShape
+
+    require_str(data, "benchmark", "wire shape")
+    kwargs: Dict[str, Any] = {"benchmark": data["benchmark"]}
+    for key, caster in (
+        ("n_units", int),
+        ("n_threads", int),
+        ("target_fraction", float),
+        ("tolerance", float),
+        ("seed", int),
+        ("tick_s", float),
+        ("adapt_every", int),
+    ):
+        if data.get(key) is not None:
+            try:
+                kwargs[key] = caster(data[key])
+            except (TypeError, ValueError) as exc:
+                raise ConfigurationError(
+                    f"wire shape: bad {key!r}: {exc}"
+                ) from None
+    return RunShape(**kwargs)
+
+
+def config_to_wire(config: Any) -> Dict[str, Any]:
+    """A :class:`~repro.experiments.runner.RunConfig` as a payload dict.
+
+    Raises :class:`~repro.errors.ConfigurationError` for configurations
+    the wire cannot carry yet (custom specs, fault/guardrail/fleet
+    layers) — refusing is safer than attaching a silently different run.
+    """
+    unsupported = [
+        name
+        for name in ("spec", "faults", "guardrails", "fleet")
+        if getattr(config, name) is not None
+    ]
+    if unsupported:
+        raise ConfigurationError(
+            "acp attach cannot serialize config fields: "
+            + ", ".join(sorted(unsupported))
+        )
+    supervision = config.supervision
+    if supervision is not None and not isinstance(supervision, bool):
+        raise ConfigurationError(
+            "acp attach supports supervision=True/False only "
+            "(a custom SupervisorConfig is not wire-serializable yet)"
+        )
+    telemetry = config.telemetry
+    if telemetry is not None and not isinstance(telemetry, bool):
+        raise ConfigurationError(
+            "acp attach supports telemetry=True/False only"
+        )
+    return {
+        "profile": config.profile,
+        "cache_estimates": bool(config.cache_estimates),
+        "supervision": bool(supervision) if supervision is not None else None,
+        "checkpoint": config.checkpoint,
+        "telemetry": bool(telemetry) if telemetry is not None else None,
+    }
+
+
+def config_from_wire(data: Dict[str, Any]) -> Any:
+    """Inverse of :func:`config_to_wire` (unknown fields ignored)."""
+    from repro.experiments.runner import RunConfig
+
+    kwargs: Dict[str, Any] = {}
+    if data.get("profile") is not None:
+        kwargs["profile"] = str(data["profile"])
+    if data.get("cache_estimates") is not None:
+        kwargs["cache_estimates"] = bool(data["cache_estimates"])
+    if data.get("supervision") is not None:
+        kwargs["supervision"] = bool(data["supervision"])
+    if data.get("checkpoint") is not None:
+        try:
+            kwargs["checkpoint"] = float(data["checkpoint"])
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"wire config: bad 'checkpoint': {exc}"
+            ) from None
+    if data.get("telemetry") is not None:
+        kwargs["telemetry"] = bool(data["telemetry"])
+    return RunConfig(**kwargs)

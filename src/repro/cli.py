@@ -14,6 +14,14 @@ Regenerates the paper's tables and figures from the terminal::
                      [--retry-timeout S]
     hars-repro all [--quick]
 
+Adaptation Control Plane commands (see :mod:`repro.acp.cli`)::
+
+    hars-repro serve --socket /tmp/acp.sock [--http PORT] [--state-dir D]
+    hars-repro attach --endpoint unix:///tmp/acp.sock --version VERSION
+                      --bench B1[,B2...] [--units N]
+    hars-repro sessions --endpoint ENDPOINT
+    hars-repro swap-policy --endpoint ENDPOINT SESSION POLICY
+
 ``--quick`` scales the workloads down (~80 heartbeats per benchmark) for
 a fast sanity pass; omit it for the native-input sizes used in
 EXPERIMENTS.md.  ``fleet`` runs the request-driven serving scenario
@@ -266,6 +274,13 @@ _RUNNERS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("serve", "attach", "sessions", "swap-policy"):
+        # Control-plane operator commands live in their own parser
+        # (their flags share nothing with the experiment runners).
+        from repro.acp.cli import main as acp_main
+
+        return acp_main(argv)
     parser = argparse.ArgumentParser(
         prog="hars-repro",
         description="Regenerate the HARS paper's tables and figures.",

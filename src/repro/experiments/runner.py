@@ -111,6 +111,12 @@ class RunConfig:
     telemetry: Union[TelemetryConfig, bool, None] = None
     guardrails: Optional[GuardrailConfig] = None
     fleet: Optional[FleetConfig] = None
+    #: Attachment mode: ``None`` runs in-process; ``"loopback"`` routes
+    #: the run through an in-process adaptation-control-plane server
+    #: over the JSONL wire protocol (:mod:`repro.acp`), bit-identically;
+    #: a ``unix://<path>`` or ``http://host:port`` endpoint attaches to
+    #: a ``hars-repro serve`` daemon.
+    acp: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.profile not in PROFILES:
@@ -119,6 +125,14 @@ class RunConfig:
             )
         if self.checkpoint is not None and self.checkpoint <= 0:
             raise ConfigurationError("checkpoint cadence must be positive")
+        if self.acp is not None and not isinstance(self.acp, str):
+            raise ConfigurationError(
+                "acp must be None, 'loopback', or an endpoint string"
+            )
+        if self.acp is not None and self.fleet is not None:
+            raise ConfigurationError(
+                "acp attachment does not support fleet runs"
+            )
 
     #: Sub-config fields ``with_`` deep-copies when not replaced.  The
     #: platform spec is excluded on purpose: it is immutable in practice
@@ -187,12 +201,15 @@ def _attach_supervision(
     sim: Simulation,
     supervision: Union[SupervisorConfig, bool, None],
     checkpoint: Optional[float],
+    checkpoint_store: Optional[CheckpointStore] = None,
 ) -> Tuple[Optional[Supervisor], Optional[CheckpointStore]]:
     """Attach the Supervisor / Checkpointer after the version controllers.
 
     ``supervision`` is a :class:`SupervisorConfig` (or ``True`` for the
     defaults); ``checkpoint`` is a snapshot cadence in simulated
-    seconds.  Either can be used without the other.
+    seconds.  Either can be used without the other.  ``checkpoint_store``
+    seeds the Checkpointer with an existing store (the ACP daemon passes
+    a recovered one so a restarted session restores warm).
     """
     supervisor: Optional[Supervisor] = None
     store: Optional[CheckpointStore] = None
@@ -205,7 +222,9 @@ def _attach_supervision(
         supervisor = Supervisor(config)
         sim.add_controller(supervisor)
     if checkpoint is not None:
-        checkpointer = Checkpointer(cadence_s=checkpoint)
+        checkpointer = Checkpointer(
+            cadence_s=checkpoint, store=checkpoint_store
+        )
         store = checkpointer.store
         sim.add_controller(checkpointer)
     return supervisor, store
@@ -305,6 +324,10 @@ def run(
     estimates, no faults, no supervision, no telemetry.
     """
     config = config or RunConfig()
+    if config.acp is not None:
+        from repro.acp.client import run_via_acp
+
+        return run_via_acp(version, shapes, config)
     if config.fleet is not None:
         if shapes is not None:
             raise ConfigurationError(
@@ -328,7 +351,60 @@ def run(
     return _run_multi(version, shapes, config)
 
 
-def _run_single(version: str, shape: RunShape, config: RunConfig) -> RunOutcome:
+@dataclass
+class PreparedRun:
+    """A fully-constructed simulation that has not been stepped yet.
+
+    Both execution paths share this object so they are the same run by
+    construction: the in-process path (:func:`run`) steps it to its
+    horizon in one ``sim.run`` call; an ACP session
+    (:mod:`repro.acp.session`) steps it in bounded segments — interleaving
+    control frames — through the *same* ``sim.run`` loop, so the tick
+    sequence, and therefore every result bit, is identical.
+    """
+
+    version: str
+    sim: Simulation
+    apps: List[SimApp]
+    controllers: List
+    target: PerformanceTarget
+    max_rate: float
+    horizon_s: float
+    supervisor: Optional[Supervisor]
+    checkpoint_store: Optional[CheckpointStore]
+    telemetry: Optional[TelemetryHub]
+    guardrails: Optional[GuardrailLayer]
+
+    def finish(self) -> RunOutcome:
+        """Harvest the outcome once the simulation has run its course."""
+        if self.telemetry is not None:
+            self.telemetry.finalize()
+        return RunOutcome(
+            metrics=_collect(
+                self.version,
+                self.sim,
+                self.apps,
+                self.controllers,
+                self.sim.clock.now_s,
+            ),
+            trace=self.sim.trace,
+            target=self.target,
+            max_rate=self.max_rate,
+            fault_injector=self.sim.fault_injector,
+            supervisor=self.supervisor,
+            checkpoint_store=self.checkpoint_store,
+            telemetry=self.telemetry,
+            guardrails=self.guardrails,
+        )
+
+
+def prepare_single(
+    version: str,
+    shape: RunShape,
+    config: RunConfig,
+    checkpoint_store: Optional[CheckpointStore] = None,
+) -> PreparedRun:
+    """Build (but do not step) a single-application run."""
     spec = config.spec or odroid_xu3()
     max_rate = measure_max_rate(spec, shape)
     target = PerformanceTarget.fraction_of(
@@ -346,23 +422,20 @@ def _run_single(version: str, shape: RunShape, config: RunConfig) -> RunOutcome:
         cache_estimates=config.cache_estimates,
     )
     supervisor, store = _attach_supervision(
-        sim, config.supervision, config.checkpoint
+        sim, config.supervision, config.checkpoint, checkpoint_store
     )
     guardrails = _attach_guardrails(sim, config)
     hub = _attach_telemetry(sim, version, config)
-    elapsed = sim.run(
-        until_s=_safety_horizon(
-            model.total_heartbeats(), rate_floor=target.min_rate / 4
-        )
-    )
-    if hub is not None:
-        hub.finalize()
-    return RunOutcome(
-        metrics=_collect(version, sim, [app], controllers, elapsed),
-        trace=sim.trace,
+    return PreparedRun(
+        version=version,
+        sim=sim,
+        apps=[app],
+        controllers=controllers,
         target=target,
         max_rate=max_rate,
-        fault_injector=sim.fault_injector,
+        horizon_s=_safety_horizon(
+            model.total_heartbeats(), rate_floor=target.min_rate / 4
+        ),
         supervisor=supervisor,
         checkpoint_store=store,
         telemetry=hub,
@@ -370,9 +443,13 @@ def _run_single(version: str, shape: RunShape, config: RunConfig) -> RunOutcome:
     )
 
 
-def _run_multi(
-    version: str, shapes: List[RunShape], config: RunConfig
-) -> RunOutcome:
+def prepare_multi(
+    version: str,
+    shapes: List[RunShape],
+    config: RunConfig,
+    checkpoint_store: Optional[CheckpointStore] = None,
+) -> PreparedRun:
+    """Build (but do not step) a multi-application run."""
     if not shapes:
         raise ConfigurationError("a multi-app run needs at least one shape")
     spec = config.spec or odroid_xu3()
@@ -401,26 +478,37 @@ def _run_multi(
         cache_estimates=config.cache_estimates,
     )
     supervisor, store = _attach_supervision(
-        sim, config.supervision, config.checkpoint
+        sim, config.supervision, config.checkpoint, checkpoint_store
     )
     guardrails = _attach_guardrails(sim, config)
     hub = _attach_telemetry(sim, version, config)
-    elapsed = sim.run(
-        until_s=2 * _safety_horizon(total_beats, rate_floor=slowest_floor)
-    )
-    if hub is not None:
-        hub.finalize()
-    return RunOutcome(
-        metrics=_collect(version, sim, apps, controllers, elapsed),
-        trace=sim.trace,
+    return PreparedRun(
+        version=version,
+        sim=sim,
+        apps=apps,
+        controllers=controllers,
         target=apps[0].target,
         max_rate=apps[0].target.avg_rate / shapes[0].target_fraction,
-        fault_injector=sim.fault_injector,
+        horizon_s=2 * _safety_horizon(total_beats, rate_floor=slowest_floor),
         supervisor=supervisor,
         checkpoint_store=store,
         telemetry=hub,
         guardrails=guardrails,
     )
+
+
+def _run_single(version: str, shape: RunShape, config: RunConfig) -> RunOutcome:
+    prepared = prepare_single(version, shape, config)
+    prepared.sim.run(until_s=prepared.horizon_s)
+    return prepared.finish()
+
+
+def _run_multi(
+    version: str, shapes: List[RunShape], config: RunConfig
+) -> RunOutcome:
+    prepared = prepare_multi(version, shapes, config)
+    prepared.sim.run(until_s=prepared.horizon_s)
+    return prepared.finish()
 
 
 #: The legacy per-call keywords RunConfig replaced, in signature order.

@@ -9,7 +9,9 @@ are serialized — traces are flattened to per-column series.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+import os
+import tempfile
+from typing import Any, Dict, List
 
 from repro.core.power_estimator import LinearCoefficients, PowerEstimator
 from repro.errors import ConfigurationError
@@ -27,6 +29,53 @@ _SCHEMA_VERSION = 1
 CHECKPOINT_SCHEMA_VERSION = 1
 
 _CHECKPOINT_KIND = "controller-checkpoint"
+
+
+# -- field validators ---------------------------------------------------------
+#
+# Shared by every schema-checked payload in the codebase: the controller
+# checkpoints below and the ACP wire frames (:mod:`repro.acp.wire`) both
+# validate through these rather than growing separate schema layers.
+
+
+def require_str(data: Dict[str, Any], key: str, context: str) -> str:
+    """``data[key]`` as a non-empty string, or :class:`ConfigurationError`."""
+    value = data.get(key)
+    if not isinstance(value, str) or not value:
+        raise ConfigurationError(f"{context}: missing a non-empty {key!r}")
+    return value
+
+
+def require_number(data: Dict[str, Any], key: str, context: str) -> float:
+    """``data[key]`` as a number (bools rejected)."""
+    value = data.get(key)
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ConfigurationError(f"{context}: missing a numeric {key!r}")
+    return float(value)
+
+
+def require_int(data: Dict[str, Any], key: str, context: str) -> int:
+    """``data[key]`` as an integer (bools rejected)."""
+    value = data.get(key)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ConfigurationError(f"{context}: missing an integer {key!r}")
+    return value
+
+
+def require_dict(data: Dict[str, Any], key: str, context: str) -> Dict[str, Any]:
+    """``data[key]`` as a dict (possibly empty)."""
+    value = data.get(key)
+    if not isinstance(value, dict):
+        raise ConfigurationError(f"{context}: {key!r} must be a dict")
+    return value
+
+
+def require_list(data: Dict[str, Any], key: str, context: str) -> List[Any]:
+    """``data[key]`` as a list (possibly empty)."""
+    value = data.get(key)
+    if not isinstance(value, list):
+        raise ConfigurationError(f"{context}: {key!r} must be a list")
+    return value
 
 
 def checkpoint_payload(
@@ -70,15 +119,9 @@ def validate_checkpoint(data: Any) -> Dict[str, Any]:
             f"unsupported checkpoint schema {data.get('schema')!r} "
             f"(this build reads version {CHECKPOINT_SCHEMA_VERSION})"
         )
-    if not isinstance(data.get("controller"), str) or not data["controller"]:
-        raise ConfigurationError("checkpoint missing its controller id")
-    time_s = data.get("time_s")
-    if not isinstance(time_s, (int, float)) or isinstance(time_s, bool):
-        raise ConfigurationError("checkpoint missing a numeric time_s")
-    body = data.get("body")
-    if not isinstance(body, dict):
-        raise ConfigurationError("checkpoint body must be a dict")
-    return body
+    require_str(data, "controller", "checkpoint")
+    require_number(data, "time_s", "checkpoint")
+    return require_dict(data, "body", "checkpoint")
 
 
 def power_model_to_dict(estimator: Any) -> Dict[str, Any]:
@@ -250,6 +293,39 @@ def dump_json(payload: Dict[str, Any], path: str) -> None:
     """Write a serialized result to disk."""
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def dump_json_atomic(payload: Dict[str, Any], path: str) -> None:
+    """Write JSON so a crash mid-write never leaves a torn file.
+
+    The payload goes to a temporary sibling first, is fsynced, and then
+    atomically renamed over ``path`` (``os.replace``); finally the
+    directory entry itself is fsynced so the rename survives a power
+    cut.  Readers observe either the old complete file or the new one —
+    never a prefix (the failure the ACP daemon's checkpoint persistence
+    must rule out).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    dir_fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
 
 
 def load_json(path: str) -> Dict[str, Any]:

@@ -201,6 +201,23 @@ class GuardrailReleased(Event):
 
 
 @dataclass(frozen=True)
+class PolicySwapped(Event):
+    """A controller's search policy was hot-swapped on a live session.
+
+    Published by the adaptation control plane (:mod:`repro.acp`) when a
+    ``swap`` request retargets a running manager — the next MAPE cycle
+    plans under ``new_policy``, so the swap takes effect within one
+    adaptation period.  ``controller`` is the manager's checkpoint id.
+    """
+
+    controller: str
+    time_s: float
+    old_policy: str
+    new_policy: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class FaultRecovered(Event):
     """A previously-degraded channel produced a good result again.
 

@@ -49,6 +49,10 @@ class CheckpointStore:
         self._payloads: Dict[str, Dict[str, Any]] = {}
         #: Total accepted snapshots (cadence observability).
         self.writes = 0
+        #: Audit trail of persistence failures: one entry per snapshot
+        #: file that could not be read back (torn write, bad schema),
+        #: i.e. per cold-start fallback :meth:`recover` had to take.
+        self.ledger: List[Dict[str, Any]] = []
 
     def put(self, payload: Dict[str, Any]) -> None:
         # Imported lazily: serialize pulls in the experiment figures,
@@ -70,10 +74,17 @@ class CheckpointStore:
         return len(self._payloads)
 
     def dump(self, path: str) -> None:
-        """Persist every snapshot to one JSON file."""
-        from repro.experiments.serialize import dump_json
+        """Persist every snapshot to one JSON file, atomically.
 
-        dump_json(
+        The write goes through
+        :func:`~repro.experiments.serialize.dump_json_atomic`
+        (write-to-temp + ``os.replace`` + directory fsync), so a daemon
+        killed mid-snapshot never leaves a torn envelope on disk — the
+        previous complete dump survives instead.
+        """
+        from repro.experiments.serialize import dump_json_atomic
+
+        dump_json_atomic(
             {"kind": "checkpoint-store", "checkpoints": self._payloads}, path
         )
 
@@ -92,6 +103,29 @@ class CheckpointStore:
         for payload in checkpoints.values():
             store.put(payload)
         store.writes = len(store._payloads)
+        return store
+
+    @classmethod
+    def recover(cls, path: str) -> "CheckpointStore":
+        """Best-effort :meth:`load`: never raises on a bad file.
+
+        A missing, truncated, or schema-rejected dump yields an *empty*
+        store whose :attr:`ledger` records why — the controllers it
+        feeds then cold-start instead of restoring garbage, and the
+        daemon surfaces the ledger entry for the operator.
+        """
+        import json
+
+        try:
+            return cls.load(path)
+        except FileNotFoundError as exc:
+            reason = f"missing: {exc}"
+        except (ConfigurationError, json.JSONDecodeError, OSError, ValueError) as exc:
+            reason = f"unreadable: {exc}"
+        store = cls()
+        store.ledger.append(
+            {"path": path, "action": "cold-start fallback", "reason": reason}
+        )
         return store
 
 

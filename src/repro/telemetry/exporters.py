@@ -13,7 +13,7 @@ tests and ``bench_telemetry_overhead`` assert both.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.tracing import TraceRecorder
@@ -151,8 +151,16 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def snapshot_to_prometheus(snapshot: Dict[str, Any]) -> str:
-    """Prometheus exposition text for every sample in the snapshot."""
+def snapshot_to_prometheus(
+    snapshot: Dict[str, Any],
+    extra_labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Prometheus exposition text for every sample in the snapshot.
+
+    ``extra_labels`` are merged into every sample's label set — the ACP
+    daemon uses this to stamp each tenant's metrics with its session id
+    so multi-session scrapes stay disjoint.
+    """
     lines: List[str] = []
     for entry in snapshot["instruments"]:
         name, kind = entry["name"], entry["kind"]
@@ -160,7 +168,9 @@ def snapshot_to_prometheus(snapshot: Dict[str, Any]) -> str:
             lines.append(f"# HELP {name} {_escape_help(entry['help'])}")
         lines.append(f"# TYPE {name} {_PROM_TYPES.get(kind, 'gauge')}")
         for row in entry["series"]:
-            labels = row["labels"]
+            labels = dict(row["labels"])
+            if extra_labels:
+                labels.update(extra_labels)
             if kind in ("counter", "gauge"):
                 lines.append(
                     f"{name}{_format_labels(labels)} "

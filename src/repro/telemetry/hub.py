@@ -41,6 +41,7 @@ from repro.kernel.bus import (
     GuardrailReleased,
     GuardrailTripped,
     HeartbeatEmitted,
+    PolicySwapped,
     StateApplied,
 )
 from repro.platform.sensor import CHANNELS
@@ -257,6 +258,10 @@ class TelemetryHub(Controller):
             "controller_restores_total",
             "Controller crash+restart recoveries, warm or cold.",
         )
+        self._policy_swaps = reg.counter(
+            "policy_swaps_total",
+            "Live policy hot-swaps applied to a running controller.",
+        )
         self._guardrail_trips = reg.counter(
             "guardrail_trips_total",
             "Guardrail engagements on the bus, per guard.",
@@ -297,6 +302,7 @@ class TelemetryHub(Controller):
         bus.subscribe(AppQuarantined, self._on_quarantined)
         bus.subscribe(AppEvicted, self._on_evicted)
         bus.subscribe(ControllerRestored, self._on_restored)
+        bus.subscribe(PolicySwapped, self._on_policy_swapped)
         bus.subscribe(GuardrailTripped, self._on_guardrail_tripped)
         bus.subscribe(GuardrailReleased, self._on_guardrail_released)
         # No TickStart/PowerSample subscriptions: the engine elides those
@@ -365,6 +371,11 @@ class TelemetryHub(Controller):
         self._restores.inc(
             controller=event.controller,
             warm="true" if event.warm else "false",
+        )
+
+    def _on_policy_swapped(self, event: PolicySwapped) -> None:
+        self._policy_swaps.inc(
+            controller=event.controller, policy=event.new_policy
         )
 
     def _on_guardrail_tripped(self, event: GuardrailTripped) -> None:

@@ -1,0 +1,99 @@
+"""Regression: checkpoint persistence must be atomic and recoverable.
+
+The original ``CheckpointStore.dump`` wrote the JSON file in place: a
+daemon killed mid-write left a torn envelope that ``load`` then refused,
+taking the *previous* good state down with it.  ``dump`` now goes
+through write-to-temp + ``os.replace`` (+ directory fsync), and
+``recover`` turns any unreadable file into an explicit cold-start
+fallback with a ledger entry instead of an exception.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.serialize import checkpoint_payload, dump_json_atomic
+from repro.supervision import CheckpointStore
+
+
+def store_with(controller="mp-hars", time_s=5.0):
+    store = CheckpointStore()
+    store.put(checkpoint_payload(controller, time_s, {"ratio": 1.5}))
+    return store
+
+
+class TestAtomicDump:
+    def test_dump_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        store_with().dump(path)
+        loaded = CheckpointStore.load(path)
+        assert loaded.controller_ids == ["mp-hars"]
+        assert loaded.get("mp-hars")["body"] == {"ratio": 1.5}
+
+    def test_dump_replaces_not_truncates(self, tmp_path):
+        """No intermediate state of the target file is ever visible:
+        the temp file carries the new bytes until the atomic rename."""
+        path = str(tmp_path / "state.json")
+        store_with(time_s=1.0).dump(path)
+        first = os.stat(path).st_ino
+        store_with(time_s=2.0).dump(path)
+        assert os.stat(path).st_ino != first  # replaced, not rewritten
+        assert CheckpointStore.load(path).get("mp-hars")["time_s"] == 2.0
+
+    def test_no_temp_litter_on_failure(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        with pytest.raises(TypeError):
+            dump_json_atomic({"bad": object()}, path)
+        assert os.listdir(str(tmp_path)) == []
+
+    def test_atomic_writer_rejects_missing_directory(self, tmp_path):
+        with pytest.raises(OSError):
+            dump_json_atomic({}, str(tmp_path / "nope" / "x.json"))
+
+
+class TestTornFileRecovery:
+    """The failing-first scenario: truncate a dump, then recover."""
+
+    @pytest.fixture()
+    def torn(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        store_with().dump(path)
+        with open(path, "r", encoding="utf-8") as stream:
+            text = stream.read()
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text[: len(text) // 2])
+        return path
+
+    def test_load_refuses_a_torn_file(self, torn):
+        with pytest.raises((ConfigurationError, json.JSONDecodeError)):
+            CheckpointStore.load(torn)
+
+    def test_recover_cold_starts_with_ledger_entry(self, torn):
+        store = CheckpointStore.recover(torn)
+        assert len(store) == 0  # nothing restored: controllers cold-start
+        assert len(store.ledger) == 1
+        entry = store.ledger[0]
+        assert entry["action"] == "cold-start fallback"
+        assert entry["path"] == torn
+        assert "unreadable" in entry["reason"]
+
+    def test_recover_missing_file(self, tmp_path):
+        store = CheckpointStore.recover(str(tmp_path / "never-written.json"))
+        assert len(store) == 0
+        assert store.ledger[0]["reason"].startswith("missing")
+
+    def test_recover_passes_through_a_good_file(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        store_with().dump(path)
+        store = CheckpointStore.recover(path)
+        assert store.controller_ids == ["mp-hars"]
+        assert store.ledger == []
+
+    def test_wrong_kind_is_ledgered(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        dump_json_atomic({"kind": "something-else"}, path)
+        store = CheckpointStore.recover(path)
+        assert len(store) == 0
+        assert "not a checkpoint store" in store.ledger[0]["reason"]
