@@ -23,7 +23,8 @@ internal layering and may move between releases.
 """
 
 from repro.experiments.runner import RunConfig, RunOutcome, RunShape, run
-from repro.acp.client import AcpClient, SessionHandle
+from repro.acp.chaos import AcpFaultConfig
+from repro.acp.client import AcpClient, RetryPolicy, SessionHandle
 from repro.faults import FaultConfig
 from repro.fleet import FleetConfig, FleetFaultConfig, ResilienceConfig
 from repro.guardrails import GuardrailConfig
@@ -31,10 +32,11 @@ from repro.sim.tracing import TraceRecorder
 from repro.supervision import SupervisorConfig
 from repro.telemetry import MetricsRegistry, TelemetryConfig
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AcpClient",
+    "AcpFaultConfig",
     "FaultConfig",
     "FleetConfig",
     "FleetFaultConfig",
@@ -43,6 +45,7 @@ __all__ = [
     "RunConfig",
     "RunOutcome",
     "ResilienceConfig",
+    "RetryPolicy",
     "RunShape",
     "SessionHandle",
     "SupervisorConfig",

@@ -20,7 +20,13 @@ The ACP splits the two along the kernel's bus/actuation seam:
 * :mod:`repro.acp.client`    — the *stable* typed SDK
   (:class:`~repro.acp.client.AcpClient` /
   :class:`~repro.acp.client.SessionHandle`); the raw socket protocol
-  stays internal.
+  stays internal;
+* :mod:`repro.acp.chaos`     — seeded wire chaos
+  (:class:`~repro.acp.chaos.AcpFaultConfig` /
+  :class:`~repro.acp.chaos.FaultyTransport`) plus the resilience
+  machinery it exercises: per-session seq windows with replay dedup,
+  bounded client retry, session leases with orphan/resume, and the
+  SIGKILL crash drill (``scripts/acp_chaos_drill.py``).
 
 Attaching a simulation through the in-process loopback transport is
 bit-identical to running it in-process
@@ -30,14 +36,27 @@ engine loop — the boundary serializes observations and commands, never
 the physics.
 """
 
-from repro.acp.client import AcpClient, SessionHandle
+from repro.acp.chaos import AcpFaultConfig, FaultyTransport
+from repro.acp.client import (
+    AcpClient,
+    AcpError,
+    AcpTransportError,
+    RetryPolicy,
+    SessionHandle,
+)
 from repro.acp.server import AcpServer
-from repro.acp.wire import WIRE_SCHEMA_VERSION, Frame
+from repro.acp.wire import WIRE_SCHEMA_VERSION, Frame, SeqWindow
 
 __all__ = [
     "AcpClient",
+    "AcpError",
+    "AcpFaultConfig",
     "AcpServer",
+    "AcpTransportError",
+    "FaultyTransport",
     "Frame",
+    "RetryPolicy",
+    "SeqWindow",
     "SessionHandle",
     "WIRE_SCHEMA_VERSION",
 ]

@@ -53,6 +53,14 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="simulated seconds per segment between command drains",
     )
+    serve.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="orphan sessions whose clients send no frame for this long "
+        "(default: sessions never expire)",
+    )
 
     attach = sub.add_parser("attach", help="attach a run to a daemon")
     attach.add_argument("--endpoint", required=True)
@@ -66,6 +74,13 @@ def _build_parser() -> argparse.ArgumentParser:
     attach.add_argument("--target", type=float, default=0.5)
     attach.add_argument("--seed", type=int, default=0)
     attach.add_argument("--session-id", default=None)
+    attach.add_argument(
+        "--resume",
+        default=None,
+        metavar="SESSION",
+        help="warm-restore from a recovered checkpoint store "
+        "('-' means the --session-id store)",
+    )
     attach.add_argument(
         "--detach-after-start",
         action="store_true",
@@ -93,6 +108,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         http_port=args.http,
         state_dir=args.state_dir,
         quantum_s=args.quantum,
+        lease_ttl_s=args.lease_ttl,
     )
     daemon.start()
     for endpoint in daemon.endpoints():
@@ -123,11 +139,17 @@ def _cmd_attach(args: argparse.Namespace) -> int:
         )
         for bench in benches
     ]
+    resume = args.resume
+    if resume == "-":
+        if args.session_id is None:
+            raise ConfigurationError("--resume - needs --session-id")
+        resume = True
     client = AcpClient(args.endpoint)
     handle = client.attach(
         args.version,
         shapes if len(shapes) > 1 else shapes[0],
         session_id=args.session_id,
+        resume=resume,
     )
     print(f"acp: attached {handle.session_id} ({args.version}: "
           f"{', '.join(benches)})")
@@ -161,6 +183,12 @@ def _cmd_sessions(args: argparse.Namespace) -> int:
         if status.get("error"):
             line += f"  error={status['error']}"
         print(line)
+    for status in listing.get("orphaned", []):
+        print(
+            f"  {status['session_id']}  state=orphaned  "
+            f"(lease expired while {status.get('prior_state', '?')}; "
+            f"attach --resume {status['session_id']} to recover)"
+        )
     if listing["recovered"]:
         print(f"acp: recovered checkpoint stores: "
               f"{', '.join(listing['recovered'])}")

@@ -18,10 +18,24 @@ transport returns a :class:`~repro.experiments.runner.RunOutcome` whose
 per-app summaries and trace rows are bit-identical to
 ``repro.experiments.run()`` in-process — the boundary serializes
 observations and commands, never the physics.
+
+Failure semantics (the PR-10 resilience layer): every RPC is an
+idempotent delivery attempt.  The client assigns each request one seq —
+its idempotency key — and on a transient failure (socket error, torn
+connection, a retryable typed error frame) re-sends the *same* frame
+with a bounded exponential backoff, stamping an ``attempt`` marker in
+the envelope.  The server's per-session
+:class:`~repro.acp.wire.SeqWindow` turns that at-least-once delivery
+into at-most-once application: a duplicate is answered from the replay
+cache, never applied twice.  Reconnection is implicit — the transports
+open one connection per request, so a restarted daemon is just the next
+attempt succeeding.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
@@ -31,9 +45,64 @@ from repro.acp import wire
 class AcpError(ConfigurationError):
     """An error frame from the control plane, raised client-side.
 
-    Subclasses :class:`~repro.errors.ConfigurationError` so existing
+    ``code`` carries the frame's machine-readable error code (empty for
+    untyped errors).  Subclasses
+    :class:`~repro.errors.ConfigurationError` so existing
     ``except ConfigurationError`` call sites keep working.
     """
+
+    def __init__(self, message: str, code: str = ""):
+        super().__init__(message)
+        self.code = code
+
+
+class AcpTransportError(AcpError):
+    """The request never produced a response: connection refused, socket
+    timeout, a torn write, or an injected chaos fault.  Always safe to
+    retry — the seq window deduplicates any half-delivered copy."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="transport")
+
+
+#: Exceptions the retry layer treats as transient delivery failures.
+_TRANSIENT_EXCEPTIONS = (AcpTransportError, OSError, EOFError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for one RPC.
+
+    ``max_attempts`` counts total deliveries (1 = the old single-shot
+    behavior).  The delay before attempt *n+1* is
+    ``backoff_s * multiplier**(n-1)`` capped at ``max_backoff_s`` —
+    with the defaults: 50 ms, 100 ms, 200 ms, ...
+    """
+
+    max_attempts: int = 5
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("retry max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("retry backoff must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("retry multiplier must be >= 1")
+
+    def delay_s(self, completed_attempts: int) -> float:
+        """Sleep before the next attempt, after ``completed_attempts``."""
+        raw = self.backoff_s * self.multiplier ** max(
+            0, completed_attempts - 1
+        )
+        return min(raw, self.max_backoff_s)
+
+
+#: The single-shot policy loopback clients default to: no re-delivery,
+#: so a deterministic inline exchange stays exactly one exchange.
+SINGLE_ATTEMPT = RetryPolicy(max_attempts=1)
 
 
 def _parse_endpoint(endpoint: str):
@@ -52,31 +121,145 @@ def _parse_endpoint(endpoint: str):
     )
 
 
+class LoopbackTransport:
+    """Inline exchange against an in-process :class:`AcpServer`."""
+
+    def __init__(self, server: Any):
+        self.server = server
+
+    def exchange(self, line: str, timeout_s: float) -> List[str]:
+        return self.server.handle_line(line)
+
+    def send_torn(self, prefix: str, timeout_s: float) -> None:
+        # A torn loopback "write" is just an unparseable line; the
+        # server counts it and the response is discarded unread.
+        self.server.handle_line(prefix)
+
+
+class UnixTransport:
+    """One connection per request over the daemon's Unix socket."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def exchange(self, line: str, timeout_s: float) -> List[str]:
+        import socket
+
+        lines: List[str] = []
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout_s)
+            sock.connect(self.path)
+            sock.sendall((line + "\n").encode("utf-8"))
+            sock.shutdown(socket.SHUT_WR)
+            with sock.makefile("rb") as stream:
+                for raw in stream:
+                    response = raw.decode("utf-8", errors="replace").strip()
+                    if not response:
+                        continue
+                    lines.append(response)
+                    # Stop at the terminating non-event frame without
+                    # decoding here (the caller validates).
+                    if '"type":"' in response and not any(
+                        f'"type":"{t}"' in response for t in wire.EVENT_TYPES
+                    ):
+                        break
+        return lines
+
+    def send_torn(self, prefix: str, timeout_s: float) -> None:
+        """A client dying mid-write: partial bytes, no newline, gone."""
+        import socket
+
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(timeout_s)
+            sock.connect(self.path)
+            sock.sendall(prefix.encode("utf-8"))
+            # Closing without the newline leaves a torn trailing line.
+
+
+class HttpTransport:
+    """``POST /v1/frames`` per request against the daemon's HTTP port."""
+
+    def __init__(self, base: str):
+        self.base = base
+
+    def exchange(self, line: str, timeout_s: float) -> List[str]:
+        import urllib.request
+
+        request = urllib.request.Request(
+            self.base + "/v1/frames",
+            data=(line + "\n").encode("utf-8"),
+            headers={"Content-Type": "application/jsonl"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=timeout_s) as resp:
+            body = resp.read().decode("utf-8")
+        return [l for l in body.splitlines() if l.strip()]
+
+    def send_torn(self, prefix: str, timeout_s: float) -> None:
+        # HTTP has its own framing, so a "torn" line arrives complete
+        # but unparseable; deliver it and discard the error response.
+        try:
+            self.exchange(prefix, timeout_s)
+        except OSError:
+            pass
+
+
 class AcpClient:
-    """A connection-per-request client for one ACP endpoint."""
+    """A connection-per-request client for one ACP endpoint.
+
+    ``retry`` defaults to a bounded :class:`RetryPolicy` on the real
+    transports (unix/http) and to :data:`SINGLE_ATTEMPT` on loopback —
+    pass one explicitly to override either.  ``faults`` wraps the
+    transport in a seeded
+    :class:`~repro.acp.chaos.FaultyTransport` (chaos testing); a
+    fault-injecting loopback client defaults to the bounded policy too,
+    since injected faults need re-delivery to terminate.
+    """
 
     def __init__(
         self,
         endpoint: str = "loopback",
         server: Optional[Any] = None,
         timeout_s: float = 120.0,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[Any] = None,
     ):
         self._kind, self._target = _parse_endpoint(endpoint)
         self.endpoint = endpoint
         self.timeout_s = timeout_s
         self._seq = 0
+        #: Client-side resilience counters: retries, rpcs.
+        self.stats: Dict[str, int] = {"rpcs": 0, "retries": 0}
         if self._kind == "loopback":
             if server is None:
                 from repro.acp.server import AcpServer
 
                 server = AcpServer(threaded=False)
             self._server = server
+            transport: Any = LoopbackTransport(server)
         elif server is not None:
             raise ConfigurationError(
                 "server= is only meaningful with the loopback endpoint"
             )
         else:
             self._server = None
+            transport = (
+                UnixTransport(self._target)
+                if self._kind == "unix"
+                else HttpTransport(self._target)
+            )
+        if faults is not None:
+            from repro.acp.chaos import FaultyTransport
+
+            transport = FaultyTransport(transport, faults)
+        self._transport = transport
+        if retry is None:
+            retry = (
+                SINGLE_ATTEMPT
+                if self._kind == "loopback" and faults is None
+                else RetryPolicy()
+            )
+        self.retry = retry
 
     # -- transport -------------------------------------------------------------
 
@@ -84,63 +267,86 @@ class AcpClient:
         self._seq += 1
         return self._seq
 
-    def _exchange(self, frame: wire.Frame) -> List[wire.Frame]:
-        line = wire.encode_frame(frame)
-        if self._kind == "loopback":
-            return [wire.decode_frame(l) for l in self._server.handle_line(line)]
-        if self._kind == "unix":
-            return self._exchange_unix(line)
-        return self._exchange_http(line)
-
-    def _exchange_unix(self, line: str) -> List[wire.Frame]:
-        import socket
-
-        frames: List[wire.Frame] = []
-        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-            sock.settimeout(self.timeout_s)
-            sock.connect(self._target)
-            sock.sendall((line + "\n").encode("utf-8"))
-            sock.shutdown(socket.SHUT_WR)
-            with sock.makefile("r", encoding="utf-8") as stream:
-                for response in stream:
-                    if not response.strip():
-                        continue
-                    frame = wire.decode_frame(response)
-                    frames.append(frame)
-                    if not frame.is_event:
-                        break
-        return frames
-
-    def _exchange_http(self, line: str) -> List[wire.Frame]:
-        import urllib.request
-
-        request = urllib.request.Request(
-            self._target + "/v1/frames",
-            data=(line + "\n").encode("utf-8"),
-            headers={"Content-Type": "application/jsonl"},
-            method="POST",
-        )
-        with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
-            body = resp.read().decode("utf-8")
-        return [
-            wire.decode_frame(l) for l in body.splitlines() if l.strip()
-        ]
-
     def _rpc(
         self,
         frame_type: str,
         session_id: str = "",
         payload: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
     ) -> List[wire.Frame]:
-        frames = self._exchange(
-            wire.make_frame(frame_type, session_id, self._next_seq(), payload)
+        """One request/response exchange, retried under the client's
+        :class:`RetryPolicy`.
+
+        The frame's seq is assigned once and reused across attempts —
+        it is the idempotency key the server's replay cache dedups on.
+        ``deadline`` (a ``time.monotonic()`` instant) bounds the *total*
+        wall clock across all attempts, not each attempt separately.
+        """
+        seq = self._next_seq()
+        base = wire.make_frame(frame_type, session_id, seq, payload)
+        policy = self.retry
+        self.stats["rpcs"] += 1
+        last_failure: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self.stats["retries"] += 1
+                delay = policy.delay_s(attempt - 1)
+                if deadline is not None:
+                    delay = min(delay, max(0.0, deadline - time.monotonic()))
+                if delay > 0:
+                    time.sleep(delay)
+            budget = self.timeout_s
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise AcpError(
+                        f"{frame_type}: deadline exhausted after "
+                        f"{attempt - 1} attempts ({last_failure})",
+                        code="deadline",
+                    )
+                budget = remaining
+            frame = base if attempt == 1 else wire.Frame(
+                type=base.type,
+                session_id=base.session_id,
+                seq=base.seq,
+                payload=base.payload,
+                extra={"attempt": attempt},
+            )
+            try:
+                lines = self._transport.exchange(
+                    wire.encode_frame(frame), timeout_s=budget
+                )
+                frames = [wire.decode_frame(l) for l in lines]
+            except _TRANSIENT_EXCEPTIONS as exc:
+                last_failure = exc
+                continue
+            except ConfigurationError as exc:
+                # An undecodable *response* is a delivery failure too.
+                last_failure = exc
+                continue
+            if not frames:
+                last_failure = AcpError(
+                    f"{frame_type}: empty response from {self.endpoint}"
+                )
+                continue
+            terminal = frames[-1]
+            if terminal.type == "error":
+                code = terminal.payload.get("code", "")
+                if (
+                    code in wire.RETRYABLE_ERROR_CODES
+                    and attempt < policy.max_attempts
+                ):
+                    last_failure = AcpError(
+                        terminal.payload["error"], code=code
+                    )
+                    continue
+                raise AcpError(terminal.payload["error"], code=code)
+            return frames
+        raise AcpError(
+            f"{frame_type}: {policy.max_attempts} attempt(s) failed "
+            f"against {self.endpoint}: {last_failure}",
+            code="transport",
         )
-        if not frames:
-            raise AcpError(f"{frame_type}: empty response from {self.endpoint}")
-        terminal = frames[-1]
-        if terminal.type == "error":
-            raise AcpError(terminal.payload["error"])
-        return frames
 
     # -- public surface --------------------------------------------------------
 
@@ -156,6 +362,7 @@ class AcpClient:
         stream_events: bool = False,
         session_id: Optional[str] = None,
         resume: Union[bool, str, None] = None,
+        lease_ttl_s: Optional[float] = None,
     ) -> "SessionHandle":
         """Attach a managed system; returns its :class:`SessionHandle`.
 
@@ -163,7 +370,13 @@ class AcpClient:
         a sequence of them (multi-app).  ``resume`` warm-restores the
         controllers from a server-side recovered checkpoint store:
         ``True`` uses ``session_id``'s store, a string names another
-        session's.
+        session's.  ``lease_ttl_s`` requests a session lease (expiry
+        with no client frame orphans the session server-side).
+
+        Under retry, pass an explicit ``session_id``: it makes a
+        re-delivered attach idempotent (the server replays the original
+        response); an auto-assigned id cannot be deduplicated and a
+        retried attach may create a second session.
         """
         from repro.experiments.runner import RunConfig
 
@@ -183,11 +396,14 @@ class AcpClient:
             payload["session_id"] = session_id
         if resume is not None:
             payload["resume"] = resume
+        if lease_ttl_s is not None:
+            payload["lease_ttl_s"] = lease_ttl_s
         status = self._rpc("attach", "", payload)[-1].payload
         return SessionHandle(self, status["session_id"], status)
 
     def sessions(self) -> Dict[str, Any]:
-        """Registry snapshot: live sessions, recovered stores, ledger."""
+        """Registry snapshot: live sessions, orphaned sessions,
+        recovered stores, ledger."""
         return self._rpc("sessions")[-1].payload
 
     def metrics_text(self) -> str:
@@ -196,8 +412,24 @@ class AcpClient:
 
     def session(self, session_id: str) -> "SessionHandle":
         """A handle for an already-attached session (e.g. after a
-        client restart — the daemon keeps the session alive)."""
-        return SessionHandle(self, session_id, {"session_id": session_id})
+        client restart — the daemon keeps the session alive).
+
+        Adopts the session's ``last_seq`` from the registry so this
+        client's next frames land ahead of the seq window a previous
+        client advanced.
+        """
+        status: Dict[str, Any] = {"session_id": session_id}
+        try:
+            for listed in self.sessions().get("sessions", []):
+                if listed.get("session_id") == session_id:
+                    status = listed
+                    break
+        except AcpError:
+            pass  # an unreachable registry still yields a usable handle
+        last_seq = status.get("last_seq")
+        if isinstance(last_seq, int) and last_seq > self._seq:
+            self._seq = last_seq
+        return SessionHandle(self, session_id, status)
 
 
 class SessionHandle:
@@ -211,9 +443,14 @@ class SessionHandle:
         self.last_status = status
 
     def _rpc(
-        self, frame_type: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        frame_type: str,
+        payload: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
     ) -> List[wire.Frame]:
-        return self._client._rpc(frame_type, self.session_id, payload)
+        return self._client._rpc(
+            frame_type, self.session_id, payload, deadline=deadline
+        )
 
     def status(self) -> Dict[str, Any]:
         """Current session state from the registry."""
@@ -240,7 +477,9 @@ class SessionHandle:
         self, policy: str, adapt_every: Optional[int] = None
     ) -> Dict[str, Any]:
         """Hot-swap the scheduling policy; effective within one
-        adaptation period, recorded on the bus as ``PolicySwapped``."""
+        adaptation period, recorded on the bus as ``PolicySwapped``.
+        Safe under retry: a re-delivered swap replays the first
+        response instead of swapping twice."""
         payload: Dict[str, Any] = {"policy": policy}
         if adapt_every is not None:
             payload["adapt_every"] = adapt_every
@@ -253,17 +492,26 @@ class SessionHandle:
 
     def events(self, since_seq: int = 0) -> List[wire.Frame]:
         """Event frames emitted after ``since_seq`` (plan/actuate always;
-        heartbeat/sensor when attached with ``stream_events=True``)."""
+        heartbeat/sensor when attached with ``stream_events=True``).
+        This is also the resume seam: after a reconnect, ask for
+        everything past the last seq you saw."""
         frames = self._rpc("events", {"since_seq": since_seq})
         return [f for f in frames if f.is_event]
 
     def result(self, timeout_s: Optional[float] = None):
         """Block until the run finishes; returns its
-        :class:`~repro.experiments.runner.RunOutcome`."""
+        :class:`~repro.experiments.runner.RunOutcome`.
+
+        ``timeout_s`` is a *wall-clock deadline for the whole call*,
+        honored across retries and reconnects — not a per-attempt
+        budget that a flaky transport could multiply.
+        """
         payload: Dict[str, Any] = {}
+        deadline = None
         if timeout_s is not None:
             payload["timeout_s"] = timeout_s
-        frame = self._rpc("result", payload)[-1]
+            deadline = time.monotonic() + timeout_s
+        frame = self._rpc("result", payload, deadline=deadline)[-1]
         return _outcome_from_result(frame.payload)
 
     def detach(self) -> Dict[str, Any]:

@@ -32,8 +32,10 @@ Responsibilities:
 
 from __future__ import annotations
 
+import json
 import os
 import threading
+import time
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import ConfigurationError
@@ -42,6 +44,7 @@ from repro.acp import wire
 from repro.acp.session import (
     DEFAULT_QUANTUM_S,
     FINISHED,
+    ORPHANED,
     QUARANTINED,
     RUNNING,
     AcpSession,
@@ -61,6 +64,35 @@ _COMMAND_TIMEOUT_S = 30.0
 #: session to finish.
 _RESULT_TIMEOUT_S = 600.0
 
+#: Wall-clock seconds between lease sweeps of the background reaper a
+#: threaded server starts once its first leased session attaches.
+_REAPER_INTERVAL_S = 0.25
+
+
+class _Refusal(ConfigurationError):
+    """A refusal that carries a machine-readable wire error code."""
+
+    def __init__(self, message: str, code: str = ""):
+        super().__init__(message)
+        self.code = code
+
+
+class _Lease:
+    """One session's liveness contract: refreshed by any client frame,
+    expired when the TTL elapses with none."""
+
+    __slots__ = ("ttl_s", "deadline")
+
+    def __init__(self, ttl_s: float, now: float):
+        self.ttl_s = ttl_s
+        self.deadline = now + ttl_s
+
+    def touch(self, now: float) -> None:
+        self.deadline = now + self.ttl_s
+
+    def expired(self, now: float) -> bool:
+        return now >= self.deadline
+
 
 class AcpServer:
     """Frame-in/frame-out control plane; see the module docstring."""
@@ -70,19 +102,46 @@ class AcpServer:
         state_dir: Optional[str] = None,
         quantum_s: float = DEFAULT_QUANTUM_S,
         threaded: bool = False,
+        lease_ttl_s: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
     ):
+        if lease_ttl_s is not None and lease_ttl_s <= 0:
+            raise ConfigurationError("lease_ttl_s must be positive (or None)")
         self.state_dir = state_dir
         self.quantum_s = quantum_s
         self.threaded = threaded
+        #: Default lease TTL granted at attach (None = sessions never
+        #: expire; an attach payload can still request one).
+        self.lease_ttl_s = lease_ttl_s
+        #: Injectable monotonic clock so lease tests control time.
+        self.clock = clock
         self._sessions: Dict[str, AcpSession] = {}
         self._threads: Dict[str, threading.Thread] = {}
         self._stop_flags: Dict[str, threading.Event] = {}
         self._finished: Dict[str, threading.Event] = {}
+        #: Per-session seq windows (kept after detach/orphan so retried
+        #: frames still replay their cached responses).
+        self._windows: Dict[str, wire.SeqWindow] = {}
+        self._leases: Dict[str, _Lease] = {}
+        #: Final status of lease-expired sessions, by id.
+        self._orphaned: Dict[str, Dict[str, Any]] = {}
+        #: Canonical attach payload per session id: a retried attach
+        #: (same id, same payload) replays the original response
+        #: instead of refusing with "already attached".
+        self._attach_fingerprints: Dict[str, str] = {}
+        self._attach_responses: Dict[str, List[wire.Frame]] = {}
+        self._reaper: Optional[threading.Thread] = None
+        self._reaper_stop = threading.Event()
         self._lock = threading.RLock()
         self._counter = 0
         self._seq = 0
         self.frames_in = 0
         self.frames_out = 0
+        #: Resilience counters, surfaced on ``/metrics``.
+        self.retries_seen = 0
+        self.dedup_hits = 0
+        self.lease_expirations = 0
+        self.frames_corrupt = 0
         #: Checkpoint stores recovered from ``state_dir`` at startup,
         #: keyed by the session id they were dumped under.
         self.recovered: Dict[str, CheckpointStore] = {}
@@ -105,19 +164,105 @@ class AcpServer:
         try:
             frame = wire.decode_frame(line)
         except ConfigurationError as exc:
-            return [wire.encode_frame(self._error("", str(exc)))]
+            self.note_corrupt_frame()
+            return [
+                wire.encode_frame(
+                    self._error("", str(exc), code=wire.ERR_BAD_FRAME)
+                )
+            ]
         return [wire.encode_frame(f) for f in self.handle_frame(frame)]
 
     def handle_frame(self, frame: wire.Frame) -> List[wire.Frame]:
         """Dispatch one request frame; always returns at least one
-        non-event frame (the response terminator)."""
+        non-event frame (the response terminator).
+
+        At-least-once delivery discipline: frames addressed to a session
+        pass its :class:`~repro.acp.wire.SeqWindow` first — a duplicate
+        seq replays the cached response (never a second application), a
+        stale or colliding seq gets a typed error, and an in-flight seq
+        is refused retryably.  Responses (error responses included) are
+        recorded so the next re-delivery is a pure replay.
+        """
         self.frames_in += 1
+        attempt = frame.extra.get("attempt")
+        if (
+            isinstance(attempt, int)
+            and not isinstance(attempt, bool)
+            and attempt > 1
+        ):
+            with self._lock:
+                self.retries_seen += 1
+        self.reap_expired()
+        window = self._windows.get(frame.session_id) if frame.session_id else None
+        if window is not None:
+            verdict, cached = window.admit(frame.seq, frame.type)
+            if verdict == wire.SEQ_DUPLICATE:
+                with self._lock:
+                    self.dedup_hits += 1
+                self.frames_out += len(cached)
+                return cached
+            if verdict != wire.SEQ_NEW:
+                error = self._seq_refusal(frame, verdict)
+                self.frames_out += 1
+                return [error]
+        self._touch_lease(frame.session_id)
         try:
             frames = self._dispatch(frame)
         except ConfigurationError as exc:
-            frames = [self._error(frame.session_id, str(exc))]
+            frames = [
+                self._error(
+                    frame.session_id, str(exc), code=getattr(exc, "code", "")
+                )
+            ]
+        except Exception as exc:  # fuzz containment: never an unhandled
+            frames = [  # exception out of the dispatch layer
+                self._error(
+                    frame.session_id,
+                    f"internal error: {type(exc).__name__}: {exc}",
+                    code=wire.ERR_INTERNAL,
+                )
+            ]
+        if window is not None:
+            window.record(frame.seq, frame.type, frames)
         self.frames_out += len(frames)
         return frames
+
+    def _seq_refusal(self, frame: wire.Frame, verdict: str) -> wire.Frame:
+        sid = frame.session_id
+        if verdict == wire.SEQ_PENDING:
+            return self._error(
+                sid,
+                f"seq {frame.seq} is still being applied; retry for the "
+                "cached response",
+                code=wire.ERR_IN_FLIGHT,
+            )
+        if verdict == wire.SEQ_MISMATCH:
+            return self._error(
+                sid,
+                f"seq {frame.seq} was already used by a different "
+                f"request type (got {frame.type!r})",
+                code=wire.ERR_STALE_SEQ,
+            )
+        return self._error(
+            sid,
+            f"stale seq {frame.seq} on session {sid} (window is past it "
+            "and no cached response remains)",
+            code=wire.ERR_STALE_SEQ,
+        )
+
+    def note_corrupt_frame(self) -> None:
+        """Count a line that never parsed into a frame (corruption or a
+        torn write) — transports call this on their own decode failures
+        too, so ``acp_frames_corrupt_total`` covers every carrier."""
+        with self._lock:
+            self.frames_corrupt += 1
+
+    def error_line(
+        self, session_id: str, message: str, code: str = ""
+    ) -> str:
+        """An encoded error frame, for transports answering failures
+        they detected themselves (torn lines, undecodable bytes)."""
+        return wire.encode_frame(self._error(session_id, message, code=code))
 
     def _dispatch(self, frame: wire.Frame) -> List[wire.Frame]:
         handler = _HANDLERS.get(frame.type)
@@ -153,12 +298,28 @@ class AcpServer:
         shapes = [wire.shape_from_wire(s) for s in payload["shapes"]]
         config = wire.config_from_wire(payload["config"])
         stream_events = bool(payload.get("stream_events", False))
+        ttl = payload.get("lease_ttl_s", self.lease_ttl_s)
+        if ttl is not None and (
+            not isinstance(ttl, (int, float))
+            or isinstance(ttl, bool)
+            or ttl <= 0
+        ):
+            raise ConfigurationError(
+                "attach: 'lease_ttl_s' must be a positive number"
+            )
+        fingerprint = json.dumps(payload, sort_keys=True, default=repr)
         with self._lock:
             self._counter += 1
             session_id = payload.get("session_id") or f"s{self._counter:04d}"
             if not isinstance(session_id, str):
                 raise ConfigurationError("attach: 'session_id' must be a string")
             if session_id in self._sessions:
+                # A retried attach (the first response was lost in
+                # delivery) replays the original answer instead of
+                # refusing — idempotency for explicitly named sessions.
+                if self._attach_fingerprints.get(session_id) == fingerprint:
+                    self.dedup_hits += 1
+                    return list(self._attach_responses[session_id])
                 raise ConfigurationError(
                     f"session id {session_id!r} is already attached"
                 )
@@ -180,11 +341,22 @@ class AcpServer:
                     f"attach failed: {type(exc).__name__}: {exc}"
                 ) from None
             self._sessions[session_id] = session
+            self._windows[session_id] = wire.SeqWindow()
+            self._orphaned.pop(session_id, None)
+            if ttl is not None:
+                self._leases[session_id] = _Lease(float(ttl), self.clock())
+                self._ensure_reaper()
         status = dict(session.status())
+        if ttl is not None:
+            status["lease_ttl_s"] = float(ttl)
         if resume_store is not None:
             status["resumed_from"] = sorted(resume_store.controller_ids)
             status["resume_ledger"] = list(resume_store.ledger)
-        return [self._respond("attached", session_id, status)]
+        response = [self._respond("attached", session_id, status)]
+        with self._lock:
+            self._attach_fingerprints[session_id] = fingerprint
+            self._attach_responses[session_id] = list(response)
+        return response
 
     def _resume_store_for(
         self, payload: Dict[str, Any], session_id: str
@@ -300,8 +472,22 @@ class AcpServer:
 
     def _handle_sessions(self, frame: wire.Frame) -> List[wire.Frame]:
         with self._lock:
-            statuses = [
-                self._sessions[sid].status() for sid in sorted(self._sessions)
+            statuses = []
+            for sid in sorted(self._sessions):
+                status = dict(self._sessions[sid].status())
+                window = self._windows.get(sid)
+                if window is not None:
+                    # A reconnecting client adopts this so its next seq
+                    # stays ahead of the session's window.
+                    status["last_seq"] = window.last_seq
+                lease = self._leases.get(sid)
+                if lease is not None:
+                    status["lease_expires_in_s"] = max(
+                        0.0, lease.deadline - self.clock()
+                    )
+                statuses.append(status)
+            orphaned = [
+                dict(self._orphaned[sid]) for sid in sorted(self._orphaned)
             ]
         return [
             self._respond(
@@ -309,6 +495,7 @@ class AcpServer:
                 frame.session_id,
                 {
                     "sessions": statuses,
+                    "orphaned": orphaned,
                     "recovered": sorted(self.recovered),
                     "ledger": list(self.ledger),
                 },
@@ -333,10 +520,14 @@ class AcpServer:
         session.detach()
         self._persist(session)
         with self._lock:
+            # The seq window survives on purpose: a retried detach (its
+            # response lost in delivery) replays "detached" from cache
+            # instead of failing with "no such session".
             self._sessions.pop(session.session_id, None)
             self._threads.pop(session.session_id, None)
             self._stop_flags.pop(session.session_id, None)
             self._finished.pop(session.session_id, None)
+            self._leases.pop(session.session_id, None)
         return [
             self._respond(
                 "detached",
@@ -350,9 +541,112 @@ class AcpServer:
     def _session(self, session_id: str) -> AcpSession:
         with self._lock:
             session = self._sessions.get(session_id)
+            orphaned = session_id in self._orphaned
         if session is None:
+            if orphaned:
+                raise _Refusal(
+                    f"session {session_id!r} is orphaned (its lease "
+                    f"expired); attach with resume={session_id!r} to "
+                    "recover it",
+                    code=wire.ERR_ORPHANED,
+                )
             raise ConfigurationError(f"no such session: {session_id!r}")
         return session
+
+    # -- leases ----------------------------------------------------------------
+
+    def _touch_lease(self, session_id: str) -> None:
+        if not session_id:
+            return
+        with self._lock:
+            lease = self._leases.get(session_id)
+        if lease is not None:
+            lease.touch(self.clock())
+
+    def reap_expired(self, now: Optional[float] = None) -> List[str]:
+        """Orphan every session whose lease has expired; returns their
+        ids.  Called on every inbound frame (cheap when no leases
+        exist) and by the background reaper of a threaded server."""
+        if not self._leases:
+            return []
+        if now is None:
+            now = self.clock()
+        with self._lock:
+            expired = []
+            for sid, lease in self._leases.items():
+                if not lease.expired(now) or sid not in self._sessions:
+                    continue
+                window = self._windows.get(sid)
+                if window is not None and window.has_pending:
+                    # A frame is mid-dispatch (e.g. a blocking `result`
+                    # wait): the client is provably live even though the
+                    # wire is quiet.  Refresh instead of orphaning.
+                    lease.touch(now)
+                    continue
+                expired.append(sid)
+        return [sid for sid in expired if self._orphan_session(sid)]
+
+    def _orphan_session(self, session_id: str) -> bool:
+        """Lease expiry: stop the driver, persist the checkpoints,
+        release the session's resources — keeping just enough (the
+        checkpoint store, the seq window, a final status) for a later
+        ``attach(resume=...)`` to warm-restore it."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            return False
+        stop = self._stop_flags.get(session_id)
+        if stop is not None:
+            stop.set()
+        thread = self._threads.get(session_id)
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=_COMMAND_TIMEOUT_S)
+        prior_state = session.state
+        if prior_state not in (FINISHED, QUARANTINED):
+            try:
+                # A final snapshot so the resume picks up the freshest
+                # controller state, not just the last cadence write.
+                session.checkpoint_now()
+            except Exception:
+                pass  # best effort: an unstartable session still orphans
+        session.orphan()
+        self._persist(session)
+        store = session.prepared.checkpoint_store
+        status = dict(session.status())
+        status["prior_state"] = prior_state
+        with self._lock:
+            self._sessions.pop(session_id, None)
+            self._threads.pop(session_id, None)
+            self._stop_flags.pop(session_id, None)
+            self._finished.pop(session_id, None)
+            self._leases.pop(session_id, None)
+            self._orphaned[session_id] = status
+            if store is not None and len(store) > 0:
+                # Resumable with or without a state_dir: the in-memory
+                # store is registered exactly like a recovered dump.
+                self.recovered[session_id] = store
+            self.lease_expirations += 1
+        return True
+
+    def _ensure_reaper(self) -> None:
+        """Threaded servers sweep leases in the background too — an
+        abandoned session must orphan even if no frame ever arrives
+        again.  Inline servers rely on the per-frame sweep, keeping
+        loopback runs deterministic."""
+        if not self.threaded or self._reaper is not None:
+            return
+        self._reaper_stop.clear()
+        self._reaper = threading.Thread(
+            target=self._reap_loop, name="acp-reaper", daemon=True
+        )
+        self._reaper.start()
+
+    def _reap_loop(self) -> None:
+        while not self._reaper_stop.wait(_REAPER_INTERVAL_S):
+            try:
+                self.reap_expired()
+            except Exception:
+                pass  # the reaper must outlive any single sweep failure
 
     def _thread_alive(self, session_id: str) -> bool:
         thread = self._threads.get(session_id)
@@ -387,6 +681,10 @@ class AcpServer:
             try:
                 while not session.done and not stop.is_set():
                     session.advance(seconds=chunk_s)
+                    # Persist at every chunk boundary: a SIGKILLed
+                    # daemon loses at most one chunk of checkpoints,
+                    # not the whole run (the crash-drill guarantee).
+                    self._persist(session)
             except ConfigurationError as exc:
                 session.quarantine(exc)
             except Exception as exc:
@@ -470,8 +768,12 @@ class AcpServer:
             frame_type, session_id, self._next_seq(), payload
         )
 
-    def _error(self, session_id: str, message: str) -> wire.Frame:
-        return wire.error_frame(session_id, self._next_seq(), message)
+    def _error(
+        self, session_id: str, message: str, code: str = ""
+    ) -> wire.Frame:
+        return wire.error_frame(
+            session_id, self._next_seq(), message, code=code
+        )
 
     def metrics_text(self) -> str:
         """Live Prometheus text: control-plane counters + every tenant's
@@ -499,11 +801,31 @@ class AcpServer:
             lines.append(
                 f'acp_sessions{{state="{state}"}} {float(by_state[state])!r}'
             )
+        lines.append(
+            f'acp_sessions{{state="{ORPHANED}"}} '
+            f"{float(len(self._orphaned))!r}"
+        )
         lines += [
             "# HELP acp_frames_total Wire frames handled, by direction.",
             "# TYPE acp_frames_total counter",
             f'acp_frames_total{{direction="in"}} {float(self.frames_in)!r}',
             f'acp_frames_total{{direction="out"}} {float(self.frames_out)!r}',
+            "# HELP acp_retries_total Client re-deliveries observed "
+            "(attempt > 1 markers).",
+            "# TYPE acp_retries_total counter",
+            f"acp_retries_total {float(self.retries_seen)!r}",
+            "# HELP acp_dedup_hits_total Duplicate frames answered from "
+            "the replay cache instead of re-applied.",
+            "# TYPE acp_dedup_hits_total counter",
+            f"acp_dedup_hits_total {float(self.dedup_hits)!r}",
+            "# HELP acp_lease_expired_total Sessions orphaned by lease "
+            "expiry.",
+            "# TYPE acp_lease_expired_total counter",
+            f"acp_lease_expired_total {float(self.lease_expirations)!r}",
+            "# HELP acp_frames_corrupt_total Lines that never parsed "
+            "into a frame (corruption, torn writes).",
+            "# TYPE acp_frames_corrupt_total counter",
+            f"acp_frames_corrupt_total {float(self.frames_corrupt)!r}",
         ]
         parts = ["\n".join(lines) + "\n"]
         for sid in sorted(sessions):
@@ -519,6 +841,11 @@ class AcpServer:
 
     def shutdown(self) -> None:
         """Stop every driver thread; sessions stay readable."""
+        self._reaper_stop.set()
+        reaper = self._reaper
+        if reaper is not None and reaper.is_alive():
+            reaper.join(timeout=5.0)
+        self._reaper = None
         with self._lock:
             flags = list(self._stop_flags.values())
             threads = list(self._threads.values())

@@ -14,7 +14,12 @@ Session state machine::
         │                │  ▲
         │                │  └─(bounded advance returns)
         │                ├──uncaught exception──▶ QUARANTINED
+        │                ├──lease expired──────▶ ORPHANED
         └──detach──────▶ DETACHED ◀──detach───────┘
+
+An orphaned session (its lease TTL ran out with no client frame) has
+its driver stopped and checkpoints persisted by the server; attaching
+with ``resume=<session id>`` warm-restores it into a fresh session.
 
 A quarantined session keeps its error and event log for post-mortem but
 never runs again; crucially, the exception is contained here — the
@@ -62,6 +67,11 @@ RUNNING = "running"
 FINISHED = "finished"
 QUARANTINED = "quarantined"
 DETACHED = "detached"
+#: The session's lease expired: its driver is stopped, its checkpoints
+#: persisted, and its resources released — but unlike ``DETACHED`` the
+#: server keeps its checkpoint store registered so a later
+#: ``attach(resume=<id>)`` warm-restores exactly where it left off.
+ORPHANED = "orphaned"
 
 #: Simulated seconds per segment between command-queue drains.  With the
 #: default 10 ms tick this is 50 ticks — far below one adaptation period
@@ -292,7 +302,7 @@ class AcpSession:
         completion.  Raises whatever the managed system raises — the
         server wraps this in :meth:`quarantine`.
         """
-        if self.state in (FINISHED, QUARANTINED, DETACHED):
+        if self.state in (FINISHED, QUARANTINED, DETACHED, ORPHANED):
             raise ConfigurationError(
                 f"session {self.session_id} is {self.state}; cannot run"
             )
@@ -349,6 +359,11 @@ class AcpSession:
     def detach(self) -> None:
         if self.state not in (FINISHED, QUARANTINED):
             self.state = DETACHED
+
+    def orphan(self) -> None:
+        """Mark the session lease-expired; it never runs here again
+        (its checkpoint store is what survives, for a resume)."""
+        self.state = ORPHANED
 
     # -- control actions -------------------------------------------------------
 

@@ -33,16 +33,52 @@ from repro.acp import wire
 
 class _UnixHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
+        acp = self.server.acp
         for raw in self.rfile:
-            line = raw.decode("utf-8").strip()
+            if not raw.endswith(b"\n"):
+                # A client died mid-write: the trailing line is torn.
+                # Discard it — half a frame must never reach dispatch —
+                # count it, and tell whoever is still listening.
+                acp.note_corrupt_frame()
+                self._reply(
+                    [
+                        acp.error_line(
+                            "",
+                            "torn trailing line discarded "
+                            f"({len(raw)} bytes, no newline)",
+                            code=wire.ERR_TORN_LINE,
+                        )
+                    ]
+                )
+                return
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                acp.note_corrupt_frame()
+                if not self._reply(
+                    [
+                        acp.error_line(
+                            "",
+                            "undecodable frame bytes (not utf-8)",
+                            code=wire.ERR_BAD_FRAME,
+                        )
+                    ]
+                ):
+                    return
+                continue
             if not line:
                 continue
-            try:
-                for out in self.server.acp.handle_line(line):
-                    self.wfile.write((out + "\n").encode("utf-8"))
-                self.wfile.flush()
-            except (BrokenPipeError, ConnectionResetError):
+            if not self._reply(acp.handle_line(line)):
                 return  # the client went away; the sessions did not
+
+    def _reply(self, lines) -> bool:
+        try:
+            for out in lines:
+                self.wfile.write((out + "\n").encode("utf-8"))
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
 
 
 class _UnixServer(socketserver.ThreadingUnixStreamServer):
@@ -89,12 +125,36 @@ class _HttpHandler(BaseHTTPRequestHandler):
         if self.path != "/v1/frames":
             self._send(404, "text/plain", b"not found\n")
             return
-        length = int(self.headers.get("Content-Length", "0"))
-        body = self.rfile.read(length).decode("utf-8")
+        acp: AcpServer = self.server.acp
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = -1
+        if length < 0:
+            acp.note_corrupt_frame()
+            self._send(400, "text/plain", b"bad Content-Length\n")
+            return
+        try:
+            body = self.rfile.read(length).decode("utf-8")
+        except UnicodeDecodeError:
+            acp.note_corrupt_frame()
+            out = [
+                acp.error_line(
+                    "",
+                    "undecodable frame bytes (not utf-8)",
+                    code=wire.ERR_BAD_FRAME,
+                )
+            ]
+            self._send(
+                200,
+                "application/jsonl",
+                ("\n".join(out) + "\n").encode("utf-8"),
+            )
+            return
         out = []
         for line in body.splitlines():
             if line.strip():
-                out.extend(self.server.acp.handle_line(line))
+                out.extend(acp.handle_line(line))
         self._send(
             200, "application/jsonl", ("\n".join(out) + "\n").encode("utf-8")
         )
@@ -119,6 +179,7 @@ class AcpDaemon:
         http_host: str = "127.0.0.1",
         state_dir: Optional[str] = None,
         quantum_s: Optional[float] = None,
+        lease_ttl_s: Optional[float] = None,
     ):
         if socket_path is None and http_port is None:
             raise ConfigurationError(
@@ -128,6 +189,8 @@ class AcpDaemon:
             kwargs = {"state_dir": state_dir, "threaded": True}
             if quantum_s is not None:
                 kwargs["quantum_s"] = quantum_s
+            if lease_ttl_s is not None:
+                kwargs["lease_ttl_s"] = lease_ttl_s
             acp = AcpServer(**kwargs)
         self.acp = acp
         self.socket_path = socket_path

@@ -33,8 +33,10 @@ end of a response batch on a byte stream.
 from __future__ import annotations
 
 import json
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.serialize import (
@@ -49,6 +51,45 @@ from repro.experiments.serialize import (
 #: Version of the frame envelope + payload schemas.  Bumped on any
 #: incompatible change; decode refuses frames from another version.
 WIRE_SCHEMA_VERSION = 1
+
+# -- typed error codes --------------------------------------------------------
+#
+# An ``error`` frame may carry a machine-readable ``code`` next to its
+# human-readable ``error`` message.  The code is what a client's retry
+# layer keys on: some failures are a property of the *delivery* (a
+# corrupted line, a torn write, a command still in flight) and resolve
+# on re-send; others are a property of the *request* and never will.
+
+#: The delivered line was not a parseable frame (malformed JSON, bad
+#: schema, non-UTF-8 bytes) — the sender's copy may still be fine.
+ERR_BAD_FRAME = "bad-frame"
+#: A partial trailing JSONL line from a writer that died mid-write.
+ERR_TORN_LINE = "torn-line"
+#: The frame's seq is behind the session's window and its response is
+#: no longer cached — the command was neither applied nor replayable.
+ERR_STALE_SEQ = "stale-seq"
+#: A frame with this seq is still being applied; retry for the cached
+#: response once it lands.
+ERR_IN_FLIGHT = "in-flight"
+#: The session's lease expired and it was moved to ``ORPHANED``; attach
+#: with ``resume=<session id>`` to recover it.
+ERR_ORPHANED = "orphaned"
+#: The server hit an unexpected internal error handling the frame.
+ERR_INTERNAL = "internal"
+
+#: Codes a client may safely retry: the failure was in delivery, not in
+#: the request, and the dedup window guarantees at-most-once application
+#: on re-send.
+RETRYABLE_ERROR_CODES = frozenset(
+    {ERR_BAD_FRAME, ERR_TORN_LINE, ERR_IN_FLIGHT}
+)
+
+#: Verdicts of :meth:`SeqWindow.admit`.
+SEQ_NEW = "new"
+SEQ_DUPLICATE = "duplicate"
+SEQ_STALE = "stale"
+SEQ_PENDING = "pending"
+SEQ_MISMATCH = "mismatch"
 
 #: Frame types that stream as events (server → client).  Everything
 #: else terminates a request/response exchange.
@@ -247,6 +288,9 @@ def _validate_result(payload: Dict[str, Any]) -> None:
 
 def _validate_error(payload: Dict[str, Any]) -> None:
     require_str(payload, "error", "error frame")
+    code = payload.get("code")
+    if code is not None and not isinstance(code, str):
+        raise ConfigurationError("error frame: 'code' must be a string")
 
 
 _PAYLOAD_VALIDATORS: Dict[str, Callable[[Dict[str, Any]], None]] = {
@@ -348,11 +392,102 @@ def swap_frame(
     return make_frame("swap", session_id, seq, payload)
 
 
-def error_frame(session_id: str, seq: int, error: str, detail: str = "") -> Frame:
-    payload = {"error": error}
+def error_frame(
+    session_id: str, seq: int, error: str, detail: str = "", code: str = ""
+) -> Frame:
+    payload: Dict[str, Any] = {"error": error}
     if detail:
         payload["detail"] = detail
+    if code:
+        payload["code"] = code
     return make_frame("error", session_id, seq, payload)
+
+
+# -- seq monotonicity + replay dedup ------------------------------------------
+
+
+class SeqWindow:
+    """Per-session seq validation and ``(seq → response)`` replay cache.
+
+    The wire envelope already requires a non-negative integer ``seq``;
+    this is the *stateful* half of that contract, one instance per live
+    session.  It turns the client's monotonically increasing seq into
+    exactly-once application over an at-least-once transport:
+
+    * a **new** seq (greater than every seq seen so far) is admitted and
+      marked in flight until its response is recorded;
+    * a **duplicate** seq (response already cached) yields the cached
+      response — a retried ``swap`` frame replays the first answer and
+      is never applied a second time;
+    * a **stale** seq (at or behind the window with no cached response —
+      evicted, or never admitted) is refused with a typed verdict the
+      server converts into an :data:`ERR_STALE_SEQ` error frame;
+    * a **pending** seq (same frame delivered again while the first
+      copy is still being applied) is refused retryably
+      (:data:`ERR_IN_FLIGHT`) instead of racing a second application;
+    * a cached seq re-sent with a *different* frame type is a
+      :data:`SEQ_MISMATCH` — two writers collided on the same seq, and
+      replaying the other request's response would be worse than
+      refusing.
+
+    The cache keeps the most recent ``cache_limit`` responses (error
+    responses included — refusals are deterministic, so replaying them
+    is consistent) and is safe to call from concurrent transport
+    threads.
+    """
+
+    def __init__(self, cache_limit: int = 32):
+        if cache_limit < 1:
+            raise ConfigurationError("SeqWindow cache_limit must be >= 1")
+        self.cache_limit = cache_limit
+        self.last_seq = 0
+        self._pending: set = set()
+        self._cache: "OrderedDict[int, Tuple[str, Tuple[Frame, ...]]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+
+    def admit(
+        self, seq: int, frame_type: str
+    ) -> Tuple[str, Optional[List[Frame]]]:
+        """Classify an incoming seq; returns ``(verdict, cached)``.
+
+        ``cached`` is the replayable response for :data:`SEQ_DUPLICATE`
+        and ``None`` otherwise.  A :data:`SEQ_NEW` admission updates the
+        window immediately, so concurrent duplicates of the same frame
+        observe it as pending.
+        """
+        with self._lock:
+            entry = self._cache.get(seq)
+            if entry is not None:
+                cached_type, frames = entry
+                if cached_type != frame_type:
+                    return SEQ_MISMATCH, None
+                return SEQ_DUPLICATE, list(frames)
+            if seq in self._pending:
+                return SEQ_PENDING, None
+            if seq <= self.last_seq:
+                return SEQ_STALE, None
+            self._pending.add(seq)
+            self.last_seq = seq
+            return SEQ_NEW, None
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any admitted frame is still being applied.  An
+        in-flight frame proves the client is live (blocked in an RPC,
+        e.g. a long ``result`` wait), so lease reaping must not treat
+        the quiet wire as abandonment."""
+        with self._lock:
+            return bool(self._pending)
+
+    def record(self, seq: int, frame_type: str, frames: List[Frame]) -> None:
+        """Cache the response of an admitted seq (clears in-flight)."""
+        with self._lock:
+            self._pending.discard(seq)
+            self._cache[seq] = (frame_type, tuple(frames))
+            while len(self._cache) > self.cache_limit:
+                self._cache.popitem(last=False)
 
 
 # -- run shape / config serialization ----------------------------------------
